@@ -1,0 +1,255 @@
+// Package haspmv is a Go reproduction of "HASpMV: Heterogeneity-Aware
+// Sparse Matrix-Vector Multiplication on Modern Asymmetric Multicore
+// Processors" (CLUSTER 2023).
+//
+// The package exposes a curated facade over the implementation packages:
+//
+//   - sparse matrices (CSR with COO and Matrix Market interchange),
+//   - the four Table I machine models (i9-12900KF, i9-13900KF, Ryzen 9
+//     7950X3D and 7950X) driving a deterministic performance simulator
+//     that substitutes for the paper's hardware (see DESIGN.md),
+//   - HASpMV itself (HACSR reorder, cache-line cost partitioning, the
+//     conflict-resolving executor) plus the four baselines the paper
+//     compares against (oneMKL-like, AOCL-like, CSR5, Merge-SpMV),
+//   - synthetic matrix generators reproducing Table II's 22
+//     representative matrices and a SuiteSparse-like corpus.
+//
+// Quick start:
+//
+//	m := haspmv.IntelI912900KF()
+//	a := haspmv.Representative("rma10", 16)
+//	h, err := haspmv.Analyze(m, a, haspmv.Options{})
+//	if err != nil { ... }
+//	y := make([]float64, a.Rows)
+//	h.Multiply(y, x)                 // real goroutine-parallel SpMV
+//	r := h.Simulate(nil)             // modeled time on the AMP
+//	fmt.Println(r.GFlops)
+package haspmv
+
+import (
+	"io"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+	"haspmv/internal/mmio"
+	"haspmv/internal/sparse"
+
+	"haspmv/internal/baselines/csr5"
+	"haspmv/internal/baselines/csrsimple"
+	"haspmv/internal/baselines/mergespmv"
+	"haspmv/internal/baselines/vendorlike"
+	haspmvcore "haspmv/internal/core"
+)
+
+// Matrix is a CSR sparse matrix (see the methods on sparse.CSR: NNZ,
+// MulVec, Validate, Transpose, ...).
+type Matrix = sparse.CSR
+
+// Triplets is a COO matrix under assembly; convert with ToCSR.
+type Triplets = sparse.COO
+
+// NewCSR builds a validated CSR matrix from raw arrays.
+func NewCSR(rows, cols int, rowPtr, colIdx []int, val []float64) (*Matrix, error) {
+	return sparse.NewCSR(rows, cols, rowPtr, colIdx, val)
+}
+
+// FromDense converts a dense matrix, keeping entries with |v| > drop.
+func FromDense(dense [][]float64, drop float64) *Matrix {
+	return sparse.FromDense(dense, drop)
+}
+
+// ReadMatrixMarket parses a Matrix Market stream (coordinate or array;
+// real, integer or pattern; general, symmetric or skew-symmetric).
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return mmio.Read(r) }
+
+// ReadMatrixMarketFile reads a .mtx file from disk.
+func ReadMatrixMarketFile(path string) (*Matrix, error) { return mmio.ReadFile(path) }
+
+// WriteMatrixMarket writes the matrix in coordinate/real/general form.
+func WriteMatrixMarket(w io.Writer, a *Matrix) error { return mmio.Write(w, a) }
+
+// Machine describes an asymmetric multicore processor for the simulator.
+type Machine = amp.Machine
+
+// CoreConfig selects which cores participate: PAndE (default), POnly
+// (P-cores / CCD0) or EOnly (E-cores / CCD1).
+type CoreConfig = amp.Config
+
+// Core-composition constants (the three lines of Figures 3 and 4).
+const (
+	PAndE = amp.PAndE
+	POnly = amp.POnly
+	EOnly = amp.EOnly
+)
+
+// The four Table I machines.
+func IntelI912900KF() *Machine   { return amp.IntelI912900KF() }
+func IntelI913900KF() *Machine   { return amp.IntelI913900KF() }
+func AMDRyzen97950X3D() *Machine { return amp.AMDRyzen97950X3D() }
+func AMDRyzen97950X() *Machine   { return amp.AMDRyzen97950X() }
+
+// Machines lists the four Table I presets.
+func Machines() []*Machine { return amp.All() }
+
+// Extension presets beyond Table I: the other single-ISA AMP families the
+// paper cites. AppleM2Like models an M2-class chip (128-byte cache lines,
+// unified memory); ARMBigLittleLike models a big.LITTLE mobile SoC.
+func AppleM2Like() *Machine      { return amp.AppleM2Like() }
+func ARMBigLittleLike() *Machine { return amp.ARMBigLittleLike() }
+
+// MachineByName resolves a Table I name ("i9-12900KF", "7950X3D", ...).
+func MachineByName(name string) (*Machine, bool) { return amp.ByName(name) }
+
+// Options configure HASpMV (see core.Options); the zero value selects the
+// paper's defaults.
+type Options = haspmvcore.Options
+
+// CostMetric selects the partitioning workload measure.
+type CostMetric = haspmvcore.CostMetric
+
+// Partitioning metrics (Figure 9 compares all three).
+const (
+	CacheLineCost = haspmvcore.CacheLineCost
+	NNZCost       = haspmvcore.NNZCost
+	RowCost       = haspmvcore.RowCost
+)
+
+// ModelParams are the performance-model calibration constants.
+type ModelParams = costmodel.Params
+
+// DefaultModelParams returns the calibrated model defaults.
+func DefaultModelParams() ModelParams { return costmodel.DefaultParams() }
+
+// ModelResult is a simulator estimate (Seconds, GFlops, per-core costs).
+type ModelResult = costmodel.Result
+
+// Handle is an analyzed matrix ready for repeated multiplication — the
+// inspector-executor pattern shared by HASpMV and all baselines.
+type Handle struct {
+	machine *Machine
+	matrix  *Matrix
+	prep    exec.Prepared
+	name    string
+}
+
+// Analyze prepares HASpMV for the matrix on the machine.
+func Analyze(m *Machine, a *Matrix, opts Options) (*Handle, error) {
+	return analyzeWith(haspmvcore.New(opts), m, a)
+}
+
+// AnalyzeBaseline prepares one of the comparison algorithms; name is one
+// of "csr" (Algorithm 1 row split), "csr-nnz", "mkl", "aocl", "csr5",
+// "merge".
+func AnalyzeBaseline(name string, cfg CoreConfig, m *Machine, a *Matrix) (*Handle, error) {
+	alg, err := BaselineByName(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeWith(alg, m, a)
+}
+
+// BaselineByName resolves a baseline algorithm by its short name.
+func BaselineByName(name string, cfg CoreConfig) (exec.Algorithm, error) {
+	switch name {
+	case "csr":
+		return csrsimple.New(cfg, csrsimple.ByRows), nil
+	case "csr-nnz":
+		return csrsimple.New(cfg, csrsimple.ByNNZ), nil
+	case "mkl":
+		return vendorlike.New(vendorlike.MKL, cfg), nil
+	case "aocl":
+		return vendorlike.New(vendorlike.AOCL, cfg), nil
+	case "csr5":
+		return csr5.New(cfg), nil
+	case "merge":
+		return mergespmv.New(cfg), nil
+	default:
+		return nil, &UnknownAlgorithmError{Name: name}
+	}
+}
+
+// UnknownAlgorithmError is returned for unrecognized baseline names.
+type UnknownAlgorithmError struct{ Name string }
+
+func (e *UnknownAlgorithmError) Error() string {
+	return "haspmv: unknown algorithm " + e.Name + ` (want "csr", "csr-nnz", "mkl", "aocl", "csr5" or "merge")`
+}
+
+func analyzeWith(alg exec.Algorithm, m *Machine, a *Matrix) (*Handle, error) {
+	prep, err := alg.Prepare(m, a)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{machine: m, matrix: a, prep: prep, name: alg.Name()}, nil
+}
+
+// Name identifies the prepared algorithm.
+func (h *Handle) Name() string { return h.name }
+
+// Rows and Cols return the analyzed matrix's dimensions.
+func (h *Handle) Rows() int { return h.matrix.Rows }
+
+// Cols returns the analyzed matrix's column count.
+func (h *Handle) Cols() int { return h.matrix.Cols }
+
+// Matrix returns the analyzed matrix (callers must not mutate it).
+func (h *Handle) Matrix() *Matrix { return h.matrix }
+
+// MultiplyBatch computes Y[v] = A*X[v] for a block of vectors, using the
+// fused multi-vector path when the algorithm provides one (HASpMV walks
+// the index stream once per row fragment for the whole block).
+func (h *Handle) MultiplyBatch(Y, X [][]float64) { exec.ComputeBatch(h.prep, Y, X) }
+
+// Multiply computes y = A*x with one goroutine per simulated core. Note
+// that Go cannot pin goroutines to P/E cores, so host wall-clock does not
+// reflect AMP asymmetry; use Simulate for modeled AMP timing.
+func (h *Handle) Multiply(y, x []float64) { h.prep.Compute(y, x) }
+
+// Simulate prices the prepared SpMV on the machine model. Passing nil
+// params uses the calibrated defaults.
+func (h *Handle) Simulate(p *ModelParams) ModelResult {
+	params := costmodel.DefaultParams()
+	if p != nil {
+		params = *p
+	}
+	return exec.Simulate(h.machine, params, h.matrix, h.prep)
+}
+
+// GenSpec describes a synthetic matrix (see gen.Spec).
+type GenSpec = gen.Spec
+
+// Representative generates one of Table II's 22 matrices at the given
+// scale divisor (1 = published size; 16 = laptop-fast default).
+func Representative(name string, scale int) *Matrix {
+	return gen.Representative(name, scale)
+}
+
+// RepresentativeNames lists Table II's matrices in paper order.
+func RepresentativeNames() []string { return gen.RepresentativeNames() }
+
+// DefaultProportion exposes the machine-derived level-1 split share.
+func DefaultProportion(m *Machine) float64 { return haspmvcore.DefaultProportion(m) }
+
+// ProportionFor exposes the matrix-aware level-1 split share used by
+// Analyze when Options.PProportion is unset.
+func ProportionFor(m *Machine, a *Matrix) float64 { return haspmvcore.ProportionFor(m, a) }
+
+// Energy is the modeled package energy of one SpMV (core + uncore), an
+// extension beyond the paper's evaluation.
+type Energy = costmodel.Energy
+
+// SimulateEnergy prices the handle's SpMV and derives its energy.
+func (h *Handle) SimulateEnergy(p *ModelParams) (ModelResult, Energy) {
+	r := h.Simulate(p)
+	return r, costmodel.EstimateEnergy(h.machine, r)
+}
+
+// TuneProportion golden-section-searches the level-1 split share that
+// minimizes the modeled time for this matrix on this machine, refining
+// the ProportionFor heuristic the way Section III's micro-benchmarks
+// calibrate the real implementation. tol <= 0 selects 0.01.
+func TuneProportion(m *Machine, a *Matrix, opts Options, tol float64) (proportion, seconds float64, err error) {
+	return haspmvcore.TuneProportion(m, costmodel.DefaultParams(), a, opts, tol)
+}

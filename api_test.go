@@ -1,0 +1,229 @@
+package haspmv
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	m := IntelI912900KF()
+	a := Representative("rma10", 64)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(h.Name(), "HASpMV") {
+		t.Fatalf("name: %s", h.Name())
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, a.Rows)
+	h.Multiply(y, x)
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	r := h.Simulate(nil)
+	if r.Seconds <= 0 || r.GFlops <= 0 {
+		t.Fatalf("simulate: %+v", r)
+	}
+	p := DefaultModelParams()
+	if r2 := h.Simulate(&p); r2.Seconds != r.Seconds {
+		t.Fatal("explicit default params changed the estimate")
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	m := AMDRyzen97950X3D()
+	a := Representative("dawson5", 64)
+	for _, name := range []string{"csr", "csr-nnz", "mkl", "aocl", "csr5", "merge"} {
+		h, err := AnalyzeBaseline(name, PAndE, m, a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y := make([]float64, a.Rows)
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1
+		}
+		h.Multiply(y, x)
+		want := make([]float64, a.Rows)
+		a.MulVec(want, x)
+		for i := range want {
+			if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: wrong result at %d", name, i)
+			}
+		}
+	}
+	if _, err := AnalyzeBaseline("spmv9000", PAndE, m, a); err == nil {
+		t.Fatal("unknown baseline accepted")
+	} else if !strings.Contains(err.Error(), "spmv9000") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestMultiplyBatchFusedAndFallback(t *testing.T) {
+	m := IntelI912900KF()
+	a := Representative("cop20k_A", 64)
+	X := make([][]float64, 3)
+	for v := range X {
+		X[v] = make([]float64, a.Cols)
+		for i := range X[v] {
+			X[v][i] = float64((i+v)%5) - 2
+		}
+	}
+	wants := make([][]float64, len(X))
+	for v := range X {
+		wants[v] = make([]float64, a.Rows)
+		a.MulVec(wants[v], X[v])
+	}
+	check := func(h *Handle) {
+		Y := make([][]float64, len(X))
+		for v := range Y {
+			Y[v] = make([]float64, a.Rows)
+		}
+		h.MultiplyBatch(Y, X)
+		for v := range X {
+			for i := range wants[v] {
+				if math.Abs(Y[v][i]-wants[v][i]) > 1e-9*(1+math.Abs(wants[v][i])) {
+					t.Fatalf("%s: batch mismatch vector %d row %d", h.Name(), v, i)
+				}
+			}
+		}
+	}
+	h, err := Analyze(m, a, Options{}) // fused path
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(h)
+	b, err := AnalyzeBaseline("merge", PAndE, m, a) // fallback path
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(b)
+	if h.Rows() != a.Rows || h.Cols() != a.Cols || h.Matrix() != a {
+		t.Fatal("handle accessors")
+	}
+}
+
+func TestMachineLookups(t *testing.T) {
+	if len(Machines()) != 4 {
+		t.Fatal("machines")
+	}
+	if _, ok := MachineByName("i9-13900KF"); !ok {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := MachineByName("pentium-2"); ok {
+		t.Fatal("lookup invented a machine")
+	}
+	for _, m := range []*Machine{IntelI912900KF(), IntelI913900KF(), AMDRyzen97950X3D(), AMDRyzen97950X()} {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripViaFacade(t *testing.T) {
+	a := FromDense([][]float64{{1, 0, 2}, {0, 3, 0}}, 0)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("round trip mismatch")
+	}
+	if _, err := ReadMatrixMarketFile("/nonexistent.mtx"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestNewCSRFacade(t *testing.T) {
+	a, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 2})
+	if err != nil || a.NNZ() != 2 {
+		t.Fatalf("NewCSR: %v %v", a, err)
+	}
+	if _, err := NewCSR(2, 2, []int{0, 3, 2}, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("invalid CSR accepted")
+	}
+}
+
+func TestTripletsFacade(t *testing.T) {
+	c := &Triplets{Rows: 2, Cols: 2}
+	c.Add(0, 1, 5)
+	c.Add(1, 0, 6)
+	a := c.ToCSR()
+	if a.NNZ() != 2 {
+		t.Fatal("triplets conversion")
+	}
+}
+
+func TestProportions(t *testing.T) {
+	m := AMDRyzen97950X3D()
+	if p := DefaultProportion(m); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("AMD default proportion %v", p)
+	}
+	// A ~60MB-footprint matrix leans on the V-Cache CCD.
+	big := Representative("shipsec1", 2)
+	if p := ProportionFor(m, big); p <= 0.5 {
+		t.Fatalf("V-Cache proportion %v, want > 0.5", p)
+	}
+}
+
+func TestRepresentativeNamesFacade(t *testing.T) {
+	names := RepresentativeNames()
+	if len(names) != 22 {
+		t.Fatal("roster")
+	}
+	found := false
+	for _, n := range names {
+		if n == "webbase-1M" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("webbase-1M missing")
+	}
+}
+
+func TestOptionsVariantsThroughFacade(t *testing.T) {
+	m := IntelI913900KF()
+	a := Representative("cop20k_A", 64)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 0.25 * float64(i%5)
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	for _, opts := range []Options{
+		{Metric: NNZCost},
+		{Metric: RowCost},
+		{Config: POnly},
+		{Config: EOnly},
+		{DisableReorder: true},
+		{OneLevel: true},
+		{PProportion: 0.66, Base: 40},
+	} {
+		h, err := Analyze(m, a, opts)
+		if err != nil {
+			t.Fatalf("%+v: %v", opts, err)
+		}
+		y := make([]float64, a.Rows)
+		h.Multiply(y, x)
+		for i := range want {
+			if math.Abs(y[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%+v: wrong result at %d", opts, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Repository-level benchmarks: one testing.B target per table and figure
+// of the paper (regenerating the experiment under the benchmark timer) and
+// one per design-choice ablation called out in DESIGN.md. Run them all
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use a reduced corpus so a full sweep finishes in minutes;
+// cmd/haspmv-bench runs the same experiments at the full default scale.
+package haspmv_test
+
+import (
+	"testing"
+
+	"haspmv"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/bench"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+	"haspmv/internal/stream"
+
+	haspmvcore "haspmv/internal/core"
+)
+
+// benchConfig is the reduced experiment scale used under testing.B.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.CorpusSize = 40
+	cfg.CorpusMaxNNZ = 400_000
+	cfg.RepScale = 32
+	return cfg
+}
+
+func BenchmarkTable1Specs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1(cfg)
+		if len(rows) != 8 {
+			b.Fatal("table1")
+		}
+	}
+}
+
+func BenchmarkTable2Representative(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table2(cfg)
+		if len(rows) != 22 {
+			b.Fatal("table2")
+		}
+	}
+}
+
+func BenchmarkFig3StreamTriad(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		series := bench.Fig3(cfg, 16)
+		if len(series) != 12 {
+			b.Fatal("fig3")
+		}
+	}
+}
+
+func BenchmarkFig4ParallelSpMV(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Machines = []*amp.Machine{amp.IntelI912900KF()}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig4(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5RowLenCorrelation(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Machines = []*amp.Machine{amp.IntelI912900KF()}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8Comparison(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Machines = []*amp.Machine{amp.IntelI912900KF()}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Balance(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Preprocessing(b *testing.B) {
+	cfg := benchConfig()
+	m := amp.IntelI913900KF()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10(cfg, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Representative(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Machines = []*amp.Machine{amp.IntelI912900KF()}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- kernels
+
+// BenchmarkSpMVCompute measures the real (host wall-clock) multiply of
+// each method on a mid-size matrix: algorithmic overheads, not AMP
+// behaviour (Go cannot pin cores; see DESIGN.md).
+func BenchmarkSpMVCompute(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	a := haspmv.Representative("shipsec1", 16)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, a.Rows)
+	run := func(b *testing.B, h *haspmv.Handle) {
+		b.SetBytes(int64(12 * a.NNZ()))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Multiply(y, x)
+		}
+	}
+	b.Run("HASpMV", func(b *testing.B) {
+		h, err := haspmv.Analyze(m, a, haspmv.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, h)
+	})
+	for _, name := range []string{"csr", "mkl", "csr5", "merge"} {
+		b.Run(name, func(b *testing.B) {
+			h, err := haspmv.AnalyzeBaseline(name, haspmv.PAndE, m, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run(b, h)
+		})
+	}
+}
+
+// BenchmarkPrepare measures the real preprocessing cost (the Figure 10
+// quantity) of each method.
+func BenchmarkPrepare(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	a := haspmv.Representative("webbase-1M", 16)
+	b.Run("HASpMV", func(b *testing.B) {
+		alg := haspmvcore.New(haspmvcore.Options{})
+		for i := 0; i < b.N; i++ {
+			if _, err := alg.Prepare(m, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, name := range []string{"mkl", "csr5", "merge"} {
+		b.Run(name, func(b *testing.B) {
+			alg, err := haspmv.BaselineByName(name, haspmv.PAndE)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := alg.Prepare(m, a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHostTriad measures the host's real triad bandwidth (the native
+// counterpart of Figure 3's model curves).
+func BenchmarkHostTriad(b *testing.B) {
+	const elems = 1 << 21 // 48MB triad footprint
+	b.SetBytes(24 * elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if stream.HostTriad(2, elems, 1) <= 0 {
+			b.Fatal("triad failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------- ablations
+
+// ablationMatrix has diverse row cache costs, the regime where the design
+// choices differ most.
+func ablationMatrix() *haspmv.Matrix {
+	return gen.Representative("rma10", 8)
+}
+
+func simulateHA(b *testing.B, m *haspmv.Machine, a *haspmv.Matrix, opts haspmvcore.Options) float64 {
+	alg := haspmvcore.New(opts)
+	prep, err := alg.Prepare(m, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exec.Simulate(m, costmodel.DefaultParams(), a, prep).Seconds
+}
+
+// BenchmarkAblationCostMetric compares the three balance units of
+// Figure 9 end to end.
+func BenchmarkAblationCostMetric(b *testing.B) {
+	m := amp.IntelI912900KF()
+	a := ablationMatrix()
+	for _, metric := range []haspmvcore.CostMetric{haspmvcore.CacheLineCost, haspmvcore.NNZCost, haspmvcore.RowCost} {
+		b.Run(metric.String(), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = simulateHA(b, m, a, haspmvcore.Options{Metric: metric})
+			}
+			b.ReportMetric(t*1e3, "model-ms")
+		})
+	}
+}
+
+// BenchmarkAblationOneLevel quantifies the two-level split against the
+// homogeneous even split.
+func BenchmarkAblationOneLevel(b *testing.B) {
+	m := amp.IntelI912900KF()
+	a := ablationMatrix()
+	for _, tc := range []struct {
+		name string
+		opts haspmvcore.Options
+	}{
+		{"two-level", haspmvcore.Options{}},
+		{"one-level", haspmvcore.Options{OneLevel: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = simulateHA(b, m, a, tc.opts)
+			}
+			b.ReportMetric(t*1e3, "model-ms")
+		})
+	}
+}
+
+// BenchmarkAblationReorder quantifies the HACSR reorder on a power-law
+// matrix (where hub rows move to the back).
+func BenchmarkAblationReorder(b *testing.B) {
+	m := amp.IntelI912900KF()
+	a := gen.Representative("webbase-1M", 16)
+	for _, tc := range []struct {
+		name string
+		opts haspmvcore.Options
+	}{
+		{"reorder", haspmvcore.Options{}},
+		{"natural-order", haspmvcore.Options{DisableReorder: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = simulateHA(b, m, a, tc.opts)
+			}
+			b.ReportMetric(t*1e3, "model-ms")
+		})
+	}
+}
+
+// BenchmarkAblationProportion sweeps the level-1 split share.
+func BenchmarkAblationProportion(b *testing.B) {
+	m := amp.IntelI912900KF()
+	a := ablationMatrix()
+	for _, prop := range []float64{0.5, 0.6, 0.7, 0.8, 0.9} {
+		b.Run(propName(prop), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = simulateHA(b, m, a, haspmvcore.Options{PProportion: prop})
+			}
+			b.ReportMetric(t*1e3, "model-ms")
+		})
+	}
+}
+
+func propName(p float64) string {
+	return string([]byte{'p', '0' + byte(p*10)%10, '0'})
+}
+
+// BenchmarkAblationBase sweeps the HACSR short/long threshold on a
+// power-law matrix.
+func BenchmarkAblationBase(b *testing.B) {
+	m := amp.IntelI913900KF()
+	a := gen.Representative("webbase-1M", 16)
+	for _, base := range []int{8, 32, 128, 512, 1 << 20} {
+		b.Run(baseName(base), func(b *testing.B) {
+			var t float64
+			for i := 0; i < b.N; i++ {
+				t = simulateHA(b, m, a, haspmvcore.Options{Base: base})
+			}
+			b.ReportMetric(t*1e3, "model-ms")
+		})
+	}
+}
+
+func baseName(base int) string {
+	switch base {
+	case 1 << 20:
+		return "base-inf"
+	case 8:
+		return "base-8"
+	case 32:
+		return "base-32"
+	case 128:
+		return "base-128"
+	default:
+		return "base-512"
+	}
+}

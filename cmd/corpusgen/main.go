@@ -1,0 +1,72 @@
+// Command corpusgen materializes the synthetic matrix corpus (the
+// SuiteSparse stand-in) or the 22 representative Table II matrices as
+// Matrix Market files, so they can be inspected, diffed against real
+// downloads, or fed to other tools.
+//
+//	corpusgen -dir /tmp/corpus -n 50 -maxnnz 1000000
+//	corpusgen -dir /tmp/rep -representative -scale 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"haspmv/internal/gen"
+	"haspmv/internal/mmio"
+	"haspmv/internal/sparse"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	dir := fs.String("dir", "", "output directory (required)")
+	n := fs.Int("n", 30, "corpus size")
+	minNNZ := fs.Int("minnnz", 2000, "smallest matrix nnz")
+	maxNNZ := fs.Int("maxnnz", 500000, "largest matrix nnz")
+	seed := fs.Int64("seed", 20230904, "corpus seed")
+	representative := fs.Bool("representative", false, "write the 22 Table II matrices instead of the corpus")
+	scale := fs.Int("scale", 16, "representative scale divisor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, a *sparse.CSR) error {
+		path := filepath.Join(*dir, name+".mtx")
+		if err := mmio.WriteFile(path, a); err != nil {
+			return err
+		}
+		s := sparse.ComputeRowStats(a)
+		fmt.Printf("%-40s %s\n", path, s)
+		return nil
+	}
+
+	if *representative {
+		for _, name := range gen.RepresentativeNames() {
+			if err := write(name, gen.Representative(name, *scale)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	specs := gen.Corpus(gen.CorpusOptions{Size: *n, MinNNZ: *minNNZ, MaxNNZ: *maxNNZ, Seed: *seed})
+	for _, sp := range specs {
+		if err := write(sp.Name, sp.Generate()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	// Fast experiments only; the heavy sweeps are covered in
+	// internal/bench's tests.
+	for _, exp := range []string{"table1", "table2", "fig9"} {
+		if err := run([]string{"-exp", exp, "-scale", "64"}); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunFlagsAndErrors(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Fatalf("unknown experiment: %v", err)
+	}
+	if err := run([]string{"-machines", "z80"}); err == nil || !strings.Contains(err.Error(), "z80") {
+		t.Fatalf("unknown machine: %v", err)
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	// Machine filtering works with extension presets.
+	if err := run([]string{"-exp", "table1", "-machines", "apple-m2-like,7950X"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-exp", "fig9", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "metric,core,seconds") {
+		t.Fatalf("csv header: %q", string(data[:40]))
+	}
+}
+
+func TestRunSelfcheckScaledMachines(t *testing.T) {
+	if err := run([]string{"-exp", "selfcheck", "-machines", "i9-12900KF"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"haspmv/internal/mmio"
+	"haspmv/internal/sparse"
+)
+
+func writeTestMatrix(t *testing.T) string {
+	t.Helper()
+	a := sparse.FromDense([][]float64{
+		{4, -1, 0},
+		{-1, 4, -1},
+		{0, -1, 4},
+	}, 0)
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := mmio.WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInfoAndConvert(t *testing.T) {
+	path := writeTestMatrix(t)
+	if err := run([]string{path}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.mtx")
+	if err := run([]string{"-convert", out, path}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := mmio.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 7 {
+		t.Fatalf("converted nnz %d", a.NNZ())
+	}
+}
+
+func TestSpMVMode(t *testing.T) {
+	path := writeTestMatrix(t)
+	if err := run([]string{"-spmv", "-machine", "7950X3D", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spmv", "-machine", "vax", path}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"/definitely/missing.mtx"}); err == nil {
+		t.Fatal("nonexistent file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.mtx")
+	if err := os.WriteFile(bad, []byte("not a matrix"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}); err == nil || !strings.Contains(err.Error(), "Matrix Market") {
+		t.Fatalf("malformed file: %v", err)
+	}
+}

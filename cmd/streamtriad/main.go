@@ -1,0 +1,67 @@
+// Command streamtriad runs the Figure 3 micro-benchmark standalone: the
+// McCalpin stream triad priced on one AMP model for the three core
+// compositions, optionally alongside a real host measurement.
+//
+//	streamtriad -machine i9-12900KF -points 24
+//	streamtriad -host -workers 8 -mb 512
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "streamtriad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("streamtriad", flag.ContinueOnError)
+	machine := fs.String("machine", "i9-12900KF", "AMP model to sweep")
+	points := fs.Int("points", 24, "sweep points per configuration")
+	host := fs.Bool("host", false, "also measure the real triad bandwidth of this host")
+	workers := fs.Int("workers", 4, "host triad worker goroutines")
+	mb := fs.Int("mb", 256, "host triad per-array megabytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, ok := amp.ByName(*machine)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	p := costmodel.DefaultParams()
+
+	fmt.Printf("# stream triad on the %s model (GB/s)\n", m.Name)
+	configs := []amp.Config{amp.POnly, amp.EOnly, amp.PAndE}
+	sweeps := make([][]stream.Point, len(configs))
+	for i, cc := range configs {
+		sweeps[i] = stream.Sweep(m, p, cc, *points)
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bytes\t%v\t%v\t%v\n", configs[0], configs[1], configs[2])
+	for k := range sweeps[0] {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n",
+			sweeps[0][k].TotalBytes, sweeps[0][k].GBps, sweeps[1][k].GBps, sweeps[2][k].GBps)
+	}
+	tw.Flush()
+	for _, cc := range configs {
+		fmt.Printf("DRAM plateau %v: %.1f GB/s\n", cc, stream.DRAMPlateau(m, p, cc))
+	}
+
+	if *host {
+		elems := *mb << 20 / 8
+		gbps := stream.HostTriad(*workers, elems, 3)
+		fmt.Printf("\nhost triad (%d workers, %d MB arrays): %.1f GB/s\n", *workers, *mb, gbps)
+	}
+	return nil
+}

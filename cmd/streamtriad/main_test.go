@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestModelSweep(t *testing.T) {
+	for _, machine := range []string{"i9-12900KF", "7950X3D", "apple-m2-like"} {
+		if err := run([]string{"-machine", machine, "-points", "6"}); err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+	}
+}
+
+func TestHostMeasurement(t *testing.T) {
+	if err := run([]string{"-points", "4", "-host", "-workers", "2", "-mb", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{"-machine", "cray-1"}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

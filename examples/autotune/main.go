@@ -1,0 +1,57 @@
+// Autotune: Section III derives HASpMV's P_proportion from
+// micro-benchmarks of the two core groups. This example reproduces that
+// calibration loop programmatically: sweep the proportion on the machine
+// model for a workload matrix, find the best split, and compare it with
+// the closed-form heuristic Analyze uses by default — then show what the
+// tuned value is worth against the heterogeneity-blind even split.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"haspmv"
+)
+
+func main() {
+	for _, machineName := range []string{"i9-12900KF", "i9-13900KF", "7950X3D"} {
+		machine, _ := haspmv.MachineByName(machineName)
+		a := haspmv.Representative("shipsec1", 16)
+
+		best, bestTime := 0.0, 0.0
+		fmt.Printf("\n# %s, shipsec1@1/16 (%d nnz): P-proportion sweep\n", machineName, a.NNZ())
+		fmt.Println("prop   time(ms)  GFlops")
+		for prop := 0.30; prop <= 0.901; prop += 0.05 {
+			h, err := haspmv.Analyze(machine, a, haspmv.Options{PProportion: prop})
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := h.Simulate(nil)
+			marker := ""
+			if bestTime == 0 || r.Seconds < bestTime {
+				best, bestTime = prop, r.Seconds
+				marker = "  <- best so far"
+			}
+			fmt.Printf("%.2f   %.4f    %.2f%s\n", prop, 1e3*r.Seconds, r.GFlops, marker)
+		}
+
+		auto := haspmv.ProportionFor(machine, a)
+		hAuto, err := haspmv.Analyze(machine, a, haspmv.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		autoTime := hAuto.Simulate(nil).Seconds
+
+		hEven, err := haspmv.Analyze(machine, a, haspmv.Options{OneLevel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		evenTime := hEven.Simulate(nil).Seconds
+
+		fmt.Printf("swept best: %.2f (%.4f ms)\n", best, 1e3*bestTime)
+		fmt.Printf("heuristic:  %.2f (%.4f ms, %.1f%% off the swept best)\n",
+			auto, 1e3*autoTime, 100*(autoTime-bestTime)/bestTime)
+		fmt.Printf("even split: %.4f ms -> tuned split is %.2fx faster\n",
+			1e3*evenTime, evenTime/bestTime)
+	}
+}

@@ -1,0 +1,3 @@
+module haspmv
+
+go 1.22

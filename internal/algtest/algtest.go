@@ -1,0 +1,77 @@
+// Package algtest adapts the testing-free correctness protocol of
+// internal/verify to the test suite: battery sweeps, single-matrix checks
+// and randomized property checks that fail the running test.
+package algtest
+
+import (
+	"math/rand"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+	"haspmv/internal/verify"
+)
+
+// Tolerance mirrors verify.Tolerance for existing callers.
+const Tolerance = verify.Tolerance
+
+// Battery returns the standard adversarial matrix set.
+func Battery() []verify.Case { return verify.Battery() }
+
+// Matrix returns the battery matrix with the given name.
+func Matrix(name string) *sparse.CSR { return verify.Matrix(name) }
+
+// CheckAlgorithm runs the full battery against alg on machine m: results
+// must match the serial reference and assignments must cover each nonzero
+// exactly once.
+func CheckAlgorithm(t *testing.T, alg exec.Algorithm, m *amp.Machine) {
+	t.Helper()
+	for _, tc := range verify.Battery() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			CheckOnMatrix(t, alg, m, tc.A)
+		})
+	}
+}
+
+// CheckOnMatrix verifies alg on a single matrix, failing the test on any
+// protocol violation.
+func CheckOnMatrix(t *testing.T, alg exec.Algorithm, m *amp.Machine, a *sparse.CSR) {
+	t.Helper()
+	if err := verify.OnMatrix(alg, m, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CheckProperty runs randomized matrices through alg (a property test to
+// call from testing/quick or a loop).
+func CheckProperty(t *testing.T, alg exec.Algorithm, m *amp.Machine, trials int) {
+	t.Helper()
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(trial)*7919 + 11
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(800)
+		sp := gen.Spec{
+			Name: "prop", Rows: rows, Cols: 1 + r.Intn(800),
+			TargetNNZ: 1 + r.Intn(rows*8),
+			Dist:      gen.UniformLen{Min: 0, Max: 16},
+			Place:     gen.Placement(r.Intn(4)),
+			Seed:      seed,
+		}
+		a := sp.Generate()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("%s: panic on seed %d (%dx%d nnz %d): %v",
+						alg.Name(), seed, a.Rows, a.Cols, a.NNZ(), p)
+				}
+			}()
+			CheckOnMatrix(t, alg, m, a)
+		}()
+		if t.Failed() {
+			t.Fatalf("seed %d (%dx%d nnz %d)", seed, a.Rows, a.Cols, a.NNZ())
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package amp describes asymmetric multicore processors (AMPs) — the
+// machines of the paper's Table I. A Machine is a set of CoreGroups; each
+// group has homogeneous cores (frequency, SIMD width, private caches) and
+// the groups share a last-level cache and DRAM. The descriptions drive the
+// deterministic performance model in internal/costmodel and internal/exec,
+// which substitutes for the physical i9-12900KF, i9-13900KF, Ryzen 9
+// 7950X3D and 7950X used by the paper (see DESIGN.md, substitution table).
+package amp
+
+import "fmt"
+
+// CoreKind distinguishes the two classes of cores in an AMP.
+type CoreKind int
+
+const (
+	// Performance marks the fast group: Intel P-cores, AMD CCD0.
+	Performance CoreKind = iota
+	// Efficiency marks the slow/dense group: Intel E-cores, AMD CCD1.
+	Efficiency
+)
+
+func (k CoreKind) String() string {
+	if k == Performance {
+		return "P"
+	}
+	return "E"
+}
+
+// CoreGroup describes one homogeneous cluster of cores.
+type CoreGroup struct {
+	Kind  CoreKind
+	Name  string // "P-core", "E-core", "CCD0", "CCD1"
+	Cores int
+
+	// FreqGHz is the sustained all-core frequency in GHz. The model uses
+	// the sustained clock, not the single-core boost, because SpMV runs
+	// all cores of the group.
+	FreqGHz float64
+	// SIMDLanes is the number of float64 FMA lanes per cycle (4 for
+	// AVX2-class P-cores, fewer for E-cores with a narrower backend).
+	SIMDLanes int
+	// IPCScalar approximates non-SIMD instructions retired per cycle,
+	// used for the scalar bookkeeping portion of the kernels.
+	IPCScalar float64
+
+	// L1DBytes and L2Bytes are per-core private cache capacities.
+	// L2SharedBy > 1 means L2 is shared by clusters of that many cores
+	// (Intel E-cores share one L2 per 4-core cluster).
+	L1DBytes   int
+	L2Bytes    int
+	L2SharedBy int
+
+	// L3Bytes is this group's slice of last-level cache. On Intel the LLC
+	// is one shared pool (both groups carry the full size and the model
+	// treats it as shared); on AMD each CCD has its own L3, and CCD0 of
+	// the 7950X3D adds the 64MB 3D V-Cache.
+	L3Bytes int
+	// L3SharedWithOtherGroup is true when the LLC is one chip-wide pool
+	// (Intel) rather than per-group (AMD CCDs).
+	L3SharedWithOtherGroup bool
+
+	// MemBWGBps is the peak DRAM bandwidth one core of this group can
+	// draw, and GroupMemBWGBps the ceiling for the whole group (per-CCD
+	// fabric limits on AMD; ring-stop limits on Intel E-core clusters).
+	MemBWGBps      float64
+	GroupMemBWGBps float64
+
+	// L1BPC/L2BPC/L3BPC are per-core cache bandwidths in bytes per cycle
+	// (multiplied by FreqGHz to get GB/s). They are properties of the
+	// core microarchitecture, not of the P/E role: AMD's CCD1 is the
+	// "efficiency" group only by cache capacity, and keeps Zen 4
+	// bandwidth.
+	L1BPC, L2BPC, L3BPC float64
+
+	// ActiveWatts is one core's package power at full SpMV load. The
+	// energy extension (EstimateSpMV's Joules output) uses it; the
+	// asymmetry between P- and E-core power is the reason AMPs exist
+	// (Kumar et al., MICRO'03).
+	ActiveWatts float64
+}
+
+// Machine is a complete AMP description.
+type Machine struct {
+	Name string
+	// Groups[0] must be the Performance group, Groups[1] the Efficiency
+	// group, matching the paper's P/E and CCD0/CCD1 naming.
+	Groups [2]CoreGroup
+	// DRAMBWGBps is the chip-wide DRAM bandwidth ceiling (all cores
+	// combined can never exceed it).
+	DRAMBWGBps float64
+	// DRAMLatencyNs is the idle DRAM access latency.
+	DRAMLatencyNs float64
+	// CacheLineBytes is 64 on every modern x86 part.
+	CacheLineBytes int
+	// UncoreWatts is the package power of the shared fabric (ring/IOD,
+	// memory controller, L3) drawn for the duration of a kernel
+	// regardless of which cores run it.
+	UncoreWatts float64
+}
+
+// TotalCores returns the number of cores across both groups.
+func (m *Machine) TotalCores() int { return m.Groups[0].Cores + m.Groups[1].Cores }
+
+// PGroup returns the performance group (P-cores / CCD0).
+func (m *Machine) PGroup() *CoreGroup { return &m.Groups[0] }
+
+// EGroup returns the efficiency group (E-cores / CCD1).
+func (m *Machine) EGroup() *CoreGroup { return &m.Groups[1] }
+
+// GroupOf maps a flat core id (0..TotalCores-1, P-group first) to its group
+// and the index within the group.
+func (m *Machine) GroupOf(core int) (g *CoreGroup, idx int) {
+	if core < 0 || core >= m.TotalCores() {
+		panic(fmt.Sprintf("amp: core %d out of range on %s", core, m.Name))
+	}
+	if core < m.Groups[0].Cores {
+		return &m.Groups[0], core
+	}
+	return &m.Groups[1], core - m.Groups[0].Cores
+}
+
+// Validate checks internal consistency of the description.
+func (m *Machine) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("amp: machine has no name")
+	}
+	if m.CacheLineBytes <= 0 {
+		return fmt.Errorf("amp: %s: cache line %d", m.Name, m.CacheLineBytes)
+	}
+	if m.DRAMBWGBps <= 0 {
+		return fmt.Errorf("amp: %s: DRAM bandwidth %v", m.Name, m.DRAMBWGBps)
+	}
+	if m.UncoreWatts <= 0 {
+		return fmt.Errorf("amp: %s: bad uncore power", m.Name)
+	}
+	if m.Groups[0].Kind != Performance || m.Groups[1].Kind != Efficiency {
+		return fmt.Errorf("amp: %s: group order must be [Performance, Efficiency]", m.Name)
+	}
+	for gi := range m.Groups {
+		g := &m.Groups[gi]
+		if g.Cores <= 0 {
+			return fmt.Errorf("amp: %s/%s: %d cores", m.Name, g.Name, g.Cores)
+		}
+		if g.FreqGHz <= 0 || g.SIMDLanes <= 0 || g.IPCScalar <= 0 {
+			return fmt.Errorf("amp: %s/%s: non-positive compute rates", m.Name, g.Name)
+		}
+		if g.L1DBytes <= 0 || g.L2Bytes <= 0 || g.L3Bytes < 0 {
+			return fmt.Errorf("amp: %s/%s: bad cache sizes", m.Name, g.Name)
+		}
+		if g.L2SharedBy < 1 {
+			return fmt.Errorf("amp: %s/%s: L2SharedBy %d", m.Name, g.Name, g.L2SharedBy)
+		}
+		if g.MemBWGBps <= 0 || g.GroupMemBWGBps <= 0 {
+			return fmt.Errorf("amp: %s/%s: bad bandwidth", m.Name, g.Name)
+		}
+		if g.L1BPC <= 0 || g.L2BPC <= 0 || g.L3BPC <= 0 {
+			return fmt.Errorf("amp: %s/%s: bad cache bandwidth", m.Name, g.Name)
+		}
+		if g.ActiveWatts <= 0 {
+			return fmt.Errorf("amp: %s/%s: bad core power", m.Name, g.Name)
+		}
+	}
+	return nil
+}
+
+// Config names a core-composition used by the micro-benchmarks: only the
+// fast group, only the slow group, or both (the three lines of Figures 3
+// and 4).
+type Config int
+
+const (
+	// PAndE is the zero value: by default both groups participate.
+	PAndE Config = iota
+	POnly
+	EOnly
+)
+
+func (c Config) String() string {
+	switch c {
+	case POnly:
+		return "P-only"
+	case EOnly:
+		return "E-only"
+	case PAndE:
+		return "P+E"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}
+
+// Cores returns the flat core ids selected by the config.
+func (m *Machine) Cores(c Config) []int {
+	p := m.Groups[0].Cores
+	e := m.Groups[1].Cores
+	switch c {
+	case POnly:
+		ids := make([]int, p)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	case EOnly:
+		ids := make([]int, e)
+		for i := range ids {
+			ids[i] = p + i
+		}
+		return ids
+	case PAndE:
+		ids := make([]int, p+e)
+		for i := range ids {
+			ids[i] = i
+		}
+		return ids
+	default:
+		panic("amp: unknown config")
+	}
+}

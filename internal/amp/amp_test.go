@@ -1,0 +1,192 @@
+package amp
+
+import "testing"
+
+// TestTableIPresets pins the published Table I specifications: core counts,
+// cache capacities and memory generation for all four machines.
+func TestTableIPresets(t *testing.T) {
+	cases := []struct {
+		name           string
+		pCores, eCores int
+		pL1, eL1       int
+		pL2, eL2       int
+		pL3, eL3       int
+		l3Shared       bool
+	}{
+		{"i9-12900KF", 8, 8, 48 * kb, 32 * kb, 1280 * kb, 2 * mb, 30 * mb, 30 * mb, true},
+		{"i9-13900KF", 8, 16, 48 * kb, 32 * kb, 2 * mb, 4 * mb, 36 * mb, 36 * mb, true},
+		{"7950X3D", 8, 8, 32 * kb, 32 * kb, 1 * mb, 1 * mb, 96 * mb, 32 * mb, false},
+		{"7950X", 8, 8, 32 * kb, 32 * kb, 1 * mb, 1 * mb, 32 * mb, 32 * mb, false},
+	}
+	for _, tc := range cases {
+		m, ok := ByName(tc.name)
+		if !ok {
+			t.Fatalf("%s: preset missing", tc.name)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		p, e := m.PGroup(), m.EGroup()
+		if p.Cores != tc.pCores || e.Cores != tc.eCores {
+			t.Errorf("%s: cores %d+%d, want %d+%d", tc.name, p.Cores, e.Cores, tc.pCores, tc.eCores)
+		}
+		if p.L1DBytes != tc.pL1 || e.L1DBytes != tc.eL1 {
+			t.Errorf("%s: L1 %d/%d, want %d/%d", tc.name, p.L1DBytes, e.L1DBytes, tc.pL1, tc.eL1)
+		}
+		if p.L2Bytes != tc.pL2 || e.L2Bytes != tc.eL2 {
+			t.Errorf("%s: L2 %d/%d, want %d/%d", tc.name, p.L2Bytes, e.L2Bytes, tc.pL2, tc.eL2)
+		}
+		if p.L3Bytes != tc.pL3 || e.L3Bytes != tc.eL3 {
+			t.Errorf("%s: L3 %d/%d, want %d/%d", tc.name, p.L3Bytes, e.L3Bytes, tc.pL3, tc.eL3)
+		}
+		if p.L3SharedWithOtherGroup != tc.l3Shared {
+			t.Errorf("%s: L3 sharing = %v", tc.name, p.L3SharedWithOtherGroup)
+		}
+		if m.CacheLineBytes != 64 {
+			t.Errorf("%s: cache line %d", tc.name, m.CacheLineBytes)
+		}
+	}
+}
+
+func TestX3DDiffersOnlyInL3(t *testing.T) {
+	x3d := AMDRyzen97950X3D()
+	x := AMDRyzen97950X()
+	if x3d.PGroup().L3Bytes != 96*mb || x.PGroup().L3Bytes != 32*mb {
+		t.Fatal("V-Cache sizes wrong")
+	}
+	// Everything else must be identical (the paper equalizes frequencies).
+	a, b := *x3d.PGroup(), *x.PGroup()
+	a.L3Bytes, b.L3Bytes = 0, 0
+	if a != b {
+		t.Fatalf("CCD0 differs beyond L3: %+v vs %+v", a, b)
+	}
+	if *x3d.EGroup() != *x.EGroup() {
+		t.Fatal("CCD1 should be identical")
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	m := IntelI913900KF()
+	g, idx := m.GroupOf(0)
+	if g.Kind != Performance || idx != 0 {
+		t.Fatalf("core 0 -> %v/%d", g.Kind, idx)
+	}
+	g, idx = m.GroupOf(7)
+	if g.Kind != Performance || idx != 7 {
+		t.Fatalf("core 7 -> %v/%d", g.Kind, idx)
+	}
+	g, idx = m.GroupOf(8)
+	if g.Kind != Efficiency || idx != 0 {
+		t.Fatalf("core 8 -> %v/%d", g.Kind, idx)
+	}
+	g, idx = m.GroupOf(23)
+	if g.Kind != Efficiency || idx != 15 {
+		t.Fatalf("core 23 -> %v/%d", g.Kind, idx)
+	}
+	for _, bad := range []int{-1, 24} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("GroupOf(%d) did not panic", bad)
+				}
+			}()
+			m.GroupOf(bad)
+		}()
+	}
+}
+
+func TestConfigCores(t *testing.T) {
+	m := IntelI912900KF()
+	if got := m.Cores(POnly); len(got) != 8 || got[0] != 0 || got[7] != 7 {
+		t.Fatalf("POnly = %v", got)
+	}
+	if got := m.Cores(EOnly); len(got) != 8 || got[0] != 8 || got[7] != 15 {
+		t.Fatalf("EOnly = %v", got)
+	}
+	if got := m.Cores(PAndE); len(got) != 16 {
+		t.Fatalf("PAndE = %v", got)
+	}
+	if m.TotalCores() != 16 {
+		t.Fatalf("TotalCores = %d", m.TotalCores())
+	}
+}
+
+func TestConfigAndKindStrings(t *testing.T) {
+	if POnly.String() != "P-only" || EOnly.String() != "E-only" || PAndE.String() != "P+E" {
+		t.Fatal("config strings")
+	}
+	if Config(9).String() == "" {
+		t.Fatal("unknown config string empty")
+	}
+	if Performance.String() != "P" || Efficiency.String() != "E" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mods := []func(*Machine){
+		func(m *Machine) { m.Name = "" },
+		func(m *Machine) { m.CacheLineBytes = 0 },
+		func(m *Machine) { m.DRAMBWGBps = 0 },
+		func(m *Machine) { m.Groups[0].Kind = Efficiency },
+		func(m *Machine) { m.Groups[1].Cores = 0 },
+		func(m *Machine) { m.Groups[0].FreqGHz = -1 },
+		func(m *Machine) { m.Groups[0].SIMDLanes = 0 },
+		func(m *Machine) { m.Groups[1].L1DBytes = 0 },
+		func(m *Machine) { m.Groups[1].L2SharedBy = 0 },
+		func(m *Machine) { m.Groups[0].MemBWGBps = 0 },
+		func(m *Machine) { m.Groups[0].IPCScalar = 0 },
+		func(m *Machine) { m.Groups[0].L3Bytes = -1 },
+	}
+	for i, mod := range mods {
+		m := IntelI912900KF()
+		mod(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("486DX"); ok {
+		t.Fatal("found unknown machine")
+	}
+	if len(All()) != 4 {
+		t.Fatal("All() must list the four Table I machines")
+	}
+}
+
+// The 13900KF must narrow the E-group gap relative to the 12900KF: the
+// paper attributes the P+E wins on 13th gen to the doubled E-core count.
+func TestEGroupScalingAcrossGenerations(t *testing.T) {
+	g12 := IntelI912900KF()
+	g13 := IntelI913900KF()
+	ratio12 := float64(g12.EGroup().Cores) / float64(g12.PGroup().Cores)
+	ratio13 := float64(g13.EGroup().Cores) / float64(g13.PGroup().Cores)
+	if ratio13 <= ratio12 {
+		t.Fatalf("13900KF E/P core ratio %v not above 12900KF %v", ratio13, ratio12)
+	}
+}
+
+func TestExtensionPresetsValid(t *testing.T) {
+	for _, m := range []*Machine{AppleM2Like(), ARMBigLittleLike()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if AppleM2Like().CacheLineBytes != 128 {
+		t.Error("Apple parts use 128B cache lines")
+	}
+	if len(AllWithExtensions()) != 6 {
+		t.Error("extension roster")
+	}
+	if _, ok := ByName("apple-m2-like"); !ok {
+		t.Error("extension preset not resolvable by name")
+	}
+	// The power asymmetry must be extreme on mobile: LITTLE cores under
+	// a fifth of a big core's power.
+	bl := ARMBigLittleLike()
+	if bl.EGroup().ActiveWatts*5 > bl.PGroup().ActiveWatts {
+		t.Error("big.LITTLE power asymmetry too small")
+	}
+}

@@ -1,0 +1,148 @@
+package amp
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// The four Table I machines. Frequencies are sustained all-core clocks
+// (SpMV loads every core of a group); SIMDLanes counts double-precision
+// FMA results per cycle (Golden Cove and Raptor Cove retire 2x256-bit FMA
+// = 8, Gracemont 1x128-bit-pair = 2, Zen 4 2x256-bit = 8). Bandwidth
+// ceilings reflect the DDR5 configuration in Table I and the fabric limits
+// that make a single group unable to saturate the chip (the effect behind
+// Figure 3's P-only vs P+E curves).
+
+// IntelI912900KF models the 12th-Gen Intel Core i9-12900KF:
+// 8 P-cores + 8 E-cores, 30MB shared L3, DDR5-4800.
+func IntelI912900KF() *Machine {
+	return &Machine{
+		Name: "i9-12900KF",
+		Groups: [2]CoreGroup{
+			{
+				Kind: Performance, Name: "P-core", Cores: 8,
+				FreqGHz: 4.9, SIMDLanes: 8, IPCScalar: 4,
+				L1DBytes: 48 * kb, L2Bytes: 1280 * kb, L2SharedBy: 1,
+				L3Bytes: 30 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 26, GroupMemBWGBps: 72,
+				L1BPC: 64, L2BPC: 24, L3BPC: 12,
+				ActiveWatts: 13,
+			},
+			{
+				Kind: Efficiency, Name: "E-core", Cores: 8,
+				FreqGHz: 3.7, SIMDLanes: 2, IPCScalar: 2,
+				L1DBytes: 32 * kb, L2Bytes: 2 * mb, L2SharedBy: 4,
+				L3Bytes: 30 * mb, L3SharedWithOtherGroup: true,
+				// A lone Gracemont core draws competitive DRAM bandwidth
+				// (Fig. 5: P/E converge on very long rows on this part);
+				// the cluster fabric caps the group well below 8x that.
+				MemBWGBps: 20, GroupMemBWGBps: 52,
+				L1BPC: 32, L2BPC: 12, L3BPC: 8,
+				ActiveWatts: 4,
+			},
+		},
+		DRAMBWGBps:     76.8 * 0.88, // DDR5-4800 dual channel, ~88% achievable
+		DRAMLatencyNs:  80,
+		UncoreWatts:    18,
+		CacheLineBytes: 64,
+	}
+}
+
+// IntelI913900KF models the 13th-Gen Intel Core i9-13900KF:
+// 8 P-cores + 16 E-cores, 36MB shared L3, DDR5-5600. The doubled E-core
+// count narrows the P/E group gap (the paper's Fig. 4 observation that 739
+// of 2888 matrices run faster on P+E than pure P on this part).
+func IntelI913900KF() *Machine {
+	return &Machine{
+		Name: "i9-13900KF",
+		Groups: [2]CoreGroup{
+			{
+				Kind: Performance, Name: "P-core", Cores: 8,
+				FreqGHz: 5.2, SIMDLanes: 8, IPCScalar: 4,
+				L1DBytes: 48 * kb, L2Bytes: 2 * mb, L2SharedBy: 1,
+				L3Bytes: 36 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 28, GroupMemBWGBps: 82,
+				L1BPC: 64, L2BPC: 24, L3BPC: 12,
+				ActiveWatts: 14,
+			},
+			{
+				Kind: Efficiency, Name: "E-core", Cores: 16,
+				FreqGHz: 3.9, SIMDLanes: 2, IPCScalar: 2,
+				L1DBytes: 32 * kb, L2Bytes: 4 * mb, L2SharedBy: 4,
+				L3Bytes: 36 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 12, GroupMemBWGBps: 68,
+				L1BPC: 32, L2BPC: 12, L3BPC: 8,
+				ActiveWatts: 4.5,
+			},
+		},
+		DRAMBWGBps:     89.6 * 0.88, // DDR5-5600 dual channel
+		DRAMLatencyNs:  78,
+		UncoreWatts:    20,
+		CacheLineBytes: 64,
+	}
+}
+
+// AMDRyzen97950X3D models the Ryzen 9 7950X3D: two 8-core Zen 4 CCDs with
+// identical compute, but CCD0 stacks 64MB of 3D V-Cache on its 32MB L3
+// (96MB total) while CCD1 keeps 32MB. Frequencies are equalized as in the
+// paper's experimental setup.
+func AMDRyzen97950X3D() *Machine {
+	return &Machine{
+		Name: "7950X3D",
+		Groups: [2]CoreGroup{
+			{
+				Kind: Performance, Name: "CCD0", Cores: 8,
+				FreqGHz: 4.6, SIMDLanes: 8, IPCScalar: 4,
+				L1DBytes: 32 * kb, L2Bytes: 1 * mb, L2SharedBy: 1,
+				L3Bytes: 96 * mb, L3SharedWithOtherGroup: false,
+				MemBWGBps: 26, GroupMemBWGBps: 62,
+				L1BPC: 64, L2BPC: 24, L3BPC: 14,
+				ActiveWatts: 9,
+			},
+			{
+				Kind: Efficiency, Name: "CCD1", Cores: 8,
+				FreqGHz: 4.6, SIMDLanes: 8, IPCScalar: 4,
+				L1DBytes: 32 * kb, L2Bytes: 1 * mb, L2SharedBy: 1,
+				L3Bytes: 32 * mb, L3SharedWithOtherGroup: false,
+				MemBWGBps: 26, GroupMemBWGBps: 62,
+				L1BPC: 64, L2BPC: 24, L3BPC: 14,
+				ActiveWatts: 9,
+			},
+		},
+		DRAMBWGBps:     76.8 * 0.88,
+		DRAMLatencyNs:  85,
+		UncoreWatts:    22, // dual-CCD IOD
+		CacheLineBytes: 64,
+	}
+}
+
+// AMDRyzen97950X is the homogeneous sibling of the 7950X3D: both CCDs
+// carry the plain 32MB L3. The paper uses it as the control to isolate the
+// V-Cache effect.
+func AMDRyzen97950X() *Machine {
+	m := AMDRyzen97950X3D()
+	m.Name = "7950X"
+	m.Groups[0].L3Bytes = 32 * mb
+	return m
+}
+
+// All returns the four Table I machines in paper order.
+func All() []*Machine {
+	return []*Machine{
+		IntelI912900KF(),
+		IntelI913900KF(),
+		AMDRyzen97950X3D(),
+		AMDRyzen97950X(),
+	}
+}
+
+// ByName looks up a preset by name — the four Table I parts plus the
+// extension presets; ok is false for unknown names.
+func ByName(name string) (*Machine, bool) {
+	for _, m := range AllWithExtensions() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,83 @@
+package amp
+
+// Extension presets beyond the paper's Table I: the other two single-ISA
+// AMP families the introduction cites — Apple's P/E designs and ARM
+// big.LITTLE — expressed in the same machine model. They are not part of
+// the reproduction experiments (the paper evaluates only the four x86
+// parts) but demonstrate that the algorithm and simulator generalize;
+// cmd/haspmv-bench accepts them through -machines.
+
+// AppleM2Like models an M2-class part: 4 avalanche-style P-cores sharing
+// a 16MB L2 (no per-core private L2; the model folds the shared L2 into
+// L3 and gives each core a generous L1), 4 blizzard-style E-cores with a
+// 4MB shared L2, and a very wide unified-memory interface — the trait
+// that makes Apple AMPs forgiving of heterogeneity-blind splits.
+func AppleM2Like() *Machine {
+	return &Machine{
+		Name: "apple-m2-like",
+		Groups: [2]CoreGroup{
+			{
+				Kind: Performance, Name: "P-cluster", Cores: 4,
+				FreqGHz: 3.5, SIMDLanes: 8, IPCScalar: 5,
+				L1DBytes: 128 * kb, L2Bytes: 4 * mb, L2SharedBy: 1,
+				L3Bytes: 16 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 60, GroupMemBWGBps: 90,
+				L1BPC: 96, L2BPC: 32, L3BPC: 20,
+				ActiveWatts: 6,
+			},
+			{
+				Kind: Efficiency, Name: "E-cluster", Cores: 4,
+				FreqGHz: 2.4, SIMDLanes: 4, IPCScalar: 3,
+				L1DBytes: 64 * kb, L2Bytes: 4 * mb, L2SharedBy: 4,
+				L3Bytes: 16 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 30, GroupMemBWGBps: 50,
+				L1BPC: 48, L2BPC: 16, L3BPC: 12,
+				ActiveWatts: 1.5,
+			},
+		},
+		DRAMBWGBps:     100, // unified memory
+		DRAMLatencyNs:  95,
+		CacheLineBytes: 128, // Apple uses 128B lines
+		UncoreWatts:    8,
+	}
+}
+
+// ARMBigLittleLike models a contemporary big.LITTLE mobile SoC: four
+// Cortex-X/A7x-class big cores and four in-order A5x-class LITTLE cores
+// on a narrow LPDDR interface. The LITTLE cores are far weaker than
+// Intel's E-cores, making the heterogeneity-aware split even more
+// valuable — and the energy asymmetry extreme.
+func ARMBigLittleLike() *Machine {
+	return &Machine{
+		Name: "arm-biglittle-like",
+		Groups: [2]CoreGroup{
+			{
+				Kind: Performance, Name: "big", Cores: 4,
+				FreqGHz: 3.0, SIMDLanes: 4, IPCScalar: 4,
+				L1DBytes: 64 * kb, L2Bytes: 1 * mb, L2SharedBy: 1,
+				L3Bytes: 8 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 18, GroupMemBWGBps: 40,
+				L1BPC: 48, L2BPC: 20, L3BPC: 10,
+				ActiveWatts: 3.5,
+			},
+			{
+				Kind: Efficiency, Name: "LITTLE", Cores: 4,
+				FreqGHz: 1.8, SIMDLanes: 2, IPCScalar: 1.2,
+				L1DBytes: 32 * kb, L2Bytes: 512 * kb, L2SharedBy: 4,
+				L3Bytes: 8 * mb, L3SharedWithOtherGroup: true,
+				MemBWGBps: 8, GroupMemBWGBps: 20,
+				L1BPC: 16, L2BPC: 8, L3BPC: 6,
+				ActiveWatts: 0.6,
+			},
+		},
+		DRAMBWGBps:     48, // LPDDR5
+		DRAMLatencyNs:  110,
+		CacheLineBytes: 64,
+		UncoreWatts:    3,
+	}
+}
+
+// AllWithExtensions returns Table I's machines plus the extension presets.
+func AllWithExtensions() []*Machine {
+	return append(All(), AppleM2Like(), ARMBigLittleLike())
+}

@@ -1,0 +1,349 @@
+// Package csr5 implements the CSR5 storage format and its SpMV (Liu &
+// Vinter, ICS'15), the paper's strongest open-source baseline. The nonzero
+// stream is partitioned into fixed-size tiles of omega x sigma entries;
+// each tile carries a bit flag marking where rows begin, and SpMV runs a
+// bit-flag-driven segmented sum over each tile with carry resolution
+// between tiles and threads. Tiles are distributed evenly over cores, so
+// the nnz balance is perfect — but, like Merge-SpMV, the split is
+// heterogeneity-blind.
+//
+// As in the original, each tile stores its values and column indices
+// transposed (column-major: lane l holds entries l*sigma..l*sigma+sigma-1
+// of the tile, interleaved), which is what lets AVX2 lanes advance in
+// lock-step; building that layout is the dominant conversion cost the
+// paper's Figure 10 charges CSR5 for. The y_offset/seg_offset companion
+// arrays of the original exist to parallelize the prefix sums across
+// lanes; the scalar executor resolves segments directly from the bit
+// flags, which computes the same sums in the same tile order.
+package csr5
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/sparse"
+)
+
+// Omega is the SIMD lane count (4 doubles in AVX2).
+const Omega = 4
+
+// New builds the algorithm for the given core composition with the sigma
+// heuristic of the original (sigma grows with the average row length,
+// clamped to [4, 32]). sigmaOverride > 0 fixes sigma for tests/ablations.
+func New(cfg amp.Config) exec.Algorithm { return &alg{cfg: cfg} }
+
+// NewWithSigma fixes the tile height, for tests and ablation benches.
+func NewWithSigma(cfg amp.Config, sigma int) exec.Algorithm {
+	return &alg{cfg: cfg, sigma: sigma}
+}
+
+type alg struct {
+	cfg   amp.Config
+	sigma int
+}
+
+func (a *alg) Name() string { return fmt.Sprintf("CSR5(%v)", a.cfg) }
+
+func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	sigma := a.sigma
+	if sigma <= 0 {
+		sigma = sigmaHeuristic(mat)
+	}
+	tileNNZ := Omega * sigma
+	nnz := mat.NNZ()
+	ntiles := nnz / tileNNZ
+
+	p := &prepared{
+		mat:     mat,
+		cores:   m.Cores(a.cfg),
+		sigma:   sigma,
+		tileNNZ: tileNNZ,
+		ntiles:  ntiles,
+	}
+
+	// Transposed tile storage: original tile position p = lane*sigma+off
+	// lands at off*Omega+lane, so the four lanes' entries interleave.
+	p.tileVal = make([]float64, ntiles*tileNNZ)
+	p.tileCol = make([]int, ntiles*tileNNZ)
+	for t := 0; t < ntiles; t++ {
+		base := t * tileNNZ
+		for pp := 0; pp < tileNNZ; pp++ {
+			idx := base + (pp%sigma)*Omega + pp/sigma
+			p.tileVal[idx] = mat.Val[base+pp]
+			p.tileCol[idx] = mat.ColIdx[base+pp]
+		}
+	}
+
+	// tileStartRow[i]: the row containing the tile's first nonzero. The
+	// extra entry covers the scalar tail.
+	p.tileStartRow = make([]int, ntiles+1)
+	words := (tileNNZ + 63) / 64
+	p.bitFlag = make([]uint64, ntiles*words)
+	p.flagWords = words
+
+	row := 0
+	for tile := 0; tile < ntiles; tile++ {
+		base := tile * tileNNZ
+		for mat.RowPtr[row+1] <= base {
+			row++
+		}
+		p.tileStartRow[tile] = row
+		// Mark row starts within the tile (including one at the tile base).
+		r := sort.SearchInts(mat.RowPtr, base) // first row starting at or after base
+		for ; r <= mat.Rows; r++ {
+			start := mat.RowPtr[r]
+			if start >= base+tileNNZ {
+				break
+			}
+			// Only rows that actually own nonzeros produce a flag (empty
+			// rows share their RowPtr with the next row).
+			if r < mat.Rows && mat.RowPtr[r+1] > start {
+				w := (start - base) / 64
+				b := (start - base) % 64
+				p.bitFlag[tile*words+w] |= 1 << b
+			}
+		}
+	}
+	if ntiles > 0 {
+		base := ntiles * tileNNZ
+		for row < mat.Rows && mat.RowPtr[row+1] <= base {
+			row++
+		}
+	}
+	p.tileStartRow[ntiles] = row // first row of the scalar tail
+
+	// Even tile split across cores; the last core also takes the tail.
+	n := len(p.cores)
+	p.tileBounds = make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		p.tileBounds[i] = ntiles * i / n
+	}
+	return p, nil
+}
+
+// sigmaHeuristic follows the original's rule of thumb: taller tiles for
+// matrices with longer rows.
+func sigmaHeuristic(mat *sparse.CSR) int {
+	if mat.Rows == 0 {
+		return 4
+	}
+	avg := mat.NNZ() / mat.Rows
+	switch {
+	case avg <= 4:
+		return 4
+	case avg <= 16:
+		return 8
+	case avg <= 64:
+		return 16
+	default:
+		return 32
+	}
+}
+
+type prepared struct {
+	mat          *sparse.CSR
+	cores        []int
+	sigma        int
+	tileNNZ      int
+	ntiles       int
+	flagWords    int
+	bitFlag      []uint64
+	tileStartRow []int
+	tileBounds   []int
+	// tileVal/tileCol hold the transposed (column-major) tile entries;
+	// the scalar tail past ntiles*tileNNZ stays in the CSR arrays.
+	tileVal []float64
+	tileCol []int
+}
+
+// dotRange sums val*x over logical positions [k0, k1), reading the
+// transposed tile storage for the tiled region and the CSR arrays for the
+// tail.
+func (p *prepared) dotRange(x []float64, k0, k1 int) float64 {
+	sum := 0.0
+	tiled := p.ntiles * p.tileNNZ
+	k := k0
+	for k < k1 && k < tiled {
+		t := k / p.tileNNZ
+		pp := k - t*p.tileNNZ
+		end := k1
+		if tileEnd := (t + 1) * p.tileNNZ; end > tileEnd {
+			end = tileEnd
+		}
+		base := t * p.tileNNZ
+		// Walk the transposed layout incrementally: position pp =
+		// lane*sigma + off lives at off*Omega + lane, so advancing pp
+		// steps the index by Omega until off wraps.
+		off := pp % p.sigma
+		lane := pp / p.sigma
+		idx := base + off*Omega + lane
+		for ; k < end; k++ {
+			sum += p.tileVal[idx] * x[p.tileCol[idx]]
+			off++
+			if off == p.sigma {
+				off = 0
+				lane++
+				idx = base + lane
+			} else {
+				idx += Omega
+			}
+		}
+	}
+	if k < k0 {
+		k = k0
+	}
+	for ; k < k1; k++ {
+		sum += p.mat.Val[k] * x[p.mat.ColIdx[k]]
+	}
+	return sum
+}
+
+func (p *prepared) Compute(y, x []float64) {
+	mat := p.mat
+	for i := range y {
+		y[i] = 0
+	}
+	n := len(p.cores)
+	carryRow := make([]int, n)
+	carryVal := make([]float64, n)
+	exec.Parallel(n, func(t int) {
+		tLo, tHi := p.tileBounds[t], p.tileBounds[t+1]
+		isLast := t == n-1
+		if tLo == tHi && !isLast {
+			carryRow[t] = -1
+			return
+		}
+		var lo, hi int
+		var curRow int
+		if tLo < tHi {
+			lo = tLo * p.tileNNZ
+			hi = tHi * p.tileNNZ
+			curRow = p.tileStartRow[tLo]
+		} else {
+			// Last thread with no tiles: only the tail.
+			lo = p.ntiles * p.tileNNZ
+			hi = lo
+			curRow = p.tileStartRow[p.ntiles]
+		}
+		if isLast {
+			hi = mat.NNZ()
+		}
+
+		// Segmented sum over [lo, hi): the first segment (before any bit
+		// flag) is this thread's carry; later segments add directly.
+		carrySum := 0.0
+		inCarry := true
+		segStart := lo
+		flush := func(end int) {
+			if end <= segStart {
+				return
+			}
+			s := p.dotRange(x, segStart, end)
+			if inCarry {
+				carrySum += s
+			} else {
+				y[curRow] += s
+			}
+			segStart = end
+		}
+		startRow := func(k int) {
+			flush(k)
+			// Advance to the row whose nonzeros start at k.
+			for mat.RowPtr[curRow+1] <= k {
+				curRow++
+			}
+			inCarry = false
+		}
+		// Tiled region: scan the bit-flag words, visiting set bits only.
+		for t := tLo; t < tHi; t++ {
+			base := t * p.tileNNZ
+			for w := 0; w < p.flagWords; w++ {
+				word := p.bitFlag[t*p.flagWords+w]
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << b
+					startRow(base + w*64 + b)
+				}
+			}
+		}
+		// Scalar tail (last thread only): row starts come from RowPtr.
+		if tail := p.ntiles * p.tileNNZ; hi > tail {
+			from := tail
+			if lo > from {
+				from = lo
+			}
+			r := sort.SearchInts(mat.RowPtr, from)
+			for ; r < mat.Rows; r++ {
+				start := mat.RowPtr[r]
+				if start >= hi {
+					break
+				}
+				if mat.RowPtr[r+1] > start {
+					startRow(start)
+				}
+			}
+		}
+		flush(hi)
+		if lo < hi {
+			carryRow[t] = rowOfNNZ(mat, lo)
+		} else {
+			carryRow[t] = -1
+		}
+		carryVal[t] = carrySum
+	})
+	for t := 0; t < n; t++ {
+		if carryRow[t] >= 0 {
+			y[carryRow[t]] += carryVal[t]
+		}
+	}
+}
+
+// flagAt reports whether nonzero k begins a row, reading the tile bit
+// flags for the tiled region and the row pointers for the scalar tail.
+func (p *prepared) flagAt(k int) bool {
+	tile := k / p.tileNNZ
+	if tile < p.ntiles {
+		off := k - tile*p.tileNNZ
+		return p.bitFlag[tile*p.flagWords+off/64]&(1<<(off%64)) != 0
+	}
+	// Tail: consult RowPtr directly.
+	r := rowOfNNZ(p.mat, k)
+	return p.mat.RowPtr[r] == k
+}
+
+// rowOfNNZ returns the row containing nonzero k.
+func rowOfNNZ(mat *sparse.CSR, k int) int {
+	return sort.Search(mat.Rows, func(i int) bool { return mat.RowPtr[i+1] > k })
+}
+
+func (p *prepared) Assignments() []costmodel.Assignment {
+	n := len(p.cores)
+	asgs := make([]costmodel.Assignment, n)
+	for i, c := range p.cores {
+		lo := p.tileBounds[i] * p.tileNNZ
+		hi := p.tileBounds[i+1] * p.tileNNZ
+		if i == n-1 {
+			hi = p.mat.NNZ()
+		}
+		asgs[i] = costmodel.Assignment{Core: c, Spans: []costmodel.Span{{Lo: lo, Hi: hi}}}
+	}
+	return asgs
+}
+
+// FlagPopcount returns the total number of row-start flags across tiles;
+// exported for tests (it must equal the number of non-empty rows whose
+// first nonzero falls in the tiled region).
+func (p *prepared) FlagPopcount() int {
+	total := 0
+	for _, w := range p.bitFlag {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

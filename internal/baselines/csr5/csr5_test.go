@@ -1,0 +1,148 @@
+package csr5
+
+import (
+	"testing"
+
+	"haspmv/internal/algtest"
+	"haspmv/internal/amp"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+func TestCorrectnessAllMachines(t *testing.T) {
+	for _, m := range amp.All() {
+		for _, cfg := range []amp.Config{amp.POnly, amp.EOnly, amp.PAndE} {
+			alg := New(cfg)
+			t.Run(m.Name+"/"+alg.Name(), func(t *testing.T) {
+				algtest.CheckAlgorithm(t, alg, m)
+			})
+		}
+	}
+}
+
+func TestPropertyRandomMatrices(t *testing.T) {
+	algtest.CheckProperty(t, New(amp.PAndE), amp.IntelI913900KF(), 15)
+}
+
+func TestAllSigmas(t *testing.T) {
+	m := amp.IntelI912900KF()
+	for _, sigma := range []int{1, 2, 4, 8, 16, 32} {
+		alg := NewWithSigma(amp.PAndE, sigma)
+		t.Run(alg.Name(), func(t *testing.T) {
+			algtest.CheckOnMatrix(t, alg, m, algtest.Matrix("powerlaw"))
+			algtest.CheckOnMatrix(t, alg, m, algtest.Matrix("alternating-empty"))
+			algtest.CheckOnMatrix(t, alg, m, algtest.Matrix("hub-row"))
+		})
+	}
+}
+
+func TestSigmaHeuristic(t *testing.T) {
+	cases := []struct {
+		avg, want int
+	}{{2, 4}, {8, 8}, {40, 16}, {200, 32}}
+	for _, tc := range cases {
+		a := gen.Spec{Name: "s", Rows: 100, Cols: 10000, TargetNNZ: 100 * tc.avg,
+			Dist: gen.ConstLen{L: tc.avg}, Place: gen.Random, Seed: 1}.Generate()
+		if got := sigmaHeuristic(a); got != tc.want {
+			t.Errorf("avg %d: sigma %d, want %d", tc.avg, got, tc.want)
+		}
+	}
+	if sigmaHeuristic(&sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}) != 4 {
+		t.Error("empty matrix sigma")
+	}
+}
+
+// Every non-empty row whose first nonzero lies in the tiled region must
+// contribute exactly one bit flag.
+func TestBitFlagPopulation(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("alternating-empty")
+	prep, err := NewWithSigma(amp.PAndE, 4).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prep.(*prepared)
+	tiledNNZ := p.ntiles * p.tileNNZ
+	want := 0
+	for r := 0; r < a.Rows; r++ {
+		if a.RowPtr[r+1] > a.RowPtr[r] && a.RowPtr[r] < tiledNNZ {
+			want++
+		}
+	}
+	if got := p.FlagPopcount(); got != want {
+		t.Fatalf("flag popcount %d, want %d", got, want)
+	}
+}
+
+// Tile distribution balances nnz within one tile of slack.
+func TestTileBalance(t *testing.T) {
+	m := amp.IntelI913900KF() // 24 cores
+	a := algtest.Matrix("powerlaw")
+	prep, err := New(amp.PAndE).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prep.(*prepared)
+	asgs := prep.Assignments()
+	min, max := 1<<60, 0
+	for i, asg := range asgs {
+		n := asg.NNZ()
+		if i == len(asgs)-1 {
+			n -= a.NNZ() - p.ntiles*p.tileNNZ // discount the tail
+		}
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > p.tileNNZ {
+		t.Fatalf("tile balance: min %d max %d (tile %d)", min, max, p.tileNNZ)
+	}
+}
+
+func TestMatrixSmallerThanOneTile(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := sparse.FromDense([][]float64{{1, 2}, {3, 0}}, 0)
+	algtest.CheckOnMatrix(t, NewWithSigma(amp.PAndE, 32), m, a)
+}
+
+func TestRowSpanningManyTiles(t *testing.T) {
+	// One row of 1000 nnz with sigma 2 (tile = 8 nnz) spans 125 tiles.
+	m := amp.IntelI912900KF()
+	a := gen.Spec{Name: "span", Rows: 3, Cols: 2000, TargetNNZ: 3000,
+		Dist: gen.ConstLen{L: 1000}, Place: gen.Random, Seed: 9}.Generate()
+	algtest.CheckOnMatrix(t, NewWithSigma(amp.PAndE, 2), m, a)
+}
+
+func TestRejectsInvalidMatrix(t *testing.T) {
+	bad := algtest.Matrix("fig1-8x8").Clone()
+	bad.Val = bad.Val[:3]
+	if _, err := New(amp.PAndE).Prepare(amp.IntelI912900KF(), bad); err == nil {
+		t.Fatal("accepted invalid matrix")
+	}
+}
+
+// flagAt (the positional view of the bit flags) must agree with RowPtr in
+// both the tiled region and the scalar tail.
+func TestFlagAtAgreesWithRowPtr(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("alternating-empty")
+	prep, err := NewWithSigma(amp.PAndE, 4).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prep.(*prepared)
+	starts := map[int]bool{}
+	for r := 0; r < a.Rows; r++ {
+		if a.RowPtr[r+1] > a.RowPtr[r] {
+			starts[a.RowPtr[r]] = true
+		}
+	}
+	for k := 0; k < a.NNZ(); k++ {
+		if got, want := p.flagAt(k), starts[k]; got != want {
+			t.Fatalf("flagAt(%d) = %v, want %v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package csrsimple implements the paper's Algorithm 1: the plain parallel
+// CSR SpMV used by the Section III micro-benchmarks ("simply adding OpenMP
+// pragmas to the for loops"). Two static scheduling policies are provided:
+// splitting rows evenly by count (OpenMP's default static schedule) and
+// splitting at row boundaries balanced by nonzeros. Both are
+// heterogeneity-blind: every selected core receives the same share
+// regardless of whether it is a P- or E-core, which is exactly the load
+// imbalance HASpMV is designed to remove.
+package csrsimple
+
+import (
+	"fmt"
+	"sort"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/kernel"
+	"haspmv/internal/sparse"
+)
+
+// Schedule selects the static work division.
+type Schedule int
+
+const (
+	// ByRows gives each core an equal count of consecutive rows.
+	ByRows Schedule = iota
+	// ByNNZ cuts at row boundaries so each core gets roughly equal
+	// nonzeros.
+	ByNNZ
+)
+
+func (s Schedule) String() string {
+	if s == ByRows {
+		return "rows"
+	}
+	return "nnz"
+}
+
+// New builds the algorithm for the given core composition.
+func New(cfg amp.Config, sched Schedule) exec.Algorithm {
+	return &alg{cfg: cfg, sched: sched}
+}
+
+type alg struct {
+	cfg   amp.Config
+	sched Schedule
+}
+
+func (a *alg) Name() string {
+	return fmt.Sprintf("CSR-simple(%v,%v)", a.cfg, a.sched)
+}
+
+func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	cores := m.Cores(a.cfg)
+	n := len(cores)
+	bounds := make([]int, n+1) // row boundaries per core
+	switch a.sched {
+	case ByRows:
+		for i := 0; i <= n; i++ {
+			bounds[i] = mat.Rows * i / n
+		}
+	case ByNNZ:
+		nnz := mat.NNZ()
+		bounds[n] = mat.Rows
+		for i := 1; i < n; i++ {
+			target := nnz * i / n
+			// First row whose cumulative nnz reaches the target.
+			bounds[i] = sort.SearchInts(mat.RowPtr, target)
+			if bounds[i] > mat.Rows {
+				bounds[i] = mat.Rows
+			}
+		}
+		// Row boundaries must be monotone even when huge rows make some
+		// targets fall inside the same row.
+		for i := 1; i <= n; i++ {
+			if bounds[i] < bounds[i-1] {
+				bounds[i] = bounds[i-1]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("csrsimple: unknown schedule %d", a.sched)
+	}
+	return &prepared{mat: mat, cores: cores, bounds: bounds}, nil
+}
+
+type prepared struct {
+	mat    *sparse.CSR
+	cores  []int
+	bounds []int
+}
+
+func (p *prepared) Compute(y, x []float64) {
+	mat := p.mat
+	exec.Parallel(len(p.cores), func(i int) {
+		for r := p.bounds[i]; r < p.bounds[i+1]; r++ {
+			y[r] = kernel.DotRange(mat.Val, mat.ColIdx, x, mat.RowPtr[r], mat.RowPtr[r+1], kernel.DefaultUnrollThreshold)
+		}
+	})
+}
+
+func (p *prepared) Assignments() []costmodel.Assignment {
+	asgs := make([]costmodel.Assignment, len(p.cores))
+	for i, c := range p.cores {
+		lo := p.mat.RowPtr[p.bounds[i]]
+		hi := p.mat.RowPtr[p.bounds[i+1]]
+		asgs[i] = costmodel.Assignment{Core: c, Spans: []costmodel.Span{{Lo: lo, Hi: hi}}}
+	}
+	return asgs
+}

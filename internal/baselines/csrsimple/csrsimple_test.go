@@ -1,0 +1,120 @@
+package csrsimple
+
+import (
+	"testing"
+
+	"haspmv/internal/algtest"
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+)
+
+func TestCorrectnessAllConfigs(t *testing.T) {
+	for _, m := range amp.All() {
+		for _, cfg := range []amp.Config{amp.POnly, amp.EOnly, amp.PAndE} {
+			for _, sched := range []Schedule{ByRows, ByNNZ} {
+				alg := New(cfg, sched)
+				t.Run(m.Name+"/"+alg.Name(), func(t *testing.T) {
+					algtest.CheckAlgorithm(t, alg, m)
+				})
+			}
+		}
+	}
+}
+
+func TestPropertyRandomMatrices(t *testing.T) {
+	m := amp.IntelI913900KF()
+	algtest.CheckProperty(t, New(amp.PAndE, ByRows), m, 12)
+	algtest.CheckProperty(t, New(amp.PAndE, ByNNZ), m, 12)
+}
+
+func TestByRowsBoundaries(t *testing.T) {
+	m := amp.IntelI912900KF() // 16 cores
+	a := algtest.Matrix("fig1-8x8")
+	prep, err := New(amp.PAndE, ByRows).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 rows over 16 cores: every assignment row-aligned, half empty.
+	asgs := prep.Assignments()
+	if len(asgs) != 16 {
+		t.Fatalf("assignments: %d", len(asgs))
+	}
+	nonEmpty := 0
+	for _, asg := range asgs {
+		if asg.NNZ() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 || nonEmpty > 8 {
+		t.Fatalf("non-empty assignments: %d", nonEmpty)
+	}
+}
+
+func TestByNNZBalance(t *testing.T) {
+	m := amp.IntelI912900KF()
+	// Constant rows: nnz split should be near-perfect at row granularity.
+	a := algtest.Matrix("const-rows")
+	prep, err := New(amp.PAndE, ByNNZ).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asgs := prep.Assignments()
+	min, max := 1<<60, 0
+	for _, asg := range asgs {
+		n := asg.NNZ()
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	avg := a.NNZ() / len(asgs)
+	if max-min > 2*9+1 { // at most about two rows of slack
+		t.Fatalf("nnz balance: min %d max %d (avg %d)", min, max, avg)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if ByRows.String() != "rows" || ByNNZ.String() != "nnz" {
+		t.Fatal("schedule strings")
+	}
+}
+
+func TestAssignmentsMatchConfig(t *testing.T) {
+	m := amp.IntelI913900KF()
+	a := algtest.Matrix("banded-fem")
+	prep, _ := New(amp.EOnly, ByNNZ).Prepare(m, a)
+	for _, asg := range prep.Assignments() {
+		g, _ := m.GroupOf(asg.Core)
+		if g.Kind != amp.Efficiency {
+			t.Fatalf("EOnly assignment on core %d (%v)", asg.Core, g.Kind)
+		}
+	}
+}
+
+func TestRejectsInvalidMatrix(t *testing.T) {
+	m := amp.IntelI912900KF()
+	bad := algtest.Matrix("fig1-8x8").Clone()
+	bad.ColIdx[0] = -5
+	if _, err := New(amp.PAndE, ByRows).Prepare(m, bad); err == nil {
+		t.Fatal("accepted invalid matrix")
+	}
+}
+
+func BenchmarkComputeMedium(b *testing.B) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("medium-random")
+	prep, _ := New(amp.PAndE, ByNNZ).Prepare(m, a)
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = 1
+	}
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep.Compute(y, x)
+	}
+	_ = costmodel.Assignment{}
+}

@@ -1,0 +1,93 @@
+package mergespmv
+
+import (
+	"testing"
+
+	"haspmv/internal/algtest"
+	"haspmv/internal/amp"
+)
+
+func TestCorrectnessAllMachines(t *testing.T) {
+	for _, m := range amp.All() {
+		for _, cfg := range []amp.Config{amp.POnly, amp.EOnly, amp.PAndE} {
+			alg := New(cfg)
+			t.Run(m.Name+"/"+alg.Name(), func(t *testing.T) {
+				algtest.CheckAlgorithm(t, alg, m)
+			})
+		}
+	}
+}
+
+func TestPropertyRandomMatrices(t *testing.T) {
+	algtest.CheckProperty(t, New(amp.PAndE), amp.IntelI913900KF(), 15)
+}
+
+func TestMergePathSearchInvariants(t *testing.T) {
+	// rowPtr for rows of lengths 3, 0, 2, 5.
+	rowPtr := []int{0, 3, 3, 5, 10}
+	rows, nnz := 4, 10
+	total := rows + nnz
+	prevR, prevK := 0, 0
+	for d := 0; d <= total; d++ {
+		r, k := mergePathSearch(rowPtr, rows, nnz, d)
+		if r+k != d {
+			t.Fatalf("d=%d: r+k = %d", d, r+k)
+		}
+		if r < prevR || k < prevK {
+			t.Fatalf("d=%d: split (%d,%d) went backwards from (%d,%d)", d, r, k, prevR, prevK)
+		}
+		if r < 0 || r > rows || k < 0 || k > nnz {
+			t.Fatalf("d=%d: split (%d,%d) out of range", d, r, k)
+		}
+		// Merge-path feasibility: everything merged so far from the row
+		// list precedes everything not yet merged from the nnz list.
+		if r > 0 && k < nnz && rowPtr[r] > k {
+			t.Fatalf("d=%d: rowPtr[%d]=%d > k=%d", d, r, rowPtr[r], k)
+		}
+		if k > 0 && r < rows && k-1 >= rowPtr[r+1] {
+			t.Fatalf("d=%d: consumed nnz %d beyond row end %d", d, k-1, rowPtr[r+1])
+		}
+		prevR, prevK = r, k
+	}
+	if r, k := mergePathSearch(rowPtr, rows, nnz, total); r != rows || k != nnz {
+		t.Fatalf("final split (%d,%d)", r, k)
+	}
+}
+
+// The merge-path split must balance rows+nnz perfectly even on a hub
+// matrix where nnz-per-row is wildly skewed.
+func TestDiagonalBalance(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("hub-row")
+	prep, err := New(amp.PAndE).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prep.(*prepared)
+	n := len(p.cores)
+	total := a.Rows + a.NNZ()
+	for tIdx := 0; tIdx < n; tIdx++ {
+		items := (p.rowStart[tIdx+1] - p.rowStart[tIdx]) + (p.nnzStart[tIdx+1] - p.nnzStart[tIdx])
+		want := total / n
+		if items < want-1 || items > want+2 {
+			t.Fatalf("thread %d merge items %d, want ~%d", tIdx, items, want)
+		}
+	}
+}
+
+func TestSingleCore(t *testing.T) {
+	// Degenerate machine use: POnly on a machine still has 8 cores, so
+	// exercise the n=1 path via a one-core custom machine.
+	m := amp.IntelI912900KF()
+	m.Groups[0].Cores = 1
+	m.Groups[1].Cores = 1
+	algtest.CheckAlgorithm(t, New(amp.PAndE), m)
+}
+
+func TestRejectsInvalidMatrix(t *testing.T) {
+	bad := algtest.Matrix("fig1-8x8").Clone()
+	bad.RowPtr[3] = bad.RowPtr[4] + 1
+	if _, err := New(amp.PAndE).Prepare(amp.IntelI912900KF(), bad); err == nil {
+		t.Fatal("accepted invalid matrix")
+	}
+}

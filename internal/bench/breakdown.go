@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+)
+
+// BreakdownRow decomposes one core's modeled time for one method.
+type BreakdownRow struct {
+	Algorithm string
+	Core      int
+	Group     string
+	Seconds   float64
+	ComputeMs float64
+	MemMs     float64
+	// LevelBytes are the bytes served per level [L1, L2, L3, DRAM].
+	LevelBytes [4]float64
+	NNZ        int
+	Rows       int
+}
+
+// Breakdown prices every method on one representative matrix and returns
+// the per-core decomposition — the analysis view behind Figure 9,
+// generalized to all methods and cost components.
+func Breakdown(cfg Config, m *amp.Machine, matrix string) ([]BreakdownRow, error) {
+	a := gen.Representative(matrix, cfg.RepScale)
+	var rows []BreakdownRow
+	for _, alg := range AlgorithmsFor(m) {
+		r, err := simulate(m, cfg.Params, alg, a)
+		if err != nil {
+			return nil, err
+		}
+		for _, cc := range r.PerCore {
+			g, _ := m.GroupOf(cc.Core)
+			rows = append(rows, BreakdownRow{
+				Algorithm:  alg.Name(),
+				Core:       cc.Core,
+				Group:      g.Name,
+				Seconds:    cc.Seconds,
+				ComputeMs:  1e3 * cc.ComputeSeconds,
+				MemMs:      1e3 * cc.MemSeconds,
+				LevelBytes: cc.LevelBytes,
+				NNZ:        cc.NNZ,
+				Rows:       cc.Rows,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintBreakdown renders the decomposition grouped by method.
+func PrintBreakdown(w io.Writer, m *amp.Machine, matrix string, rows []BreakdownRow) {
+	fmt.Fprintf(w, "\n# Per-core breakdown on %s, %s\n", matrix, m.Name)
+	cur := ""
+	tw := newTable(w)
+	for _, r := range rows {
+		if r.Algorithm != cur {
+			if cur != "" {
+				tw.Flush()
+			}
+			cur = r.Algorithm
+			fmt.Fprintf(w, "\n## %s\n", cur)
+			tw = newTable(w)
+			fmt.Fprintln(tw, "core\tgroup\tnnz\trows\ttotal(ms)\tcompute(ms)\tmem(ms)\tL1(KB)\tL2(KB)\tL3(KB)\tDRAM(KB)")
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%.4f\t%.4f\t%.4f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Core, r.Group, r.NNZ, r.Rows, 1e3*r.Seconds, r.ComputeMs, r.MemMs,
+			r.LevelBytes[0]/1024, r.LevelBytes[1]/1024, r.LevelBytes[2]/1024, r.LevelBytes[3]/1024)
+	}
+	tw.Flush()
+}
+
+// HostRow is one method's real wall-clock measurement on this host.
+type HostRow struct {
+	Algorithm string
+	PrepMs    float64
+	// MultiplyUs is the best-of-k time of one y = A*x.
+	MultiplyUs float64
+	GFlops     float64
+}
+
+// HostCompare measures real host wall-clock for every method on one
+// matrix: Prepare once, then best-of-reps Multiply. Host numbers reflect
+// algorithmic overheads only — Go cannot pin goroutines to P/E cores, so
+// AMP asymmetry is invisible here (the honest caveat of DESIGN.md §2);
+// the modeled numbers are the reproduction's performance results.
+func HostCompare(cfg Config, m *amp.Machine, matrix string, reps int) ([]HostRow, error) {
+	if reps < 1 {
+		reps = 5
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, a.Rows)
+	var rows []HostRow
+	for _, alg := range AlgorithmsFor(m) {
+		prep, prepTime, err := exec.TimePrepare(alg, m, a)
+		if err != nil {
+			return nil, err
+		}
+		prep.Compute(y, x) // warm up
+		best := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			prep.Compute(y, x)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		sec := best.Seconds()
+		gf := 0.0
+		if sec > 0 {
+			gf = 2 * float64(a.NNZ()) / sec / 1e9
+		}
+		rows = append(rows, HostRow{
+			Algorithm:  alg.Name(),
+			PrepMs:     float64(prepTime.Microseconds()) / 1e3,
+			MultiplyUs: float64(best.Nanoseconds()) / 1e3,
+			GFlops:     gf,
+		})
+	}
+	return rows, nil
+}
+
+// PrintHostCompare renders the host measurements.
+func PrintHostCompare(w io.Writer, m *amp.Machine, matrix string, rows []HostRow) {
+	fmt.Fprintf(w, "\n# Host wall-clock on %s (machine model %s used for partitioning only)\n", matrix, m.Name)
+	fmt.Fprintln(w, "note: host cores are symmetric; these numbers show algorithmic overheads, not AMP behaviour")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "method\tprep(ms)\tmultiply(us)\thost GFlops")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.2f\n", r.Algorithm, r.PrepMs, r.MultiplyUs, r.GFlops)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+
+	"haspmv/internal/amp"
+)
+
+// CSV emitters: every experiment result renders as one flat table with a
+// header row, suitable for any plotting tool. cmd/haspmv-bench writes them
+// next to the text reports when -csv is given.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func d(v int) string     { return strconv.Itoa(v) }
+
+// Fig3CSV emits machine,config,bytes,gbps rows.
+func Fig3CSV(w io.Writer, series []Fig3Series) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "config", "bytes", "gbps", "bound"}}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rows = append(rows, []string{s.Machine, s.Config.String(), d(p.TotalBytes), f(p.GBps), p.BoundBy})
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// Fig4CSV emits machine,config,nnz,gflops rows.
+func Fig4CSV(w io.Writer, results []Fig4Result) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "config", "nnz", "gflops"}}
+	for _, r := range results {
+		for _, cc := range []amp.Config{amp.POnly, amp.EOnly, amp.PAndE} {
+			for _, p := range r.Series[cc] {
+				rows = append(rows, []string{r.Machine, cc.String(), d(p.NNZ), f(p.GFlops)})
+			}
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// Fig5CSV emits machine,avg_row_len,speedup scatter rows.
+func Fig5CSV(w io.Writer, results []Fig5Result) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "avg_row_len", "speedup"}}
+	for _, r := range results {
+		for i := range r.AvgRowLen {
+			rows = append(rows, []string{r.Machine, f(r.AvgRowLen[i]), f(r.Speedup[i])})
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// Fig8CSV emits machine,algorithm,nnz,gflops scatter rows.
+func Fig8CSV(w io.Writer, results []Fig8Result) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "algorithm", "nnz", "gflops"}}
+	for _, r := range results {
+		names := sortedKeys(r.Scatter)
+		for _, name := range names {
+			for _, p := range r.Scatter[name] {
+				rows = append(rows, []string{r.Machine, name, d(p.NNZ), f(p.GFlops)})
+			}
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// Fig9CSV emits metric,core,seconds rows.
+func Fig9CSV(w io.Writer, r Fig9Result) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"metric", "core", "seconds"}}
+	for _, metric := range []string{"row", "nnz", "cacheline"} {
+		for core, sec := range r.PerCore[metric] {
+			rows = append(rows, []string{metric, d(core), f(sec)})
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// Fig10CSV emits matrix,nnz,algorithm,millis rows.
+func Fig10CSV(w io.Writer, machine string, rowsIn []Fig10Row) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "nnz", "algorithm", "millis"}}
+	for _, r := range rowsIn {
+		for _, name := range sortedKeys(r.Millis) {
+			rows = append(rows, []string{machine, r.Matrix, d(r.NNZ), name, f(r.Millis[name])})
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// Fig11CSV emits machine,matrix,algorithm,gflops rows.
+func Fig11CSV(w io.Writer, rowsIn []Fig11Row) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "algorithm", "gflops", "winner"}}
+	for _, r := range rowsIn {
+		for _, name := range sortedKeys(r.GFlops) {
+			rows = append(rows, []string{r.Machine, r.Matrix, name, f(r.GFlops[name]), r.Winner})
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+// EnergyCSV emits machine,matrix,algorithm,millijoules,gflops_per_watt.
+func EnergyCSV(w io.Writer, rowsIn []EnergyRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "algorithm", "millijoules", "gflops_per_watt"}}
+	for _, r := range rowsIn {
+		for _, name := range sortedKeys(r.GFlopsPerWatt) {
+			rows = append(rows, []string{
+				r.Machine, r.Matrix, name, f(r.MillijoulesPerOp[name]), f(r.GFlopsPerWatt[name]),
+			})
+		}
+	}
+	return writeAll(cw, rows)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/stream"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("csv has no data rows")
+	}
+	width := len(rows[0])
+	for i, r := range rows {
+		if len(r) != width {
+			t.Fatalf("row %d width %d, want %d", i, len(r), width)
+		}
+	}
+	return rows
+}
+
+func TestFig3CSV(t *testing.T) {
+	series := []Fig3Series{{
+		Machine: "m", Config: amp.POnly,
+		Points: []stream.Point{{Elems: 10, TotalBytes: 240, GBps: 50.5, BoundBy: "core"}},
+	}}
+	var buf bytes.Buffer
+	if err := Fig3CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if rows[1][0] != "m" || rows[1][2] != "240" || rows[1][3] != "50.5" {
+		t.Fatalf("rows: %v", rows)
+	}
+}
+
+func TestAllCSVEmittersEndToEnd(t *testing.T) {
+	cfg := TestConfig()
+	cfg.CorpusSize = 6
+	cfg.Machines = []*amp.Machine{amp.IntelI912900KF()}
+
+	f4, err := Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f10, err := Fig10(cfg, cfg.Machines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	f11, err := Fig11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := ExtEnergy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	emitters := map[string]func(*bytes.Buffer) error{
+		"fig4":   func(b *bytes.Buffer) error { return Fig4CSV(b, f4) },
+		"fig5":   func(b *bytes.Buffer) error { return Fig5CSV(b, f5) },
+		"fig8":   func(b *bytes.Buffer) error { return Fig8CSV(b, f8) },
+		"fig9":   func(b *bytes.Buffer) error { return Fig9CSV(b, f9) },
+		"fig10":  func(b *bytes.Buffer) error { return Fig10CSV(b, "i9-12900KF", f10) },
+		"fig11":  func(b *bytes.Buffer) error { return Fig11CSV(b, f11) },
+		"energy": func(b *bytes.Buffer) error { return EnergyCSV(b, en) },
+	}
+	for name, emit := range emitters {
+		var buf bytes.Buffer
+		if err := emit(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rows := parseCSV(t, &buf)
+		if len(rows[0]) < 3 {
+			t.Fatalf("%s: header too narrow: %v", name, rows[0])
+		}
+		// Header must be lowercase identifiers.
+		for _, h := range rows[0] {
+			if h != strings.ToLower(h) || strings.Contains(h, " ") {
+				t.Fatalf("%s: bad header %q", name, h)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/gen"
+)
+
+// EnergyRow compares the modeled energy of every method on one matrix —
+// an extension experiment beyond the paper's evaluation (energy
+// efficiency motivates AMPs; the paper optimizes time only).
+type EnergyRow struct {
+	Machine string
+	Matrix  string
+	// MillijoulesPerOp and GFlopsPerWatt map method name -> figures.
+	MillijoulesPerOp map[string]float64
+	GFlopsPerWatt    map[string]float64
+}
+
+// ExtEnergy runs the method set over a subset of the representative
+// matrices and reports energy per SpMV and efficiency.
+func ExtEnergy(cfg Config) ([]EnergyRow, error) {
+	matrices := []string{"webbase-1M", "shipsec1", "rma10", "cant", "mip1", "cop20k_A"}
+	var rows []EnergyRow
+	for _, m := range cfg.Machines {
+		algs := AlgorithmsFor(m)
+		for _, name := range matrices {
+			a := gen.Representative(name, cfg.RepScale)
+			row := EnergyRow{
+				Machine:          m.Name,
+				Matrix:           name,
+				MillijoulesPerOp: map[string]float64{},
+				GFlopsPerWatt:    map[string]float64{},
+			}
+			for _, alg := range algs {
+				r, err := simulate(m, cfg.Params, alg, a)
+				if err != nil {
+					return nil, err
+				}
+				e := costmodel.EstimateEnergy(m, r)
+				row.MillijoulesPerOp[alg.Name()] = 1e3 * e.Joules
+				row.GFlopsPerWatt[alg.Name()] = e.GFlopsPerWatt
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintExtEnergy renders the energy comparison grouped by machine.
+func PrintExtEnergy(w io.Writer, rows []EnergyRow) {
+	cur := ""
+	tw := newTable(w)
+	var names []string
+	for _, r := range rows {
+		if r.Machine != cur {
+			if cur != "" {
+				tw.Flush()
+			}
+			cur = r.Machine
+			fmt.Fprintf(w, "\n# Extension — modeled energy per SpMV on %s (GFlops/W)\n", cur)
+			tw = newTable(w)
+			names = names[:0]
+			for name := range r.GFlopsPerWatt {
+				names = append(names, name)
+			}
+			fmt.Fprint(tw, "matrix")
+			for _, n := range names {
+				fmt.Fprintf(tw, "\t%s", n)
+			}
+			fmt.Fprintln(tw)
+		}
+		fmt.Fprintf(tw, "%s", r.Matrix)
+		for _, n := range names {
+			fmt.Fprintf(tw, "\t%.2f", r.GFlopsPerWatt[n])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// EnergyMachines trims the config to the Intel machines where the P/E
+// power asymmetry makes the experiment interesting; exported for the CLI.
+func EnergyMachines(cfg Config) Config {
+	var ms []*amp.Machine
+	for _, m := range cfg.Machines {
+		if !isAMD(m) {
+			ms = append(ms, m)
+		}
+	}
+	if len(ms) > 0 {
+		cfg.Machines = ms
+	}
+	return cfg
+}

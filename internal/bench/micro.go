@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+	"haspmv/internal/stats"
+	"haspmv/internal/stream"
+)
+
+// ---------------------------------------------------------------- Table I
+
+// Table1Row is one machine's specification line.
+type Table1Row struct {
+	Machine  string
+	Group    string
+	Cores    int
+	L1DKB    int
+	L2MB     float64
+	L3MB     float64
+	FreqGHz  float64
+	DRAMGBps float64
+}
+
+// Table1 reports the modeled platform specifications (the reproduction of
+// the paper's Table I; the paper reports datasheet numbers, we report the
+// machine-model numbers the experiments actually use).
+func Table1(cfg Config) []Table1Row {
+	var rows []Table1Row
+	for _, m := range cfg.Machines {
+		for gi := range m.Groups {
+			g := &m.Groups[gi]
+			rows = append(rows, Table1Row{
+				Machine:  m.Name,
+				Group:    g.Name,
+				Cores:    g.Cores,
+				L1DKB:    g.L1DBytes / 1024,
+				L2MB:     float64(g.L2Bytes) / (1 << 20),
+				L3MB:     float64(g.L3Bytes) / (1 << 20),
+				FreqGHz:  g.FreqGHz,
+				DRAMGBps: m.DRAMBWGBps,
+			})
+		}
+	}
+	return rows
+}
+
+// PrintTable1 renders Table1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "machine\tgroup\tcores\tL1d(KB)\tL2(MB)\tL3(MB)\tfreq(GHz)\tDRAM(GB/s)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%.2f\t%.0f\t%.1f\t%.1f\n",
+			r.Machine, r.Group, r.Cores, r.L1DKB, r.L2MB, r.L3MB, r.FreqGHz, r.DRAMGBps)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------- Table II
+
+// Table2Row compares one representative matrix's generated statistics with
+// the published ones.
+type Table2Row struct {
+	Name                string
+	PaperRows, PaperNNZ int
+	PaperAvg            float64
+	Rows, NNZ           int
+	MinLen, MaxLen      int
+	AvgLen              float64
+	Scale               int
+}
+
+// Table2 generates the 22 representative matrices at cfg.RepScale and
+// reports their statistics next to Table II's published values.
+func Table2(cfg Config) []Table2Row {
+	var rows []Table2Row
+	for _, ri := range gen.SortedRepresentativeByNNZ() {
+		a := gen.Representative(ri.Name, cfg.RepScale)
+		s := sparse.ComputeRowStats(a)
+		rows = append(rows, Table2Row{
+			Name:      ri.Name,
+			PaperRows: ri.PaperRows, PaperNNZ: ri.PaperNNZ, PaperAvg: ri.PaperAvg,
+			Rows: s.Rows, NNZ: s.NNZ,
+			MinLen: s.MinRowLen, MaxLen: s.MaxRowLen, AvgLen: s.AvgRowLen,
+			Scale: cfg.RepScale,
+		})
+	}
+	return rows
+}
+
+// PrintTable2 renders Table2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	tw := newTable(w)
+	fmt.Fprintln(tw, "matrix\tpaper rows\tpaper nnz\tpaper avg\tscale\tgen rows\tgen nnz\tgen min/avg/max")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t1/%d\t%d\t%d\t%d/%.1f/%d\n",
+			r.Name, r.PaperRows, r.PaperNNZ, r.PaperAvg, r.Scale, r.Rows, r.NNZ,
+			r.MinLen, r.AvgLen, r.MaxLen)
+	}
+	tw.Flush()
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Series is one (machine, core-config) bandwidth curve.
+type Fig3Series struct {
+	Machine string
+	Config  amp.Config
+	Points  []stream.Point
+}
+
+// Fig3 sweeps the modeled stream triad for every machine and core
+// composition (the paper's Figure 3).
+func Fig3(cfg Config, points int) []Fig3Series {
+	var out []Fig3Series
+	for _, m := range cfg.Machines {
+		for _, cc := range []amp.Config{amp.POnly, amp.EOnly, amp.PAndE} {
+			out = append(out, Fig3Series{
+				Machine: m.Name,
+				Config:  cc,
+				Points:  stream.Sweep(m, cfg.Params, cc, points),
+			})
+		}
+	}
+	return out
+}
+
+// PrintFig3 renders the sweep as one row per size with a column per
+// config, grouped by machine.
+func PrintFig3(w io.Writer, series []Fig3Series) {
+	byMachine := map[string][]Fig3Series{}
+	var order []string
+	for _, s := range series {
+		if _, ok := byMachine[s.Machine]; !ok {
+			order = append(order, s.Machine)
+		}
+		byMachine[s.Machine] = append(byMachine[s.Machine], s)
+	}
+	for _, name := range order {
+		group := byMachine[name]
+		fmt.Fprintf(w, "\n# Figure 3 — stream triad, %s (GB/s)\n", name)
+		tw := newTable(w)
+		fmt.Fprint(tw, "bytes")
+		for _, s := range group {
+			fmt.Fprintf(tw, "\t%v", s.Config)
+		}
+		fmt.Fprintln(tw)
+		for i := range group[0].Points {
+			fmt.Fprintf(tw, "%d", group[0].Points[i].TotalBytes)
+			for _, s := range group {
+				fmt.Fprintf(tw, "\t%.1f", s.Points[i].GBps)
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// Fig4Point is one matrix under one core configuration.
+type Fig4Point struct {
+	NNZ    int
+	GFlops float64
+}
+
+// Fig4Result is the parallel-SpMV sweep for one machine.
+type Fig4Result struct {
+	Machine string
+	// Series maps each core config to its scatter.
+	Series map[amp.Config][]Fig4Point
+	// EBeatsP / PEBeatsP count the corpus cases where pure E-cores or
+	// P+E beat pure P-cores (the paper reports 278 and 739 of 2888 on
+	// the 13900KF).
+	EBeatsP  int
+	PEBeatsP int
+	Total    int
+}
+
+// Fig4 runs Algorithm 1 (simple parallel CSR SpMV) over the corpus for the
+// three core compositions on every machine.
+func Fig4(cfg Config) ([]Fig4Result, error) {
+	specs := cfg.corpus()
+	out := make([]Fig4Result, len(cfg.Machines))
+	for mi, m := range cfg.Machines {
+		out[mi] = Fig4Result{
+			Machine: m.Name,
+			Series:  map[amp.Config][]Fig4Point{},
+			Total:   len(specs),
+		}
+	}
+	// Generate each matrix once and price it on every machine.
+	for _, sp := range specs {
+		a := sp.Generate()
+		for mi, m := range cfg.Machines {
+			res := &out[mi]
+			var gf [3]float64
+			for ci, cc := range []amp.Config{amp.POnly, amp.EOnly, amp.PAndE} {
+				r, err := simulate(m, cfg.Params, simpleSpMV(cc), a)
+				if err != nil {
+					return nil, err
+				}
+				gf[ci] = r.GFlops
+				res.Series[cc] = append(res.Series[cc], Fig4Point{NNZ: a.NNZ(), GFlops: r.GFlops})
+			}
+			if gf[1] > gf[0] {
+				res.EBeatsP++
+			}
+			if gf[2] > gf[0] {
+				res.PEBeatsP++
+			}
+		}
+	}
+	return out, nil
+}
+
+// PrintFig4 renders the scatter plus the win counts.
+func PrintFig4(w io.Writer, results []Fig4Result) {
+	for _, r := range results {
+		fmt.Fprintf(w, "\n# Figure 4 — parallel SpMV, %s (GFlops)\n", r.Machine)
+		tw := newTable(w)
+		fmt.Fprintln(tw, "nnz\tP-only\tE-only\tP+E")
+		p := r.Series[amp.POnly]
+		e := r.Series[amp.EOnly]
+		pe := r.Series[amp.PAndE]
+		for i := range p {
+			fmt.Fprintf(tw, "%d\t%.2f\t%.2f\t%.2f\n", p[i].NNZ, p[i].GFlops, e[i].GFlops, pe[i].GFlops)
+		}
+		tw.Flush()
+		fmt.Fprintf(w, "cases where E-only beats P-only: %d/%d; P+E beats P-only: %d/%d\n",
+			r.EBeatsP, r.Total, r.PEBeatsP, r.Total)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Result is the single-core P/E speedup correlation for one machine.
+type Fig5Result struct {
+	Machine string
+	// AvgRowLen / Speedup are the raw scatter (one point per matrix).
+	AvgRowLen []float64
+	Speedup   []float64
+	// BinX / BinY is the per-row-length averaged scatter the figure
+	// plots, and Fit the regression line over log10(row length).
+	BinX, BinY []float64
+	Fit        stats.LinReg
+}
+
+// Fig5 measures single-core SpMV on one P-class and one E-class core over
+// the corpus and correlates the speedup with average row length.
+func Fig5(cfg Config) ([]Fig5Result, error) {
+	specs := cfg.corpus()
+	out := make([]Fig5Result, len(cfg.Machines))
+	for mi, m := range cfg.Machines {
+		out[mi] = Fig5Result{Machine: m.Name}
+	}
+	for _, sp := range specs {
+		a := sp.Generate()
+		if a.Rows == 0 || a.NNZ() == 0 {
+			continue
+		}
+		for mi, m := range cfg.Machines {
+			res := &out[mi]
+			single := func(core int) (float64, error) {
+				r, err := simulate(m, cfg.Params, singleCoreAlg{core: core}, a)
+				return r.Seconds, err
+			}
+			tp, err := single(0)
+			if err != nil {
+				return nil, err
+			}
+			te, err := single(m.PGroup().Cores) // first E-class core
+			if err != nil {
+				return nil, err
+			}
+			if tp <= 0 {
+				continue
+			}
+			res.AvgRowLen = append(res.AvgRowLen, float64(a.NNZ())/float64(a.Rows))
+			res.Speedup = append(res.Speedup, te/tp)
+		}
+	}
+	for mi := range out {
+		res := &out[mi]
+		logX := make([]float64, len(res.AvgRowLen))
+		for i, v := range res.AvgRowLen {
+			logX[i] = stats.Log10(v)
+		}
+		res.BinX, res.BinY = stats.BinByX(logX, res.Speedup, 16)
+		res.Fit = stats.LinearRegression(logX, res.Speedup)
+	}
+	return out, nil
+}
+
+// PrintFig5 renders the binned scatter and the regression.
+func PrintFig5(w io.Writer, results []Fig5Result) {
+	for _, r := range results {
+		fmt.Fprintf(w, "\n# Figure 5 — single P-core over E-core speedup vs avg row length, %s\n", r.Machine)
+		tw := newTable(w)
+		fmt.Fprintln(tw, "log10(avg row len)\tspeedup")
+		for i := range r.BinX {
+			fmt.Fprintf(tw, "%.2f\t%.2f\n", r.BinX[i], r.BinY[i])
+		}
+		tw.Flush()
+		fmt.Fprintf(w, "regression: speedup = %.3f*log10(len) + %.3f (R2 %.2f, n %d)\n",
+			r.Fit.Slope, r.Fit.Intercept, r.Fit.R2, r.Fit.N)
+	}
+}

@@ -1,0 +1,170 @@
+// Package cachesim implements a deterministic set-associative LRU cache
+// simulator. It substitutes for the hardware caches of the paper's AMPs
+// (see DESIGN.md): SpMV's irregular accesses to the x vector are the
+// central cache effect in HASpMV, and replaying them through an LRU model
+// reproduces the hit/miss structure, the capacity cliffs of Figure 3, and
+// the V-Cache advantage of the 7950X3D.
+package cachesim
+
+import "fmt"
+
+// Cache is one set-associative LRU cache level.
+type Cache struct {
+	lineBytes int
+	sets      int
+	ways      int
+
+	// tags[set*ways+way] holds the line tag; stamp is the LRU clock value
+	// of the entry's last use. valid tracks occupancy.
+	tags  []uint64
+	stamp []uint64
+	valid []bool
+	clock uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// New builds a cache of the given capacity. ways is clamped to the number
+// of lines when the capacity is tiny. Panics on non-positive sizes — cache
+// geometry comes from the amp presets, so a bad value is a programming
+// error, not an input error.
+func New(sizeBytes, lineBytes, ways int) *Cache {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cachesim: invalid geometry size=%d line=%d ways=%d", sizeBytes, lineBytes, ways))
+	}
+	lines := sizeBytes / lineBytes
+	if lines == 0 {
+		lines = 1
+	}
+	if ways > lines {
+		ways = lines
+	}
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	n := sets * ways
+	return &Cache{
+		lineBytes: lineBytes,
+		sets:      sets,
+		ways:      ways,
+		tags:      make([]uint64, n),
+		stamp:     make([]uint64, n),
+		valid:     make([]bool, n),
+	}
+}
+
+// SizeBytes returns the effective capacity after geometry rounding.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * c.lineBytes }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Access touches the byte address, returning true on hit. On miss the line
+// is installed, evicting the LRU way of its set.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	c.clock++
+	victim := base
+	var victimStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		e := base + w
+		if c.valid[e] && c.tags[e] == line {
+			c.stamp[e] = c.clock
+			c.hits++
+			return true
+		}
+		if !c.valid[e] {
+			// Prefer an empty way; stamp 0 loses to any valid entry.
+			if victimStamp != 0 {
+				victim, victimStamp = e, 0
+			}
+		} else if c.stamp[e] < victimStamp {
+			victim, victimStamp = e, c.stamp[e]
+		}
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.stamp[victim] = c.clock
+	c.valid[victim] = true
+	return false
+}
+
+// Contains reports whether the address's line is resident, without
+// updating LRU state or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		e := base + w
+		if c.valid[e] && c.tags[e] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Reset invalidates all lines and clears the counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.clock, c.hits, c.misses = 0, 0, 0
+}
+
+// Hierarchy chains cache levels (L1 first). An access probes levels in
+// order and, on a miss at every level, reports MemoryLevel; lines are
+// installed inclusively in all levels on the way back.
+type Hierarchy struct {
+	Levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from level capacities (L1 first), all
+// with the same line size. Zero-sized levels are skipped, which is how a
+// two-level hierarchy (AMD per-CCD L1+L2+L3 with no L4) or a hypothetical
+// cacheless core is expressed.
+func NewHierarchy(lineBytes int, ways []int, sizes []int) *Hierarchy {
+	if len(ways) != len(sizes) {
+		panic("cachesim: ways/sizes length mismatch")
+	}
+	h := &Hierarchy{}
+	for i, s := range sizes {
+		if s <= 0 {
+			continue
+		}
+		h.Levels = append(h.Levels, New(s, lineBytes, ways[i]))
+	}
+	return h
+}
+
+// MemoryLevel is the value returned by Access when no level holds the line.
+func (h *Hierarchy) MemoryLevel() int { return len(h.Levels) }
+
+// Access probes the hierarchy and returns the level index that served the
+// access: 0 for L1, 1 for L2, ..., MemoryLevel() for DRAM. The line is
+// installed in every level above the serving one (inclusive fill).
+func (h *Hierarchy) Access(addr uint64) int {
+	served := len(h.Levels)
+	for li, c := range h.Levels {
+		if c.Access(addr) {
+			served = li
+			break
+		}
+	}
+	// Access already installed the line in every missed level.
+	return served
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+}

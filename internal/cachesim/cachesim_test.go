@@ -1,0 +1,273 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryRounding(t *testing.T) {
+	c := New(1024, 64, 4) // 16 lines, 4 ways -> 4 sets
+	if c.SizeBytes() != 1024 {
+		t.Fatalf("size = %d", c.SizeBytes())
+	}
+	if c.LineBytes() != 64 {
+		t.Fatalf("line = %d", c.LineBytes())
+	}
+	// Tiny cache: ways clamp to line count.
+	c = New(64, 64, 8)
+	if c.SizeBytes() != 64 {
+		t.Fatalf("tiny cache size = %d", c.SizeBytes())
+	}
+	// Non-power-of-two capacity (30MB L3 of the 12900KF).
+	c = New(30<<20, 64, 12)
+	if c.SizeBytes() > 30<<20 || c.SizeBytes() < 29<<20 {
+		t.Fatalf("30MB geometry = %d", c.SizeBytes())
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	for _, geo := range [][3]int{{0, 64, 8}, {1024, 0, 8}, {1024, 64, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%v) did not panic", geo)
+				}
+			}()
+			New(geo[0], geo[1], geo[2])
+		}()
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := New(4096, 64, 4)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("warm access missed")
+	}
+	if !c.Access(63) {
+		t.Fatal("same line, different byte missed")
+	}
+	if c.Access(64) {
+		t.Fatal("next line should miss")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats = %d/%d, want 2/2", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways, 64B lines. Lines 0,2,4,... map to set 0.
+	c := New(256, 64, 2)
+	c.Access(0 * 64) // set0 way A
+	c.Access(2 * 64) // set0 way B
+	c.Access(0 * 64) // refresh line 0 -> line 2 is LRU
+	c.Access(4 * 64) // evicts line 2
+	if !c.Contains(0 * 64) {
+		t.Fatal("line 0 should survive (recently used)")
+	}
+	if c.Contains(2 * 64) {
+		t.Fatal("line 2 should have been evicted (LRU)")
+	}
+	if !c.Contains(4 * 64) {
+		t.Fatal("line 4 should be resident")
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Access(0)
+	h0, m0 := c.Stats()
+	c.Contains(0)
+	c.Contains(128)
+	h1, m1 := c.Stats()
+	if h0 != h1 || m0 != m1 {
+		t.Fatal("Contains changed counters")
+	}
+	// And it must not refresh LRU: line 0 older than line 2 despite Contains.
+	c.Access(2 * 64)
+	c.Contains(0)    // must NOT refresh
+	c.Access(4 * 64) // evicts LRU = line 0
+	if c.Contains(0) {
+		t.Fatal("Contains refreshed LRU order")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(256, 64, 2)
+	c.Access(0)
+	c.Reset()
+	if c.Contains(0) {
+		t.Fatal("line survived reset")
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatal("stats survived reset")
+	}
+}
+
+// Property: a sequence restricted to W distinct lines within one set never
+// misses after the first touch when W <= ways (LRU never evicts a line of
+// the working set).
+func TestNoCapacityMissWithinWays(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ways := 2 + r.Intn(7)
+		sets := 1 + r.Intn(16)
+		c := New(sets*ways*64, 64, ways)
+		// Pick `ways` lines that all map to set 0.
+		lines := make([]uint64, ways)
+		for i := range lines {
+			lines[i] = uint64(i*sets) * 64 * uint64(c.sets) / uint64(c.sets) // i*sets lines
+		}
+		for i := range lines {
+			lines[i] = uint64(i*c.sets) * 64
+		}
+		for _, l := range lines {
+			c.Access(l)
+		}
+		h0, m0 := c.Stats()
+		if m0 != uint64(ways) || h0 != 0 {
+			return false
+		}
+		for k := 0; k < 200; k++ {
+			if !c.Access(lines[r.Intn(ways)]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits+misses equals the number of Access calls.
+func TestCounterConservation(t *testing.T) {
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(2048, 64, 4)
+		calls := int(n%500) + 1
+		for i := 0; i < calls; i++ {
+			c.Access(uint64(r.Intn(1 << 14)))
+		}
+		h, m := c.Stats()
+		return int(h+m) == calls
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialStreamMissRate(t *testing.T) {
+	// A sequential byte stream misses exactly once per line.
+	c := New(32*1024, 64, 8)
+	total := 64 * 1024
+	for a := 0; a < total; a++ {
+		c.Access(uint64(a))
+	}
+	_, misses := c.Stats()
+	if int(misses) != total/64 {
+		t.Fatalf("sequential misses = %d, want %d", misses, total/64)
+	}
+}
+
+func TestWorkingSetCliff(t *testing.T) {
+	// Repeatedly sweeping a working set larger than the cache under pure
+	// LRU yields ~0% hits (the classic LRU worst case); a set that fits
+	// yields ~100% after warmup. This is the capacity-cliff mechanism
+	// behind Figure 3.
+	c := New(4096, 64, 4)
+	small := 2048  // fits
+	large := 16384 // 4x capacity
+	for rep := 0; rep < 4; rep++ {
+		for a := 0; a < small; a += 64 {
+			c.Access(uint64(a))
+		}
+	}
+	h, m := c.Stats()
+	smallRate := float64(h) / float64(h+m)
+	c.Reset()
+	for rep := 0; rep < 4; rep++ {
+		for a := 0; a < large; a += 64 {
+			c.Access(uint64(a))
+		}
+	}
+	h, m = c.Stats()
+	largeRate := float64(h) / float64(h+m)
+	if smallRate < 0.7 {
+		t.Fatalf("resident sweep hit rate %.2f, want high", smallRate)
+	}
+	if largeRate > 0.1 {
+		t.Fatalf("thrashing sweep hit rate %.2f, want ~0", largeRate)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(64, []int{2, 4, 8}, []int{256, 1024, 8192})
+	if len(h.Levels) != 3 || h.MemoryLevel() != 3 {
+		t.Fatalf("levels = %d", len(h.Levels))
+	}
+	if lvl := h.Access(0); lvl != 3 {
+		t.Fatalf("cold access served by %d, want memory(3)", lvl)
+	}
+	if lvl := h.Access(0); lvl != 0 {
+		t.Fatalf("hot access served by %d, want L1(0)", lvl)
+	}
+	// Push line 0 out of the small L1 but keep it in L2.
+	for a := uint64(64); a < 64+256; a += 64 {
+		h.Access(a)
+	}
+	lvl := h.Access(0)
+	if lvl != 1 && lvl != 2 {
+		t.Fatalf("L1-evicted line served by %d, want L2/L3", lvl)
+	}
+	h.Reset()
+	if lvl := h.Access(0); lvl != 3 {
+		t.Fatal("reset did not clear hierarchy")
+	}
+}
+
+func TestHierarchySkipsZeroLevels(t *testing.T) {
+	h := NewHierarchy(64, []int{2, 4, 8}, []int{256, 0, 8192})
+	if len(h.Levels) != 2 {
+		t.Fatalf("levels = %d, want 2 (L2 skipped)", len(h.Levels))
+	}
+}
+
+func TestHierarchyMismatchedArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHierarchy(64, []int{1}, []int{1, 2})
+}
+
+func TestInclusiveFill(t *testing.T) {
+	h := NewHierarchy(64, []int{2, 4}, []int{256, 4096})
+	h.Access(0) // miss everywhere, installed in both levels
+	if !h.Levels[0].Contains(0) || !h.Levels[1].Contains(0) {
+		t.Fatal("line not installed inclusively")
+	}
+}
+
+// Apple-class parts use 128-byte lines: two adjacent 64-byte-line-sized
+// blocks must hit in the same line, and capacity in lines halves.
+func TestWideCacheLines(t *testing.T) {
+	c := New(4096, 128, 4)
+	if c.Access(0) {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(127) {
+		t.Fatal("same 128B line missed")
+	}
+	if c.Access(128) {
+		t.Fatal("next line hit")
+	}
+	if got := c.SizeBytes(); got != 4096 {
+		t.Fatalf("size %d", got)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"haspmv/internal/exec"
+)
+
+// ComputeBatch performs Y[v] = A * X[v] for a block of vectors with one
+// sweep over the matrix structure: each row fragment's column indices are
+// walked once and reused for every vector, amortizing the index stream the
+// way block Krylov solvers and multi-source graph traversals expect. The
+// partition, reorder and extraY conflict handling are identical to
+// Compute (Algorithm 5), generalized to a vector block.
+func (p *Prepared) ComputeBatch(Y, X [][]float64) {
+	nv := len(X)
+	if len(Y) != nv {
+		panic(fmt.Sprintf("core: batch size mismatch %d vs %d", len(Y), nv))
+	}
+	if nv == 0 {
+		return
+	}
+	for _, x := range X {
+		if len(x) != p.mat.Cols {
+			panic(fmt.Sprintf("core: batch x length %d, want %d", len(x), p.mat.Cols))
+		}
+	}
+	for _, y := range Y {
+		if len(y) != p.mat.Rows {
+			panic(fmt.Sprintf("core: batch y length %d, want %d", len(y), p.mat.Rows))
+		}
+	}
+	for _, r := range p.emptyRows {
+		for v := 0; v < nv; v++ {
+			Y[v][r] = 0
+		}
+	}
+	n := len(p.regions)
+	extraRow := make([]int, n)
+	extraVal := make([][]float64, n)
+	exec.Parallel(n, func(id int) {
+		extraRow[id] = -1
+		reg := p.regions[id]
+		if reg.Lo >= reg.Hi {
+			return
+		}
+		h, mat := p.h, p.mat
+		sums := make([]float64, nv)
+		r := rowOfPosition(h, reg.Lo)
+		pos := reg.Lo
+		for pos < reg.Hi {
+			rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
+			fragEnd := rowEnd
+			if fragEnd > reg.Hi {
+				fragEnd = reg.Hi
+			}
+			if fragEnd > pos {
+				o := h.RowBeginNNZ[r]
+				lo := o + (pos - rowStart)
+				hi := o + (fragEnd - rowStart)
+				for v := range sums {
+					sums[v] = 0
+				}
+				// One index-stream pass serving all vectors.
+				for k := lo; k < hi; k++ {
+					c := mat.ColIdx[k]
+					a := mat.Val[k]
+					for v := 0; v < nv; v++ {
+						sums[v] += a * X[v][c]
+					}
+				}
+				orig := h.Perm[r]
+				if pos == rowStart {
+					for v := 0; v < nv; v++ {
+						Y[v][orig] = sums[v]
+					}
+				} else {
+					extraRow[id] = orig
+					extraVal[id] = append([]float64(nil), sums...)
+				}
+				pos = fragEnd
+			}
+			r++
+		}
+	})
+	for id := 0; id < n; id++ {
+		if extraRow[id] >= 0 {
+			for v := 0; v < nv; v++ {
+				Y[v][extraRow[id]] += extraVal[id][v]
+			}
+		}
+	}
+}

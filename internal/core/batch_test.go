@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haspmv/internal/algtest"
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+)
+
+func TestComputeBatchMatchesCompute(t *testing.T) {
+	m := amp.IntelI912900KF()
+	for _, name := range []string{"powerlaw", "alternating-empty", "hub-row", "tall-rect"} {
+		a := algtest.Matrix(name)
+		prep, err := New(Options{}).Prepare(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := prep.(*Prepared)
+		r := rand.New(rand.NewSource(77))
+		const nv = 5
+		X := make([][]float64, nv)
+		Y := make([][]float64, nv)
+		for v := range X {
+			X[v] = make([]float64, a.Cols)
+			for i := range X[v] {
+				X[v][i] = r.NormFloat64()
+			}
+			Y[v] = make([]float64, a.Rows)
+			for i := range Y[v] {
+				Y[v][i] = 1e300 // poison
+			}
+		}
+		p.ComputeBatch(Y, X)
+		for v := range X {
+			want := make([]float64, a.Rows)
+			p.Compute(want, X[v])
+			for i := range want {
+				if math.Abs(Y[v][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("%s: batch[%d][%d] = %v, want %v", name, v, i, Y[v][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestComputeBatchViaExecHelper(t *testing.T) {
+	m := amp.IntelI913900KF()
+	a := gen.Representative("dawson5", 64)
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The helper must route to the fused path for core's Prepared...
+	if _, ok := exec.Prepared(prep).(exec.BatchPrepared); !ok {
+		t.Fatal("core Prepared does not implement BatchPrepared")
+	}
+	X := [][]float64{make([]float64, a.Cols), make([]float64, a.Cols)}
+	Y := [][]float64{make([]float64, a.Rows), make([]float64, a.Rows)}
+	for i := range X[0] {
+		X[0][i] = 1
+		X[1][i] = float64(i % 3)
+	}
+	exec.ComputeBatch(prep, Y, X)
+	for v := range X {
+		want := make([]float64, a.Rows)
+		a.MulVec(want, X[v])
+		for i := range want {
+			if math.Abs(Y[v][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("vector %d row %d", v, i)
+			}
+		}
+	}
+}
+
+func TestComputeBatchValidation(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("fig1-8x8")
+	prep, _ := New(Options{}).Prepare(m, a)
+	p := prep.(*Prepared)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	good := [][]float64{make([]float64, a.Cols)}
+	goodY := [][]float64{make([]float64, a.Rows)}
+	expectPanic("size mismatch", func() { p.ComputeBatch(goodY, append(good, good[0])) })
+	expectPanic("short x", func() { p.ComputeBatch(goodY, [][]float64{make([]float64, 2)}) })
+	expectPanic("short y", func() { p.ComputeBatch([][]float64{make([]float64, 2)}, good) })
+	// Empty batch is a no-op.
+	p.ComputeBatch(nil, nil)
+}

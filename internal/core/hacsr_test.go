@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+// fig6Matrix is an 8x8 matrix in the spirit of the paper's Figure 6
+// example: mixed short and long rows so the reorder is visible.
+func fig6Matrix() *sparse.CSR {
+	return sparse.FromDense([][]float64{
+		{1, 2, 0, 0, 0, 0, 0, 0}, // len 2 (short)
+		{1, 2, 3, 4, 5, 0, 0, 0}, // len 5 (long)
+		{0, 0, 1, 0, 0, 0, 0, 0}, // len 1 (short)
+		{1, 2, 3, 4, 5, 6, 7, 8}, // len 8 (long)
+		{0, 1, 0, 2, 0, 0, 0, 0}, // len 2 (short)
+		{0, 0, 0, 1, 2, 3, 4, 0}, // len 4 (long)
+		{0, 0, 0, 0, 0, 0, 1, 0}, // len 1 (short)
+		{1, 0, 1, 0, 1, 0, 0, 0}, // len 3 (short)
+	}, 0)
+}
+
+// TestFigure6Example pins the reorder semantics of Algorithm 2 on the
+// worked example: with base 4, short rows {0,2,4,7} fill the front in
+// encounter order and long rows {1,3,5} fill the back in reverse
+// encounter order (the tail_row pointer walks backwards).
+func TestFigure6Example(t *testing.T) {
+	a := fig6Matrix()
+	h := Convert(a, 4)
+	if err := h.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	wantPerm := []int{0, 2, 4, 6, 7, 5, 3, 1}
+	for i, want := range wantPerm {
+		if h.Perm[i] != want {
+			t.Fatalf("Perm = %v, want %v", h.Perm, wantPerm)
+		}
+	}
+	if h.NumShort != 5 {
+		t.Fatalf("NumShort = %d, want 5", h.NumShort)
+	}
+	// Reordered row pointer: lengths 2,1,2,1,3 then 4,8,5.
+	wantPtr := []int{0, 2, 3, 5, 6, 9, 13, 21, 26}
+	for i, want := range wantPtr {
+		if h.RowPtr[i] != want {
+			t.Fatalf("RowPtr = %v, want %v", h.RowPtr, wantPtr)
+		}
+	}
+	// RowBeginNNZ points into the untouched original arrays.
+	if h.RowBeginNNZ[5] != a.RowPtr[5] || h.RowBeginNNZ[7] != a.RowPtr[1] {
+		t.Fatalf("RowBeginNNZ = %v", h.RowBeginNNZ)
+	}
+}
+
+func TestIdentityView(t *testing.T) {
+	a := fig6Matrix()
+	h := Identity(a)
+	if err := h.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range h.Perm {
+		if h.Perm[i] != i {
+			t.Fatal("identity perm not identity")
+		}
+	}
+	if h.NumShort != a.Rows {
+		t.Fatalf("identity NumShort = %d", h.NumShort)
+	}
+}
+
+// Property: Convert preserves the row multiset and the short/long
+// sectioning for random matrices and bases.
+func TestConvertProperty(t *testing.T) {
+	f := func(seed int64, baseRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 1 + r.Intn(300)
+		a := gen.Spec{
+			Name: "c", Rows: rows, Cols: 1 + r.Intn(300),
+			Dist:  gen.UniformLen{Min: 0, Max: 20},
+			Place: gen.Random, Seed: seed,
+		}.Generate()
+		base := 1 + int(baseRaw)%24
+		h := Convert(a, base)
+		return h.Validate(a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvertEmptyAndDegenerate(t *testing.T) {
+	empty := &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	h := Convert(empty, 8)
+	if err := h.Validate(empty); err != nil {
+		t.Fatal(err)
+	}
+	if h.NNZ() != 0 {
+		t.Fatal("empty nnz")
+	}
+	// All rows shorter than base: pure front fill, order preserved.
+	a := fig6Matrix()
+	h = Convert(a, 1000)
+	for i := range h.Perm {
+		if h.Perm[i] != i {
+			t.Fatalf("all-short perm changed: %v", h.Perm)
+		}
+	}
+	// All rows long: pure back fill, order reversed.
+	h = Convert(a, 0)
+	for i := range h.Perm {
+		if h.Perm[i] != a.Rows-1-i {
+			t.Fatalf("all-long perm: %v", h.Perm)
+		}
+	}
+}
+
+// TestFigure7CacheLineCost pins Algorithm 3 on a hand-computed example:
+// with 8 doubles per 64-byte line, columns 0..7 share line 0, 8..15 line
+// 1, and so on.
+func TestFigure7CacheLineCost(t *testing.T) {
+	coo := &sparse.COO{Rows: 4, Cols: 32}
+	// Row 0: cols 0,1,7 -> 1 line.
+	coo.Add(0, 0, 1)
+	coo.Add(0, 1, 1)
+	coo.Add(0, 7, 1)
+	// Row 1: cols 0, 8, 16, 24 -> 4 lines.
+	for j := 0; j < 32; j += 8 {
+		coo.Add(1, j, 1)
+	}
+	// Row 2: cols 6,7,8,9 -> 2 lines (straddles a boundary).
+	for j := 6; j <= 9; j++ {
+		coo.Add(2, j, 1)
+	}
+	// Row 3: empty -> 0 lines.
+	a := coo.ToCSR()
+	want := []int{1, 4, 2, 0}
+	for i, w := range want {
+		if got := RowCacheLineCost(a, i); got != w {
+			t.Fatalf("row %d cost %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestCostSumMetrics(t *testing.T) {
+	a := fig6Matrix()
+	h := Identity(a)
+	nnzCS := costSum(a, h, NNZCost)
+	if nnzCS[a.Rows] != a.NNZ() {
+		t.Fatalf("nnz cost total %d, want %d", nnzCS[a.Rows], a.NNZ())
+	}
+	rowCS := costSum(a, h, RowCost)
+	if rowCS[a.Rows] != a.Rows {
+		t.Fatalf("row cost total %d", rowCS[a.Rows])
+	}
+	clCS := costSum(a, h, CacheLineCost)
+	// 8 columns fit one line: every non-empty row costs exactly 1.
+	if clCS[a.Rows] != 8 {
+		t.Fatalf("cacheline cost total %d, want 8", clCS[a.Rows])
+	}
+	// Prefix sums must be monotone.
+	for i := 1; i <= a.Rows; i++ {
+		if clCS[i] < clCS[i-1] || nnzCS[i] < nnzCS[i-1] {
+			t.Fatal("cost prefix not monotone")
+		}
+	}
+	// Reordered view must preserve the total.
+	hr := Convert(a, 4)
+	if cs := costSum(a, hr, NNZCost); cs[a.Rows] != a.NNZ() {
+		t.Fatal("reorder changed total cost")
+	}
+}
+
+func TestCostMetricStrings(t *testing.T) {
+	if CacheLineCost.String() != "cacheline" || NNZCost.String() != "nnz" || RowCost.String() != "row" {
+		t.Fatal("metric strings")
+	}
+	if CostMetric(9).String() == "" {
+		t.Fatal("unknown metric string")
+	}
+}
+
+func TestConversionIsCheap(t *testing.T) {
+	// HACSR's selling point: conversion touches only row-level arrays.
+	// Verify Convert leaves the original matrix untouched.
+	a := fig6Matrix()
+	before := a.Clone()
+	Convert(a, 4)
+	if !a.Equal(before) {
+		t.Fatal("Convert mutated the source matrix")
+	}
+}

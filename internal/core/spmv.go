@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/kernel"
+	"haspmv/internal/sparse"
+)
+
+// Options configure HASpMV. The zero value selects the paper's defaults:
+// both core groups, auto-calibrated P proportion and base threshold,
+// cache-line cost partitioning, reordering enabled.
+type Options struct {
+	// Config selects the participating cores (default both groups).
+	Config amp.Config
+	// PProportion is the level-1 cost share of the P-group; 0 derives it
+	// from the machine (DefaultProportion).
+	PProportion float64
+	// Base is the HACSR short/long threshold; 0 derives it from the
+	// matrix (AutoBase).
+	Base int
+	// Metric is the partitioning cost measure (default CacheLineCost).
+	Metric CostMetric
+	// DisableReorder skips the HACSR reorder (ablation; also Figure 9's
+	// partition-only comparisons run with natural order).
+	DisableReorder bool
+	// OneLevel disables the heterogeneity-aware level-1 split, balancing
+	// cost equally across all cores (ablation).
+	OneLevel bool
+}
+
+// New builds the HASpMV algorithm. Config defaults to both groups (PAndE).
+func New(opts Options) exec.Algorithm { return &alg{opts: opts} }
+
+type alg struct{ opts Options }
+
+func (a *alg) Name() string { return fmt.Sprintf("HASpMV(%v,%v)", a.opts.Config, a.opts.Metric) }
+
+func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
+	if err := mat.Validate(); err != nil {
+		return nil, err
+	}
+	opts := a.opts
+	if opts.PProportion <= 0 || opts.PProportion >= 1 {
+		opts.PProportion = ProportionFor(m, mat)
+	}
+	if opts.Base <= 0 {
+		opts.Base = AutoBase(mat)
+	}
+
+	var h *HACSR
+	if opts.DisableReorder {
+		h = Identity(mat)
+	} else {
+		h = Convert(mat, opts.Base)
+	}
+	cs := costSum(mat, h, opts.Metric)
+	cores := m.Cores(opts.Config)
+	regions := partition(mat, h, cs, m, cores, opts.PProportion, opts.Metric, opts.OneLevel)
+	if err := checkRegions(h, regions); err != nil {
+		return nil, err
+	}
+
+	// Rows with no nonzeros occupy zero width in nnz space and are not
+	// visited by the region walk; Compute zeroes them explicitly.
+	nEmpty := 0
+	for i := 0; i < mat.Rows; i++ {
+		if mat.RowPtr[i+1] == mat.RowPtr[i] {
+			nEmpty++
+		}
+	}
+	var empty []int
+	if nEmpty > 0 {
+		empty = make([]int, 0, nEmpty)
+		for i := 0; i < mat.Rows; i++ {
+			if mat.RowPtr[i+1] == mat.RowPtr[i] {
+				empty = append(empty, i)
+			}
+		}
+	}
+
+	// Per-core unroll threshold (Algorithm 6 determines Len by core
+	// type): P-class cores switch to the doubly-unrolled path earlier.
+	unroll := make([]int, len(cores))
+	for i, c := range cores {
+		if g, _ := m.GroupOf(c); g.Kind == amp.Performance {
+			unroll[i] = 32
+		} else {
+			unroll[i] = 64
+		}
+	}
+
+	return &Prepared{
+		mat: mat, h: h, machine: m,
+		opts: opts, regions: regions, emptyRows: empty, unroll: unroll,
+	}, nil
+}
+
+// Prepared is an analyzed HASpMV instance. It is exported (unlike the
+// baselines') so tests and the harness can inspect the format and the
+// partition.
+type Prepared struct {
+	mat       *sparse.CSR
+	h         *HACSR
+	machine   *amp.Machine
+	opts      Options
+	regions   []Region
+	emptyRows []int
+	unroll    []int
+}
+
+// Format exposes the HACSR view.
+func (p *Prepared) Format() *HACSR { return p.h }
+
+// Regions exposes the per-core partition in reordered-nnz space.
+func (p *Prepared) Regions() []Region { return p.regions }
+
+// Compute implements Algorithm 5: per-core fragment kernels with the
+// extraY epilogue resolving rows that are cut across cores.
+func (p *Prepared) Compute(y, x []float64) {
+	for _, r := range p.emptyRows {
+		y[r] = 0
+	}
+	n := len(p.regions)
+	extraRow := make([]int, n)
+	extraVal := make([]float64, n)
+	exec.Parallel(n, func(id int) {
+		extraRow[id] = -1
+		reg := p.regions[id]
+		if reg.Lo >= reg.Hi {
+			return
+		}
+		h, mat := p.h, p.mat
+		un := p.unroll[id]
+		r := rowOfPosition(h, reg.Lo)
+		pos := reg.Lo
+		for pos < reg.Hi {
+			rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
+			fragEnd := rowEnd
+			if fragEnd > reg.Hi {
+				fragEnd = reg.Hi
+			}
+			if fragEnd > pos {
+				o := h.RowBeginNNZ[r]
+				sum := kernel.DotRange(mat.Val, mat.ColIdx, x,
+					o+(pos-rowStart), o+(fragEnd-rowStart), un)
+				if pos == rowStart {
+					// This core owns the row's first fragment: direct
+					// store (Algorithm 5's y[pl[id]] = kernel(...)).
+					y[h.Perm[r]] = sum
+				} else {
+					// Continuation fragment: only the first row of a
+					// region can start mid-row.
+					extraRow[id] = h.Perm[r]
+					extraVal[id] = sum
+				}
+				pos = fragEnd
+			}
+			r++
+		}
+	})
+	// Serial epilogue (Algorithm 5 lines 15-17): add the tail conflicts.
+	for id := 0; id < n; id++ {
+		if extraRow[id] >= 0 {
+			y[extraRow[id]] += extraVal[id]
+		}
+	}
+}
+
+// rowOfPosition returns the reordered row containing reordered-nnz
+// position pos (the first row whose end exceeds it).
+func rowOfPosition(h *HACSR, pos int) int {
+	return sort.Search(h.Rows, func(i int) bool { return h.RowPtr[i+1] > pos })
+}
+
+// Assignments maps each region to spans in the original matrix's nnz
+// space for the performance model, merging fragments of consecutive
+// original rows into single spans.
+func (p *Prepared) Assignments() []costmodel.Assignment {
+	h := p.h
+	asgs := make([]costmodel.Assignment, len(p.regions))
+	for i, reg := range p.regions {
+		asg := costmodel.Assignment{Core: reg.Core}
+		if reg.Lo < reg.Hi {
+			r := rowOfPosition(h, reg.Lo)
+			pos := reg.Lo
+			var cur costmodel.Span
+			open := false
+			for pos < reg.Hi {
+				rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
+				fragEnd := rowEnd
+				if fragEnd > reg.Hi {
+					fragEnd = reg.Hi
+				}
+				if fragEnd > pos {
+					o := h.RowBeginNNZ[r]
+					lo := o + (pos - rowStart)
+					hi := o + (fragEnd - rowStart)
+					if open && cur.Hi == lo {
+						cur.Hi = hi
+					} else {
+						if open {
+							asg.Spans = append(asg.Spans, cur)
+						}
+						cur = costmodel.Span{Lo: lo, Hi: hi}
+						open = true
+					}
+					pos = fragEnd
+				}
+				r++
+			}
+			if open {
+				asg.Spans = append(asg.Spans, cur)
+			}
+		}
+		asgs[i] = asg
+	}
+	return asgs
+}

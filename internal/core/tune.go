@@ -1,0 +1,64 @@
+package core
+
+import (
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/sparse"
+)
+
+// TuneProportion searches the level-1 split share that minimizes the
+// modeled SpMV time of this matrix on this machine — the programmatic
+// version of the paper's micro-benchmark-driven calibration (Section III
+// derives P_proportion from bandwidth and SpMV probes per processor).
+//
+// The modeled time is unimodal in the proportion for fixed everything
+// else (shifting work to a group monotonically loads it), so a
+// golden-section search over [0.05, 0.95] converges quickly; tol is the
+// result resolution (e.g. 0.01).
+func TuneProportion(m *amp.Machine, p costmodel.Params, a *sparse.CSR, opts Options, tol float64) (best float64, bestSeconds float64, err error) {
+	if tol <= 0 {
+		tol = 0.01
+	}
+	eval := func(prop float64) (float64, error) {
+		o := opts
+		o.PProportion = prop
+		prep, err := New(o).Prepare(m, a)
+		if err != nil {
+			return 0, err
+		}
+		return exec.Simulate(m, p, a, prep).Seconds, nil
+	}
+
+	const invPhi = 0.6180339887498949
+	lo, hi := 0.05, 0.95
+	x1 := hi - (hi-lo)*invPhi
+	x2 := lo + (hi-lo)*invPhi
+	f1, err := eval(x1)
+	if err != nil {
+		return 0, 0, err
+	}
+	f2, err := eval(x2)
+	if err != nil {
+		return 0, 0, err
+	}
+	for hi-lo > tol {
+		if f1 <= f2 {
+			hi, x2, f2 = x2, x1, f1
+			x1 = hi - (hi-lo)*invPhi
+			if f1, err = eval(x1); err != nil {
+				return 0, 0, err
+			}
+		} else {
+			lo, x1, f1 = x1, x2, f2
+			x2 = lo + (hi-lo)*invPhi
+			if f2, err = eval(x2); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if f1 <= f2 {
+		return x1, f1, nil
+	}
+	return x2, f2, nil
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+)
+
+func TestTuneProportionBeatsSweepNeighbours(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := costmodel.DefaultParams()
+	a := gen.Representative("shipsec1", 32)
+	best, bestSec, err := TuneProportion(m, p, a, Options{}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best <= 0.05 || best >= 0.95 {
+		t.Fatalf("tuned proportion %v at search boundary", best)
+	}
+	if bestSec <= 0 {
+		t.Fatal("no time returned")
+	}
+	// The tuned value must be at least as good as a coarse sweep.
+	for prop := 0.1; prop < 0.95; prop += 0.1 {
+		prep, err := New(Options{PProportion: prop}).Prepare(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec := exec.Simulate(m, p, a, prep).Seconds
+		if sec < bestSec*0.98 {
+			t.Fatalf("sweep found %.2f at %.4g, tuner stuck at %.2f/%.4g", prop, sec, best, bestSec)
+		}
+	}
+	// On Intel the optimum must favor the P-group.
+	if best < 0.55 {
+		t.Fatalf("Intel tuned proportion %v, want > 0.55", best)
+	}
+}
+
+func TestTuneProportionAMDNearHalf(t *testing.T) {
+	m := amp.AMDRyzen97950X()
+	p := costmodel.DefaultParams()
+	a := gen.Representative("Dubcova2", 32)
+	best, _, err := TuneProportion(m, p, a, Options{}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(best-0.5) > 0.06 {
+		t.Fatalf("homogeneous AMD tuned proportion %v, want ~0.5", best)
+	}
+}
+
+func TestTuneProportionDefaultTolAndErrors(t *testing.T) {
+	m := amp.IntelI913900KF()
+	p := costmodel.DefaultParams()
+	a := gen.Representative("dawson5", 64)
+	if _, _, err := TuneProportion(m, p, a, Options{}, -1); err != nil {
+		t.Fatal(err)
+	}
+	bad := a.Clone()
+	bad.ColIdx[0] = -1
+	if _, _, err := TuneProportion(m, p, bad, Options{}, 0.05); err == nil {
+		t.Fatal("invalid matrix accepted")
+	}
+}

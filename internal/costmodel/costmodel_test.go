@@ -1,0 +1,339 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+func fullMatrixOn(core int, a *sparse.CSR) []Assignment {
+	return []Assignment{{Core: core, Spans: []Span{{Lo: 0, Hi: a.NNZ()}}}}
+}
+
+// evenSplit statically splits nnz across the cores (homogeneous
+// nnz-balanced partition, the heterogeneity-blind baseline behaviour).
+func evenSplit(cores []int, a *sparse.CSR) []Assignment {
+	n := a.NNZ()
+	asgs := make([]Assignment, len(cores))
+	for i, c := range cores {
+		lo := n * i / len(cores)
+		hi := n * (i + 1) / len(cores)
+		asgs[i] = Assignment{Core: c, Spans: []Span{{Lo: lo, Hi: hi}}}
+	}
+	return asgs
+}
+
+func mediumMatrix(rows int) *sparse.CSR {
+	return gen.Spec{
+		Name: "medium", Rows: rows, Cols: rows, TargetNNZ: rows * 20,
+		Dist:  gen.NormalLen{Mean: 20, Std: 4, Min: 1, Max: 60},
+		Place: gen.Clustered, Seed: 7,
+	}.Generate()
+}
+
+func TestEstimateBasics(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a := mediumMatrix(2000)
+	res := EstimateSpMV(m, p, a, fullMatrixOn(0, a))
+	if res.Seconds <= 0 || res.GFlops <= 0 {
+		t.Fatalf("degenerate estimate: %+v", res)
+	}
+	if len(res.PerCore) != 1 {
+		t.Fatalf("per-core entries: %d", len(res.PerCore))
+	}
+	cc := res.PerCore[0]
+	if cc.NNZ != a.NNZ() || cc.Rows != a.Rows {
+		t.Fatalf("accounting: nnz %d rows %d, want %d/%d", cc.NNZ, cc.Rows, a.NNZ(), a.Rows)
+	}
+	if cc.Seconds < cc.ComputeSeconds || cc.Seconds < cc.MemSeconds {
+		t.Fatal("core time below its own components")
+	}
+	totalBytes := 0.0
+	for _, b := range cc.LevelBytes {
+		if b < 0 {
+			t.Fatal("negative level bytes")
+		}
+		totalBytes += b
+	}
+	if totalBytes == 0 {
+		t.Fatal("no memory traffic accounted")
+	}
+}
+
+func TestEmptyRowsAndPartialSpans(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a, err := sparse.NewCSR(4, 4, []int{0, 0, 3, 3, 6}, []int{0, 1, 2, 1, 2, 3}, []float64{1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split mid-row: [0,2) and [2,6).
+	asgs := []Assignment{
+		{Core: 0, Spans: []Span{{0, 2}}},
+		{Core: 8, Spans: []Span{{2, 6}}},
+	}
+	res := EstimateSpMV(m, p, a, asgs)
+	// Row 1 is split: core 0 sees 1 partial row, core 8 sees the rest of
+	// row 1 plus row 3 = 2 kernel invocations.
+	if res.PerCore[0].Rows != 1 || res.PerCore[1].Rows != 2 {
+		t.Fatalf("partial row accounting: %d/%d", res.PerCore[0].Rows, res.PerCore[1].Rows)
+	}
+	if res.PerCore[0].NNZ+res.PerCore[1].NNZ != 6 {
+		t.Fatal("nnz conservation")
+	}
+}
+
+func TestSpanOutOfRangePanics(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := mediumMatrix(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad span")
+		}
+	}()
+	EstimateSpMV(m, DefaultParams(), a, []Assignment{{Core: 0, Spans: []Span{{0, a.NNZ() + 1}}}})
+}
+
+// Figure 5 shape, 12900KF: a single P-core beats a single E-core by ~2x on
+// short/medium-row matrices, with the gap narrowing on very long rows.
+func TestFig5ShapeIntel12900(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	short := gen.Spec{Name: "s", Rows: 20000, Cols: 20000, TargetNNZ: 20000 * 6,
+		Dist: gen.NormalLen{Mean: 6, Std: 2, Min: 1, Max: 16}, Place: gen.Clustered, Seed: 1}.Generate()
+	// 2000 rows x 4000 nnz: ~96MB of streaming arrays, far beyond the
+	// 30MB LLC, so the single core is DRAM-bound (where P/E converge).
+	long := gen.Spec{Name: "l", Rows: 2000, Cols: 300000, TargetNNZ: 2000 * 4000,
+		Dist: gen.ConstLen{L: 4000}, Place: gen.Banded, Seed: 2}.Generate()
+
+	ratio := func(a *sparse.CSR) float64 {
+		tp := EstimateSpMV(m, p, a, fullMatrixOn(0, a)).Seconds
+		te := EstimateSpMV(m, p, a, fullMatrixOn(8, a)).Seconds
+		return te / tp
+	}
+	rShort := ratio(short)
+	rLong := ratio(long)
+	if rShort < 1.5 || rShort > 3.5 {
+		t.Fatalf("short-row P/E speedup %.2f, want ~2-2.5", rShort)
+	}
+	if rLong >= rShort {
+		t.Fatalf("long-row speedup %.2f did not narrow from %.2f", rLong, rShort)
+	}
+	if rLong > 1.8 {
+		t.Fatalf("long-row speedup %.2f, want close to 1", rLong)
+	}
+}
+
+// Figure 5 shape, 13900KF: P stays ~2x ahead even on long rows.
+func TestFig5ShapeIntel13900(t *testing.T) {
+	m := amp.IntelI913900KF()
+	p := DefaultParams()
+	long := gen.Spec{Name: "l", Rows: 2000, Cols: 300000, TargetNNZ: 2000 * 4000,
+		Dist: gen.ConstLen{L: 4000}, Place: gen.Banded, Seed: 2}.Generate()
+	tp := EstimateSpMV(m, p, long, fullMatrixOn(0, long)).Seconds
+	te := EstimateSpMV(m, p, long, fullMatrixOn(8, long)).Seconds
+	if r := te / tp; r < 1.6 {
+		t.Fatalf("13900KF long-row P/E speedup %.2f, want ~2", r)
+	}
+}
+
+// Figure 5 shape, AMD: CCD0 and CCD1 cores are identical below the L3
+// difference, so single-core speedup is ~1 for cache-small matrices.
+func TestFig5ShapeAMD(t *testing.T) {
+	m := amp.AMDRyzen97950X3D()
+	p := DefaultParams()
+	a := mediumMatrix(5000)
+	t0 := EstimateSpMV(m, p, a, fullMatrixOn(0, a)).Seconds
+	t1 := EstimateSpMV(m, p, a, fullMatrixOn(8, a)).Seconds
+	r := t1 / t0
+	if r < 0.95 || r > 1.05 {
+		t.Fatalf("AMD single-core ratio %.3f, want ~1", r)
+	}
+}
+
+// The V-Cache must show up: an x working set that fits 96MB but not 32MB
+// runs faster on a CCD0 core of the 7950X3D than on CCD1, and the
+// homogeneous 7950X shows no such gap.
+func TestVCacheEffect(t *testing.T) {
+	rows := 600000 // x = 4.8MB... scaled below by per-core L3 share math
+	a := gen.Spec{Name: "v", Rows: rows, Cols: rows, TargetNNZ: rows * 8,
+		Dist: gen.NormalLen{Mean: 8, Std: 2, Min: 1, Max: 20}, Place: gen.Random, Seed: 3}.Generate()
+	p := DefaultParams()
+	x3d := amp.AMDRyzen97950X3D()
+	t0 := EstimateSpMV(x3d, p, a, fullMatrixOn(0, a)).Seconds
+	t1 := EstimateSpMV(x3d, p, a, fullMatrixOn(8, a)).Seconds
+	if t0 >= t1 {
+		t.Fatalf("V-Cache core not faster: CCD0 %.4g vs CCD1 %.4g", t0, t1)
+	}
+	x := amp.AMDRyzen97950X()
+	u0 := EstimateSpMV(x, p, a, fullMatrixOn(0, a)).Seconds
+	u1 := EstimateSpMV(x, p, a, fullMatrixOn(8, a)).Seconds
+	if u0 != u1 {
+		t.Fatalf("7950X cores differ: %.4g vs %.4g", u0, u1)
+	}
+}
+
+// Heterogeneity-blind even splits leave E-cores as stragglers: the E-core
+// maximum must exceed the P-core maximum on Intel.
+func TestEvenSplitStragglers(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a := mediumMatrix(20000)
+	res := EstimateSpMV(m, p, a, evenSplit(m.Cores(amp.PAndE), a))
+	var maxP, maxE float64
+	for _, cc := range res.PerCore {
+		g, _ := m.GroupOf(cc.Core)
+		if g.Kind == amp.Performance {
+			if cc.Seconds > maxP {
+				maxP = cc.Seconds
+			}
+		} else if cc.Seconds > maxE {
+			maxE = cc.Seconds
+		}
+	}
+	if maxE <= maxP {
+		t.Fatalf("even split: E max %.4g not above P max %.4g", maxE, maxP)
+	}
+}
+
+// A P-proportioned split (more work to P-cores) must beat the even split
+// on Intel — the core premise of HASpMV.
+func TestProportionalSplitBeatsEven(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a := mediumMatrix(20000)
+	cores := m.Cores(amp.PAndE)
+	even := EstimateSpMV(m, p, a, evenSplit(cores, a)).Seconds
+
+	// 72% of nnz to the 8 P-cores, 28% to the 8 E-cores.
+	n := a.NNZ()
+	cut := n * 72 / 100
+	asgs := make([]Assignment, 0, 16)
+	for i := 0; i < 8; i++ {
+		asgs = append(asgs, Assignment{Core: i, Spans: []Span{{cut * i / 8, cut * (i + 1) / 8}}})
+	}
+	for i := 0; i < 8; i++ {
+		asgs = append(asgs, Assignment{Core: 8 + i, Spans: []Span{{cut + (n-cut)*i/8, cut + (n-cut)*(i+1)/8}}})
+	}
+	prop := EstimateSpMV(m, p, a, asgs).Seconds
+	if prop >= even {
+		t.Fatalf("proportional %.4g not faster than even %.4g", prop, even)
+	}
+}
+
+// Property: adding more of the matrix to a core never reduces its time,
+// and the estimate is deterministic.
+func TestMonotonicityProperty(t *testing.T) {
+	m := amp.IntelI913900KF()
+	p := DefaultParams()
+	a := mediumMatrix(3000)
+	f := func(cutRaw uint16) bool {
+		cut := 1 + int(cutRaw)%(a.NNZ()-1)
+		small := EstimateSpMV(m, p, a, []Assignment{{Core: 0, Spans: []Span{{0, cut}}}})
+		full := EstimateSpMV(m, p, a, fullMatrixOn(0, a))
+		again := EstimateSpMV(m, p, a, []Assignment{{Core: 0, Spans: []Span{{0, cut}}}})
+		return small.Seconds <= full.Seconds && small.Seconds == again.Seconds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	caps := [3]float64{100, 1000, 10000}
+	w := waterfall(50, caps)
+	if w != [4]float64{50, 0, 0, 0} {
+		t.Fatalf("tiny footprint: %v", w)
+	}
+	w = waterfall(500, caps)
+	if w != [4]float64{100, 400, 0, 0} {
+		t.Fatalf("L2 footprint: %v", w)
+	}
+	w = waterfall(20000, caps)
+	if w != [4]float64{100, 900, 9000, 10000} {
+		t.Fatalf("DRAM footprint: %v", w)
+	}
+	sum := 0.0
+	for _, b := range w {
+		sum += b
+	}
+	if sum != 20000 {
+		t.Fatalf("waterfall lost bytes: %v", sum)
+	}
+	// Non-monotone capacities (smaller L3 slice than L2 after sharing)
+	// must not produce negative slices.
+	w = waterfall(5000, [3]float64{100, 2000, 500})
+	for _, b := range w {
+		if b < 0 {
+			t.Fatalf("negative slice: %v", w)
+		}
+	}
+}
+
+func TestXShareClamps(t *testing.T) {
+	caps := [3]float64{1, 1, 1 << 20}
+	if s := xShare(1, 1e12, caps); s != 0.15 {
+		t.Fatalf("low clamp: %v", s)
+	}
+	if s := xShare(1e12, 1, caps); s != 0.85 {
+		t.Fatalf("high clamp: %v", s)
+	}
+	if s := xShare(0, 0, caps); s != 0.5 {
+		t.Fatalf("zero case: %v", s)
+	}
+}
+
+func TestContentionBoundsReported(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	// Huge streaming matrix on all cores: the chip DRAM ceiling must bind.
+	a := gen.Spec{Name: "big", Rows: 400000, Cols: 400000, TargetNNZ: 6000000,
+		Dist: gen.NormalLen{Mean: 15, Std: 3, Min: 1, Max: 40}, Place: gen.Banded, Seed: 4}.Generate()
+	res := EstimateSpMV(m, p, a, evenSplit(m.Cores(amp.PAndE), a))
+	if res.BoundBy == "core" {
+		t.Fatalf("DRAM-saturating run bound by %q", res.BoundBy)
+	}
+	// Tiny matrix on one core: core-bound.
+	small := mediumMatrix(200)
+	res = EstimateSpMV(m, p, small, fullMatrixOn(0, small))
+	if res.BoundBy != "core" {
+		t.Fatalf("tiny run bound by %q", res.BoundBy)
+	}
+}
+
+func TestZeroAssignments(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := mediumMatrix(100)
+	res := EstimateSpMV(m, DefaultParams(), a, nil)
+	if res.Seconds != 0 || res.GFlops != 0 {
+		t.Fatalf("empty assignment: %+v", res)
+	}
+}
+
+// The extension machines must price sanely too, including Apple's 128-byte
+// cache lines (which halve the distinct-line count of a gather).
+func TestExtensionMachines(t *testing.T) {
+	a := mediumMatrix(4000)
+	p := DefaultParams()
+	for _, m := range []*amp.Machine{amp.AppleM2Like(), amp.ARMBigLittleLike()} {
+		res := EstimateSpMV(m, p, a, evenSplit(m.Cores(amp.PAndE), a))
+		if res.Seconds <= 0 || res.GFlops <= 0 {
+			t.Fatalf("%s: %+v", m.Name, res)
+		}
+		single := EstimateSpMV(m, p, a, fullMatrixOn(0, a))
+		if single.Seconds <= res.Seconds {
+			t.Fatalf("%s: single core %v not slower than all cores %v", m.Name, single.Seconds, res.Seconds)
+		}
+	}
+	// big.LITTLE: the LITTLE core is much slower than big.
+	bl := amp.ARMBigLittleLike()
+	tb := EstimateSpMV(bl, p, a, fullMatrixOn(0, a)).Seconds
+	tl := EstimateSpMV(bl, p, a, fullMatrixOn(4, a)).Seconds
+	if tl < 1.8*tb {
+		t.Fatalf("LITTLE/big ratio %.2f, want > 1.8", tl/tb)
+	}
+}

@@ -1,0 +1,41 @@
+package costmodel
+
+import "haspmv/internal/amp"
+
+// Energy is the modeled package energy of one SpMV (an extension beyond
+// the paper's evaluation: energy efficiency is the original motivation
+// for single-ISA AMPs — Kumar et al., MICRO'03 — so the model exposes
+// it). Core energy integrates each core's active power over its own busy
+// time; uncore power runs for the whole makespan.
+type Energy struct {
+	Joules       float64
+	CoreJoules   float64
+	UncoreJoules float64
+	AvgWatts     float64
+	// GFlopsPerWatt is the efficiency figure of merit.
+	GFlopsPerWatt float64
+}
+
+// EstimateEnergy derives the energy of an estimate on machine m. The
+// result's PerCore busy times are trusted as-is; idle cores cost nothing
+// beyond uncore.
+func EstimateEnergy(m *amp.Machine, r Result) Energy {
+	var e Energy
+	for _, cc := range r.PerCore {
+		g, _ := m.GroupOf(cc.Core)
+		busy := cc.Seconds
+		if busy > r.Seconds {
+			busy = r.Seconds
+		}
+		e.CoreJoules += g.ActiveWatts * busy
+	}
+	e.UncoreJoules = m.UncoreWatts * r.Seconds
+	e.Joules = e.CoreJoules + e.UncoreJoules
+	if r.Seconds > 0 {
+		e.AvgWatts = e.Joules / r.Seconds
+	}
+	if e.Joules > 0 && r.Seconds > 0 {
+		e.GFlopsPerWatt = r.GFlops / e.AvgWatts
+	}
+	return e
+}

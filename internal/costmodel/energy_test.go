@@ -1,0 +1,79 @@
+package costmodel
+
+import (
+	"testing"
+
+	"haspmv/internal/amp"
+)
+
+func TestEnergyBasics(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a := mediumMatrix(5000)
+	r := EstimateSpMV(m, p, a, fullMatrixOn(0, a))
+	e := EstimateEnergy(m, r)
+	if e.Joules <= 0 || e.AvgWatts <= 0 || e.GFlopsPerWatt <= 0 {
+		t.Fatalf("degenerate energy: %+v", e)
+	}
+	if e.Joules != e.CoreJoules+e.UncoreJoules {
+		t.Fatal("energy components do not sum")
+	}
+	// One P-core at 13W plus 18W uncore, for the whole run.
+	wantWatts := 13.0 + 18.0
+	if e.AvgWatts < wantWatts-0.01 || e.AvgWatts > wantWatts+0.01 {
+		t.Fatalf("avg watts %.2f, want ~%.0f", e.AvgWatts, wantWatts)
+	}
+}
+
+// An E-core run must draw less average power than a P-core run of the
+// same work on Intel — the premise of efficiency cores.
+func TestECoreDrawsLessPower(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a := mediumMatrix(5000)
+	rp := EstimateSpMV(m, p, a, fullMatrixOn(0, a))
+	re := EstimateSpMV(m, p, a, fullMatrixOn(8, a))
+	ep := EstimateEnergy(m, rp)
+	ee := EstimateEnergy(m, re)
+	if ee.AvgWatts >= ep.AvgWatts {
+		t.Fatalf("E-core %.1fW not below P-core %.1fW", ee.AvgWatts, ep.AvgWatts)
+	}
+	// And on this memory-light matrix the E-core is also more
+	// energy-efficient despite being slower (Kumar et al.'s point).
+	if ee.Joules >= ep.Joules*2.5 {
+		t.Fatalf("E-core energy %.3gJ implausibly above P-core %.3gJ", ee.Joules, ep.Joules)
+	}
+}
+
+// A faster schedule on the same cores must cost less energy: uncore power
+// integrates over the makespan, so load balancing saves joules too.
+func TestBalancedScheduleSavesEnergy(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := DefaultParams()
+	a := mediumMatrix(20000)
+	cores := m.Cores(amp.PAndE)
+	even := EstimateSpMV(m, p, a, evenSplit(cores, a))
+	n := a.NNZ()
+	cut := n * 72 / 100
+	asgs := make([]Assignment, 0, 16)
+	for i := 0; i < 8; i++ {
+		asgs = append(asgs, Assignment{Core: i, Spans: []Span{{Lo: cut * i / 8, Hi: cut * (i + 1) / 8}}})
+	}
+	for i := 0; i < 8; i++ {
+		asgs = append(asgs, Assignment{Core: 8 + i, Spans: []Span{{Lo: cut + (n-cut)*i/8, Hi: cut + (n-cut)*(i+1)/8}}})
+	}
+	prop := EstimateSpMV(m, p, a, asgs)
+	eEven := EstimateEnergy(m, even)
+	eProp := EstimateEnergy(m, prop)
+	if eProp.Joules >= eEven.Joules {
+		t.Fatalf("balanced schedule energy %.3g not below even split %.3g", eProp.Joules, eEven.Joules)
+	}
+}
+
+func TestEnergyZeroResult(t *testing.T) {
+	m := amp.IntelI912900KF()
+	e := EstimateEnergy(m, Result{})
+	if e.Joules != 0 || e.AvgWatts != 0 || e.GFlopsPerWatt != 0 {
+		t.Fatalf("empty result energy: %+v", e)
+	}
+}

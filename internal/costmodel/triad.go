@@ -1,0 +1,68 @@
+package costmodel
+
+import "haspmv/internal/amp"
+
+// TriadResult reports one stream-triad estimate.
+type TriadResult struct {
+	// GBps is the achieved bandwidth 24*N bytes / time, McCalpin's triad
+	// accounting (a[i] = b[i] + s*c[i]: two loads and one store).
+	GBps    float64
+	Seconds float64
+	BoundBy string
+}
+
+// EstimateTriad prices the stream triad kernel over N float64 elements
+// split equally (OpenMP static scheduling, as the stream package does)
+// across the given cores of machine m. This reproduces the paper's
+// Figure 3 micro-benchmark: the three core compositions of each AMP swept
+// over vector sizes from cache-resident to DRAM-bound.
+func EstimateTriad(m *amp.Machine, p Params, cores []int, elems int) TriadResult {
+	if len(cores) == 0 || elems <= 0 {
+		return TriadResult{}
+	}
+	activeP, activeE := 0, 0
+	for _, c := range cores {
+		g, _ := m.GroupOf(c)
+		if g.Kind == amp.Performance {
+			activeP++
+		} else {
+			activeE++
+		}
+	}
+
+	totalBytes := 24 * float64(elems)
+	perCoreBytes := totalBytes / float64(len(cores))
+
+	t := 0.0
+	dram := make([]float64, len(cores))
+	asgs := make([]Assignment, len(cores))
+	for i, c := range cores {
+		g, _ := m.GroupOf(c)
+		asgs[i] = Assignment{Core: c}
+		caps := effectiveCaches(m, g, activeP, activeE)
+		lvl := waterfall(perCoreBytes, caps)
+		bpc := levelBPC(g, p)
+		sec := 0.0
+		for l := 0; l < 3; l++ {
+			sec += lvl[l] / (bpc[l] * g.FreqGHz * 1e9)
+		}
+		sec += lvl[3] / (g.MemBWGBps * 1e9)
+		// The triad FMA itself is never the bottleneck on these cores;
+		// charge one cycle per SIMD-width elements as a floor.
+		compute := perCoreBytes / 24 / float64(g.SIMDLanes) / (g.FreqGHz * 1e9)
+		if compute > sec {
+			sec = compute
+		}
+		if sec > t {
+			t = sec
+		}
+		dram[i] = lvl[3]
+	}
+
+	costs := make([]CoreCost, len(cores))
+	for i := range costs {
+		costs[i].Seconds = t // only the max matters to applyContention
+	}
+	sec, bound := applyContention(m, p, asgs, costs, dram, activeP, activeE)
+	return TriadResult{GBps: totalBytes / sec / 1e9, Seconds: sec, BoundBy: bound}
+}

@@ -1,0 +1,129 @@
+package costmodel
+
+import (
+	"testing"
+
+	"haspmv/internal/amp"
+)
+
+func triadSweep(m *amp.Machine, cfg amp.Config, elems int) TriadResult {
+	return EstimateTriad(m, DefaultParams(), m.Cores(cfg), elems)
+}
+
+func TestTriadDegenerate(t *testing.T) {
+	m := amp.IntelI912900KF()
+	if r := EstimateTriad(m, DefaultParams(), nil, 100); r.GBps != 0 {
+		t.Fatal("no cores should give zero")
+	}
+	if r := EstimateTriad(m, DefaultParams(), []int{0}, 0); r.GBps != 0 {
+		t.Fatal("no elements should give zero")
+	}
+}
+
+// Figure 3, Intel shape: P-only bandwidth above E-only everywhere, and
+// above P+E on the DRAM plateau.
+func TestFig3ShapeIntel(t *testing.T) {
+	for _, m := range []*amp.Machine{amp.IntelI912900KF(), amp.IntelI913900KF()} {
+		cacheElems := 40_000    // ~1MB of vectors: cache resident
+		dramElems := 40_000_000 // ~1GB: deep DRAM plateau
+		for _, elems := range []int{cacheElems, dramElems} {
+			p := triadSweep(m, amp.POnly, elems)
+			e := triadSweep(m, amp.EOnly, elems)
+			if p.GBps <= e.GBps {
+				t.Errorf("%s @%d: P-only %.1f <= E-only %.1f", m.Name, elems, p.GBps, e.GBps)
+			}
+		}
+		p := triadSweep(m, amp.POnly, dramElems)
+		pe := triadSweep(m, amp.PAndE, dramElems)
+		if p.GBps <= pe.GBps {
+			t.Errorf("%s plateau: P-only %.1f <= P+E %.1f", m.Name, p.GBps, pe.GBps)
+		}
+		if pe.BoundBy != "chip" && pe.BoundBy != "group" {
+			t.Errorf("%s plateau P+E bound by %q", m.Name, pe.BoundBy)
+		}
+	}
+}
+
+// Cache-resident sweeps must far exceed the DRAM plateau (the cliff in
+// Figure 3).
+func TestFig3CacheCliff(t *testing.T) {
+	m := amp.IntelI912900KF()
+	resident := triadSweep(m, amp.POnly, 10_000) // 240KB in L1/L2
+	plateau := triadSweep(m, amp.POnly, 40_000_000)
+	if resident.GBps < 3*plateau.GBps {
+		t.Fatalf("no cache cliff: resident %.1f vs plateau %.1f", resident.GBps, plateau.GBps)
+	}
+}
+
+// Figure 3, AMD shape: CCD0's bandwidth stays high at working sets where
+// CCD1 has already fallen to DRAM (the V-Cache region, ~16-80MB of
+// vectors per the figure), and the three configurations converge on the
+// deep plateau.
+func TestFig3ShapeAMD(t *testing.T) {
+	m := amp.AMDRyzen97950X3D()
+	// 2.5M elements = 60MB triad footprint: inside 96MB CCD0 L3, far
+	// outside CCD1's 32MB.
+	mid := 2_500_000
+	c0 := triadSweep(m, amp.POnly, mid)
+	c1 := triadSweep(m, amp.EOnly, mid)
+	if c0.GBps <= 1.2*c1.GBps {
+		t.Fatalf("V-Cache region: CCD0 %.1f not clearly above CCD1 %.1f", c0.GBps, c1.GBps)
+	}
+	deep := 60_000_000
+	d0 := triadSweep(m, amp.POnly, deep)
+	d1 := triadSweep(m, amp.EOnly, deep)
+	db := triadSweep(m, amp.PAndE, deep)
+	if ratio := d0.GBps / d1.GBps; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("deep plateau CCD0/CCD1 = %.2f, want ~1", ratio)
+	}
+	if ratio := db.GBps / d0.GBps; ratio < 0.85 || ratio > 1.35 {
+		t.Fatalf("deep plateau combined/single = %.2f, want ~1", ratio)
+	}
+	// On the homogeneous 7950X the mid-size gap must vanish.
+	x := amp.AMDRyzen97950X()
+	h0 := triadSweep(x, amp.POnly, mid)
+	h1 := triadSweep(x, amp.EOnly, mid)
+	if h0.GBps != h1.GBps {
+		t.Fatalf("7950X CCDs differ: %.1f vs %.1f", h0.GBps, h1.GBps)
+	}
+}
+
+// Small sizes: combined cores have more aggregate cache bandwidth than a
+// single group (the left side of Figure 3's AMD subplot, where the
+// combined line is on top).
+func TestFig3AMDSmallSizesCombinedWins(t *testing.T) {
+	m := amp.AMDRyzen97950X3D()
+	small := 200_000 // 4.8MB, split across L2/L3 slices
+	both := triadSweep(m, amp.PAndE, small)
+	one := triadSweep(m, amp.POnly, small)
+	if both.GBps <= one.GBps {
+		t.Fatalf("small size: combined %.1f not above single CCD %.1f", both.GBps, one.GBps)
+	}
+}
+
+// Bandwidth must be monotone non-increasing once past all cache capacities
+// (no resurgence artifacts).
+func TestTriadPlateauMonotone(t *testing.T) {
+	m := amp.IntelI913900KF()
+	prev := -1.0
+	for _, elems := range []int{8_000_000, 16_000_000, 32_000_000, 64_000_000} {
+		r := triadSweep(m, amp.PAndE, elems)
+		if prev > 0 && r.GBps > prev*1.02 {
+			t.Fatalf("plateau not monotone: %.1f after %.1f at %d", r.GBps, prev, elems)
+		}
+		prev = r.GBps
+	}
+}
+
+// The plateau must approach but not exceed the configured chip bandwidth.
+func TestTriadPlateauBelowChipBW(t *testing.T) {
+	for _, m := range amp.All() {
+		r := triadSweep(m, amp.PAndE, 80_000_000)
+		if r.GBps > m.DRAMBWGBps+1e-9 {
+			t.Errorf("%s: plateau %.1f exceeds chip %.1f", m.Name, r.GBps, m.DRAMBWGBps)
+		}
+		if r.GBps < 0.5*m.DRAMBWGBps {
+			t.Errorf("%s: plateau %.1f implausibly below chip %.1f", m.Name, r.GBps, m.DRAMBWGBps)
+		}
+	}
+}

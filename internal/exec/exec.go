@@ -1,0 +1,147 @@
+// Package exec defines the common contract of every SpMV implementation in
+// the repository (HASpMV and the four baselines) and provides the two ways
+// to run one:
+//
+//   - Compute: real data-parallel execution with one goroutine per
+//     simulated core. Go cannot pin goroutines to specific P- or E-cores
+//     (the paper pins with GOMP_CPU_AFFINITY), so wall-clock numbers do
+//     not reflect AMP asymmetry; correctness and algorithmic overheads do.
+//   - Simulate: deterministic timing of the same per-core work assignment
+//     on an amp.Machine through the costmodel. This is what reproduces the
+//     paper's figures.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/sparse"
+)
+
+// Algorithm is an SpMV method that analyzes a matrix once and then
+// multiplies repeatedly (the inspector-executor pattern all five methods
+// share).
+type Algorithm interface {
+	// Name identifies the method in reports ("HASpMV", "CSR5", ...).
+	Name() string
+	// Prepare analyzes the matrix for the machine and core selection.
+	// The returned Prepared may alias the matrix; callers must not mutate
+	// it afterwards.
+	Prepare(m *amp.Machine, a *sparse.CSR) (Prepared, error)
+}
+
+// Prepared is an analyzed matrix ready for multiplication.
+type Prepared interface {
+	// Compute performs y = A*x. len(x) = Cols, len(y) = Rows.
+	Compute(y, x []float64)
+	// Assignments exposes the per-core work mapping (nnz spans in the
+	// original matrix's coordinate space) for the performance model.
+	Assignments() []costmodel.Assignment
+}
+
+// BatchPrepared is the optional fused multi-vector interface: algorithms
+// that can amortize their index traffic across several right-hand sides
+// (block Krylov methods, multi-source PageRank) implement it in addition
+// to Prepared.
+type BatchPrepared interface {
+	Prepared
+	// ComputeBatch performs Y[v] = A * X[v] for every vector v.
+	ComputeBatch(Y, X [][]float64)
+}
+
+// ComputeBatch multiplies a batch of vectors, using the fused path when
+// the algorithm provides one and falling back to repeated Compute
+// otherwise. Y and X must have equal lengths.
+func ComputeBatch(p Prepared, Y, X [][]float64) {
+	if len(Y) != len(X) {
+		panic(fmt.Sprintf("exec: batch size mismatch %d vs %d", len(Y), len(X)))
+	}
+	if bp, ok := p.(BatchPrepared); ok {
+		bp.ComputeBatch(Y, X)
+		return
+	}
+	for v := range X {
+		p.Compute(Y[v], X[v])
+	}
+}
+
+// Parallel runs f(0..n-1) concurrently and waits for all. It stands in for
+// the paper's pinned OpenMP parallel-for: each index is one simulated core.
+func Parallel(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Simulate prices the prepared SpMV on the machine model.
+func Simulate(m *amp.Machine, p costmodel.Params, a *sparse.CSR, prep Prepared) costmodel.Result {
+	return costmodel.EstimateSpMV(m, p, a, prep.Assignments())
+}
+
+// TimePrepare measures the wall-clock preprocessing cost of an algorithm
+// (Figure 10). It returns the prepared handle so the measurement includes
+// exactly one analysis.
+func TimePrepare(alg Algorithm, m *amp.Machine, a *sparse.CSR) (Prepared, time.Duration, error) {
+	start := time.Now()
+	prep, err := alg.Prepare(m, a)
+	return prep, time.Since(start), err
+}
+
+// CheckAssignments validates that an assignment list covers every nonzero
+// of the matrix exactly once — the fundamental partitioning invariant all
+// five methods must satisfy. It is used by tests and by the harness's
+// self-check mode.
+func CheckAssignments(a *sparse.CSR, asgs []costmodel.Assignment) error {
+	return checkCover(a.NNZ(), asgs)
+}
+
+func checkCover(nnz int, asgs []costmodel.Assignment) error {
+	covered := make([]int32, nnz)
+	for _, asg := range asgs {
+		for _, sp := range asg.Spans {
+			if sp.Lo < 0 || sp.Hi > nnz || sp.Lo > sp.Hi {
+				return &CoverageError{Span: sp, NNZ: nnz}
+			}
+			for k := sp.Lo; k < sp.Hi; k++ {
+				covered[k]++
+			}
+		}
+	}
+	for k, c := range covered {
+		if c != 1 {
+			return &CoverageError{Index: k, Count: int(c), NNZ: nnz}
+		}
+	}
+	return nil
+}
+
+// CoverageError reports a partitioning defect.
+type CoverageError struct {
+	Span  costmodel.Span
+	Index int
+	Count int
+	NNZ   int
+}
+
+func (e *CoverageError) Error() string {
+	if e.Span != (costmodel.Span{}) {
+		return fmt.Sprintf("exec: span [%d,%d) outside nnz %d", e.Span.Lo, e.Span.Hi, e.NNZ)
+	}
+	return fmt.Sprintf("exec: nonzero %d covered %d times", e.Index, e.Count)
+}

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/sparse"
+)
+
+func TestParallelRunsAll(t *testing.T) {
+	var hits [37]int32
+	Parallel(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	Parallel(0, func(int) { t.Fatal("zero-width parallel ran") })
+	ran := false
+	Parallel(1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single-width parallel skipped")
+	}
+}
+
+func testMatrix() *sparse.CSR {
+	return sparse.FromDense([][]float64{
+		{1, 0, 2},
+		{0, 3, 0},
+		{4, 5, 6},
+	}, 0)
+}
+
+func TestCheckAssignments(t *testing.T) {
+	a := testMatrix() // nnz = 6
+	ok := []costmodel.Assignment{
+		{Core: 0, Spans: []costmodel.Span{{Lo: 0, Hi: 3}}},
+		{Core: 1, Spans: []costmodel.Span{{Lo: 3, Hi: 4}, {Lo: 4, Hi: 6}}},
+	}
+	if err := CheckAssignments(a, ok); err != nil {
+		t.Fatalf("valid cover rejected: %v", err)
+	}
+	gap := []costmodel.Assignment{{Core: 0, Spans: []costmodel.Span{{Lo: 0, Hi: 3}, {Lo: 4, Hi: 6}}}}
+	if err := CheckAssignments(a, gap); err == nil {
+		t.Fatal("gap accepted")
+	}
+	overlap := []costmodel.Assignment{
+		{Core: 0, Spans: []costmodel.Span{{Lo: 0, Hi: 4}}},
+		{Core: 1, Spans: []costmodel.Span{{Lo: 3, Hi: 6}}},
+	}
+	if err := CheckAssignments(a, overlap); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	oob := []costmodel.Assignment{{Core: 0, Spans: []costmodel.Span{{Lo: 0, Hi: 7}}}}
+	if err := CheckAssignments(a, oob); err == nil {
+		t.Fatal("out-of-bounds accepted")
+	}
+	inverted := []costmodel.Assignment{{Core: 0, Spans: []costmodel.Span{{Lo: 4, Hi: 2}}}}
+	if err := CheckAssignments(a, inverted); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+}
+
+func TestCoverageErrorMessages(t *testing.T) {
+	e := &CoverageError{Index: 5, Count: 2}
+	if e.Error() == "" {
+		t.Fatal("empty message")
+	}
+	e = &CoverageError{Span: costmodel.Span{Lo: 1, Hi: 99}, NNZ: 6}
+	if e.Error() == "" {
+		t.Fatal("empty span message")
+	}
+}
+
+type fakePrep struct{ asgs []costmodel.Assignment }
+
+func (f *fakePrep) Compute(y, x []float64)              {}
+func (f *fakePrep) Assignments() []costmodel.Assignment { return f.asgs }
+
+type fakeAlg struct{ prep Prepared }
+
+func (f *fakeAlg) Name() string { return "fake" }
+func (f *fakeAlg) Prepare(m *amp.Machine, a *sparse.CSR) (Prepared, error) {
+	return f.prep, nil
+}
+
+func TestSimulateAndTimePrepare(t *testing.T) {
+	a := testMatrix()
+	m := amp.IntelI912900KF()
+	prep := &fakePrep{asgs: []costmodel.Assignment{{Core: 0, Spans: []costmodel.Span{{Lo: 0, Hi: a.NNZ()}}}}}
+	res := Simulate(m, costmodel.DefaultParams(), a, prep)
+	if res.Seconds <= 0 {
+		t.Fatal("simulate returned nothing")
+	}
+	got, d, err := TimePrepare(&fakeAlg{prep: prep}, m, a)
+	if err != nil || got != Prepared(prep) {
+		t.Fatalf("TimePrepare: %v %v", got, err)
+	}
+	if d < 0 {
+		t.Fatal("negative duration")
+	}
+}

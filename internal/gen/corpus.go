@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CorpusOptions controls the synthetic stand-in for the full SuiteSparse
+// sweep (2888 matrices in the paper). Size is the number of matrices;
+// MinNNZ/MaxNNZ bound the log-uniform nonzero scale. The default harness
+// uses a few hundred matrices so the sweep finishes in seconds while still
+// spanning four orders of magnitude in nnz and all four structure families.
+type CorpusOptions struct {
+	Size   int
+	MinNNZ int
+	MaxNNZ int
+	Seed   int64
+}
+
+// DefaultCorpus mirrors the harness defaults: 300 matrices, nnz from 2e3
+// to 6e6. The upper end matters: matrices between ~32MB and ~96MB of
+// working set are where the 7950X3D's V-Cache asymmetry pays, and the
+// published collection is full of them.
+func DefaultCorpus() CorpusOptions {
+	return CorpusOptions{Size: 300, MinNNZ: 2_000, MaxNNZ: 6_000_000, Seed: 20230904}
+}
+
+// Corpus builds the list of Specs for the sweep. Matrices are not
+// materialized here; callers generate them one at a time to bound memory.
+func Corpus(opt CorpusOptions) []Spec {
+	if opt.Size <= 0 {
+		return nil
+	}
+	if opt.MinNNZ < 64 {
+		opt.MinNNZ = 64
+	}
+	if opt.MaxNNZ < opt.MinNNZ {
+		opt.MaxNNZ = opt.MinNNZ
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	specs := make([]Spec, 0, opt.Size)
+	logMin := math.Log(float64(opt.MinNNZ))
+	logMax := math.Log(float64(opt.MaxNNZ))
+	for i := 0; i < opt.Size; i++ {
+		nnz := int(math.Exp(logMin + (logMax-logMin)*float64(i)/float64(maxInt(opt.Size-1, 1))))
+		specs = append(specs, corpusSpec(r, i, nnz))
+	}
+	return specs
+}
+
+// corpusSpec draws one matrix family and shapes it around the target nnz.
+// The family mix approximates the collection: about half FEM-like banded or
+// clustered matrices with medium rows, a quarter short-row random graphs,
+// and a quarter heavy-tailed web/circuit style matrices.
+func corpusSpec(r *rand.Rand, idx, nnz int) Spec {
+	family := r.Intn(8)
+	var (
+		avg   int
+		dist  LenDist
+		place Placement
+		hubs  int
+		kind  string
+	)
+	switch {
+	case family < 2: // FEM banded, medium rows
+		avg = 20 + r.Intn(120)
+		spread := 1 + avg/8
+		dist = NormalLen{Mean: float64(avg), Std: float64(spread), Min: maxInt(1, avg-4*spread), Max: avg + 4*spread}
+		place = Banded
+		kind = "fem"
+	case family < 4: // clustered multi-physics
+		avg = 15 + r.Intn(140)
+		dist = NormalLen{Mean: float64(avg), Std: float64(avg) / 3, Min: 1, Max: avg * 3}
+		place = Clustered
+		kind = "clustered"
+	case family < 5: // constant-row (structured grids, combinatorial)
+		avg = 4 + r.Intn(60)
+		dist = ConstLen{L: avg}
+		place = Banded
+		kind = "const"
+	case family < 6: // random graph, short rows
+		avg = 3 + r.Intn(24)
+		dist = UniformLen{Min: maxInt(0, avg/2), Max: avg * 2}
+		place = Random
+		kind = "random"
+	default: // power-law web/circuit
+		avg = 3 + r.Intn(12)
+		rows := maxInt(nnz/maxInt(avg, 1), 64)
+		maxLen := maxInt(avg*8, rows/(4+r.Intn(12)))
+		dist = NewPowerLen(1, maxLen, float64(avg))
+		place = Skewed
+		hubs = 1 + r.Intn(3)
+		kind = "powerlaw"
+	}
+	rows := maxInt(nnz/maxInt(avg, 1), 64)
+	return Spec{
+		Name:      fmt.Sprintf("corpus-%04d-%s", idx, kind),
+		Rows:      rows,
+		Cols:      rows,
+		TargetNNZ: nnz,
+		Dist:      clampDist(dist, rows),
+		Place:     place,
+		Seed:      int64(idx)*2654435761 + 97,
+		HubRows:   hubs,
+	}
+}

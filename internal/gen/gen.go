@@ -1,0 +1,512 @@
+// Package gen synthesizes sparse matrices with controlled row-length
+// distributions and column-placement patterns. It stands in for the
+// SuiteSparse Matrix Collection used by the paper: the experiments in
+// Figures 4, 5, 8, 10 and 11 depend on matrix scale (rows, nnz) and on the
+// row-length distribution (min/avg/max, skew), which the generators control
+// directly. Table II's 22 representative matrices are reproduced by name
+// with matched statistics (see representative.go).
+//
+// All generators are deterministic for a given Spec (including its Seed),
+// so experiments are repeatable across runs and machines.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"haspmv/internal/sparse"
+)
+
+// LenDist draws per-row nonzero counts.
+type LenDist interface {
+	// Sample returns one row length in [Min(), Max()].
+	Sample(r *rand.Rand) int
+	// Bounds returns the inclusive support of the distribution.
+	Bounds() (min, max int)
+}
+
+// ConstLen is a degenerate distribution: every row has exactly L entries
+// (e.g. conf5_4-8x8-10 with 39/row, n4c6-b7 with 8/row).
+type ConstLen struct{ L int }
+
+func (d ConstLen) Sample(*rand.Rand) int { return d.L }
+func (d ConstLen) Bounds() (int, int)    { return d.L, d.L }
+
+// UniformLen draws uniformly from [Min, Max].
+type UniformLen struct{ Min, Max int }
+
+func (d UniformLen) Sample(r *rand.Rand) int {
+	return d.Min + r.Intn(d.Max-d.Min+1)
+}
+func (d UniformLen) Bounds() (int, int) { return d.Min, d.Max }
+
+// NormalLen draws from a normal distribution clipped to [Min, Max];
+// it models FEM matrices whose row lengths cluster around the element
+// connectivity (consph, cant, shipsec1...).
+type NormalLen struct {
+	Mean, Std float64
+	Min, Max  int
+}
+
+func (d NormalLen) Sample(r *rand.Rand) int {
+	v := int(math.Round(r.NormFloat64()*d.Std + d.Mean))
+	if v < d.Min {
+		v = d.Min
+	}
+	if v > d.Max {
+		v = d.Max
+	}
+	return v
+}
+func (d NormalLen) Bounds() (int, int) { return d.Min, d.Max }
+
+// PowerLen draws lengths from a truncated Pareto (power-law) distribution
+// shifted so its support is [Min, Max]: most rows have close to Min
+// entries, with a heavy tail of rare long rows. It models web/circuit
+// matrices (webbase-1M, FullChip, circuit5M, ASIC_680k). Use NewPowerLen
+// to derive the tail exponent from a target mean.
+type PowerLen struct {
+	Min, Max int
+	// Gamma is the power-law density exponent (pdf ~ x^-Gamma on the
+	// truncated support). Smaller Gamma = heavier tail / larger mean.
+	Gamma float64
+}
+
+// NewPowerLen builds a PowerLen whose truncated mean equals mean, solving
+// for the exponent by bisection. The paper's Table II publishes exactly
+// (min, avg, max) per matrix, so this constructor maps those statistics
+// straight onto a distribution.
+func NewPowerLen(min, max int, mean float64) PowerLen {
+	T := float64(max-min) + 1
+	if T <= 1 {
+		return PowerLen{Min: min, Max: max, Gamma: 3}
+	}
+	mhat := mean - float64(min) + 1
+	// Achievable truncated means run from ~1 (gamma large) up to
+	// ~(T-1)/ln T (gamma -> 1). Clamp inside that range.
+	if hiMean := (T - 1) / math.Log(T); mhat > 0.99*hiMean {
+		mhat = 0.99 * hiMean
+	}
+	if mhat < 1.01 {
+		mhat = 1.01
+	}
+	lo, hi := 1.000001, 64.0 // mean is decreasing in gamma on this range
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if truncParetoMean(mid, T) > mhat {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return PowerLen{Min: min, Max: max, Gamma: (lo + hi) / 2}
+}
+
+// truncParetoMean is the mean of the pdf proportional to x^-g on [1, T].
+func truncParetoMean(g, T float64) float64 {
+	if math.Abs(g-2) < 1e-9 {
+		g = 2 + 1e-9
+	}
+	if math.Abs(g-1) < 1e-9 {
+		g = 1 + 1e-9
+	}
+	return (g - 1) / (1 - math.Pow(T, 1-g)) * (math.Pow(T, 2-g) - 1) / (2 - g)
+}
+
+func (d PowerLen) Sample(r *rand.Rand) int {
+	T := float64(d.Max-d.Min) + 1
+	if T <= 1 {
+		return d.Min
+	}
+	// Exact inverse CDF of the truncated Pareto on [1, T].
+	u := r.Float64()
+	x := math.Pow(1-u*(1-math.Pow(T, 1-d.Gamma)), 1/(1-d.Gamma))
+	l := d.Min - 1 + int(x)
+	if l < d.Min {
+		l = d.Min
+	}
+	if l > d.Max {
+		l = d.Max
+	}
+	return l
+}
+func (d PowerLen) Bounds() (int, int) { return d.Min, d.Max }
+
+// Placement selects which columns a row's nonzeros occupy.
+type Placement int
+
+const (
+	// Banded places entries contiguously around the diagonal — FEM
+	// discretizations (cant, consph, Dubcova2...). Excellent x locality.
+	Banded Placement = iota
+	// Clustered places entries in a few contiguous runs at random
+	// offsets — mixed-structure matrices (rma10, mip1).
+	Clustered
+	// Random scatters entries uniformly over all columns — worst-case x
+	// locality (G_n_pin_pout-style random graphs).
+	Random
+	// Skewed scatters entries with a bias toward low-numbered "hub"
+	// columns, as in power-law web/circuit graphs.
+	Skewed
+	// Mixed picks a different pattern per row (banded, clustered or
+	// scattered), producing rows with widely diverse x-cache-line costs
+	// — the paper's characterization of rma10, the Figure 9 matrix.
+	Mixed
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Banded:
+		return "banded"
+	case Clustered:
+		return "clustered"
+	case Random:
+		return "random"
+	case Skewed:
+		return "skewed"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Spec fully describes a synthetic matrix. Generating the same Spec twice
+// yields identical matrices.
+type Spec struct {
+	Name      string
+	Rows      int
+	Cols      int
+	TargetNNZ int // exact total nonzeros to produce (0 = whatever the dist yields)
+	Dist      LenDist
+	Place     Placement
+	Seed      int64
+	// HubRows forces this many rows (spread over the matrix) to have
+	// lengths near the distribution maximum, reproducing the extreme rows
+	// of matrices like ASIC_680k (max row 395K) without waiting for the
+	// tail of the distribution to be hit by chance.
+	HubRows int
+}
+
+// Generate materializes the matrix described by the Spec.
+func (s Spec) Generate() *sparse.CSR {
+	if s.Rows < 0 || s.Cols <= 0 {
+		panic(fmt.Sprintf("gen: invalid spec dims %dx%d", s.Rows, s.Cols))
+	}
+	r := rand.New(rand.NewSource(s.Seed))
+	lens := s.rowLengths(r)
+	a := &sparse.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
+	total := 0
+	for i, l := range lens {
+		total += l
+		a.RowPtr[i+1] = total
+	}
+	a.ColIdx = make([]int, total)
+	a.Val = make([]float64, total)
+	scratch := make(map[int]struct{}, 256)
+	for i := 0; i < s.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		s.fillRow(r, i, a.ColIdx[lo:hi], scratch)
+		for k := lo; k < hi; k++ {
+			// Values in (0.1, 1.1): nonzero, well-conditioned sums.
+			a.Val[k] = 0.1 + r.Float64()
+		}
+	}
+	return a
+}
+
+// rowLengths draws all row lengths, applies hub rows, and repairs the total
+// to exactly TargetNNZ (when set) while respecting the distribution bounds.
+func (s Spec) rowLengths(r *rand.Rand) []int {
+	min, max := s.Dist.Bounds()
+	if max > s.Cols {
+		max = s.Cols
+	}
+	lens := make([]int, s.Rows)
+	for i := range lens {
+		l := s.Dist.Sample(r)
+		if l > max {
+			l = max
+		}
+		if l < 0 {
+			l = 0
+		}
+		lens[i] = l
+	}
+	var hubs map[int]bool
+	if s.HubRows > 0 && s.Rows > 0 {
+		hubs = make(map[int]bool, s.HubRows)
+		stride := s.Rows / s.HubRows
+		if stride == 0 {
+			stride = 1
+		}
+		for h := 0; h < s.HubRows; h++ {
+			i := (h*stride + stride/2) % s.Rows
+			// Hubs sit at 60–100% of the distribution max.
+			lens[i] = max - r.Intn(max*2/5+1)
+			hubs[i] = true
+		}
+	}
+	if s.TargetNNZ > 0 {
+		repairTotal(r, lens, s.TargetNNZ, min, max, hubs)
+	}
+	return lens
+}
+
+// repairTotal nudges random non-hub rows up or down within [min,max] until
+// the sum of lens equals target. Steps are capped so the repair cannot
+// fabricate (or destroy) outlier rows; hub rows are left untouched so the
+// published maxima survive.
+func repairTotal(r *rand.Rand, lens []int, target, min, max int, protected map[int]bool) {
+	sum := 0
+	for _, l := range lens {
+		sum += l
+	}
+	n := len(lens)
+	if n == 0 {
+		return
+	}
+	// Feasible range given the protected rows stay fixed.
+	lo, hi := 0, 0
+	for i, l := range lens {
+		if protected[i] {
+			lo += l
+			hi += l
+		} else {
+			lo += min
+			hi += max
+		}
+	}
+	if target < lo {
+		target = lo
+	}
+	if target > hi {
+		target = hi
+	}
+	// Cap each adjustment so the repair redistributes mass without
+	// inventing outliers; 1/8 of the range still converges fast.
+	cap := (max - min) / 8
+	if cap < 8 {
+		cap = 8
+	}
+	for guard := 0; sum != target && guard < 200*n+1000; guard++ {
+		i := r.Intn(n)
+		if protected[i] {
+			continue
+		}
+		if sum < target && lens[i] < max {
+			step := target - sum
+			if room := max - lens[i]; step > room {
+				step = room
+			}
+			if step > cap {
+				step = cap
+			}
+			if step > 4 {
+				step = 1 + r.Intn(step)
+			}
+			lens[i] += step
+			sum += step
+		} else if sum > target && lens[i] > min {
+			step := sum - target
+			if room := lens[i] - min; step > room {
+				step = room
+			}
+			if step > cap {
+				step = cap
+			}
+			if step > 4 {
+				step = 1 + r.Intn(step)
+			}
+			lens[i] -= step
+			sum -= step
+		}
+	}
+}
+
+// fillRow writes sorted, distinct column indices for row i into dst.
+func (s Spec) fillRow(r *rand.Rand, i int, dst []int, scratch map[int]struct{}) {
+	l := len(dst)
+	if l == 0 {
+		return
+	}
+	switch s.Place {
+	case Banded:
+		start := i - l/2
+		if start < 0 {
+			start = 0
+		}
+		if start+l > s.Cols {
+			start = s.Cols - l
+		}
+		for k := range dst {
+			dst[k] = start + k
+		}
+	case Clustered:
+		fillClustered(r, i, dst, s.Cols)
+	case Random:
+		sampleDistinct(r, dst, s.Cols, scratch, nil)
+	case Skewed:
+		sampleDistinct(r, dst, s.Cols, scratch, func(rr *rand.Rand) int {
+			// Quadratic bias toward column 0: hubs receive most edges.
+			u := rr.Float64()
+			return int(u * u * float64(s.Cols))
+		})
+	case Mixed:
+		switch r.Intn(3) {
+		case 0:
+			start := i - l/2
+			if start < 0 {
+				start = 0
+			}
+			if start+l > s.Cols {
+				start = s.Cols - l
+			}
+			for k := range dst {
+				dst[k] = start + k
+			}
+		case 1:
+			fillClustered(r, i, dst, s.Cols)
+		default:
+			sampleDistinct(r, dst, s.Cols, scratch, nil)
+		}
+	default:
+		panic("gen: unknown placement")
+	}
+}
+
+// fillClustered emits the row as up to 4 contiguous runs near the diagonal,
+// mimicking multi-block FEM/coupled-physics rows (rma10).
+func fillClustered(r *rand.Rand, i int, dst []int, cols int) {
+	l := len(dst)
+	runs := 1 + r.Intn(4)
+	if runs > l {
+		runs = l
+	}
+	per := l / runs
+	idx := 0
+	used := make([]int, 0, runs) // run start positions, kept non-overlapping
+	for run := 0; run < runs; run++ {
+		n := per
+		if run == runs-1 {
+			n = l - idx
+		}
+		if n == 0 {
+			continue
+		}
+		var start int
+		for attempt := 0; ; attempt++ {
+			center := i + (r.Intn(2*cols/8+1) - cols/8)
+			start = center - n/2
+			if start < 0 {
+				start = 0
+			}
+			if start+n > cols {
+				start = cols - n
+			}
+			if !overlaps(used, start, n, per) || attempt > 8 {
+				break
+			}
+		}
+		used = append(used, start)
+		for k := 0; k < n; k++ {
+			dst[idx] = start + k
+			idx++
+		}
+	}
+	sort.Ints(dst)
+	dedupInPlaceFill(r, dst, cols)
+}
+
+func overlaps(starts []int, start, n, per int) bool {
+	for _, s := range starts {
+		if start < s+per+n && s < start+n+per {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupInPlaceFill repairs any duplicate columns introduced by overlapping
+// runs, replacing them with fresh distinct columns and re-sorting.
+func dedupInPlaceFill(r *rand.Rand, dst []int, cols int) {
+	seen := make(map[int]struct{}, len(dst))
+	dups := 0
+	for k, c := range dst {
+		if _, ok := seen[c]; ok {
+			dst[k] = -1
+			dups++
+		} else {
+			seen[c] = struct{}{}
+		}
+	}
+	if dups == 0 {
+		return
+	}
+	for k, c := range dst {
+		if c != -1 {
+			continue
+		}
+		for {
+			cand := r.Intn(cols)
+			if _, ok := seen[cand]; !ok {
+				seen[cand] = struct{}{}
+				dst[k] = cand
+				break
+			}
+		}
+	}
+	sort.Ints(dst)
+}
+
+// sampleDistinct fills dst with sorted distinct columns in [0, cols),
+// drawn either uniformly (draw == nil) or by the provided biased sampler.
+func sampleDistinct(r *rand.Rand, dst []int, cols int, scratch map[int]struct{}, draw func(*rand.Rand) int) {
+	l := len(dst)
+	if l > cols {
+		panic("gen: row longer than column count")
+	}
+	if l*3 >= cols {
+		// Dense row (hub rows of power-law graphs touch most columns):
+		// partial Fisher-Yates over all columns; the bias is immaterial
+		// once a row covers a third of the matrix.
+		perm := r.Perm(cols)[:l]
+		copy(dst, perm)
+		sort.Ints(dst)
+		return
+	}
+	if cap := len(scratch); cap > 4096 || cap < l {
+		// A fresh map: clear() on a map whose capacity once grew large is
+		// O(capacity), which turns per-row reuse into quadratic cost on
+		// matrices with occasional huge rows (circuit5M, FullChip).
+		scratch = make(map[int]struct{}, l)
+	} else {
+		clear(scratch)
+	}
+	for len(scratch) < l {
+		var c int
+		if draw != nil {
+			c = draw(r)
+			if c >= cols {
+				c = cols - 1
+			}
+		} else {
+			c = r.Intn(cols)
+		}
+		if _, ok := scratch[c]; !ok {
+			scratch[c] = struct{}{}
+		} else if draw != nil && len(scratch) >= cols*3/4 {
+			// Heavily biased draws can stall near saturation; fall back
+			// to uniform for the remainder.
+			draw = nil
+		}
+	}
+	k := 0
+	for c := range scratch {
+		dst[k] = c
+		k++
+	}
+	sort.Ints(dst)
+}

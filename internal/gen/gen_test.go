@@ -1,0 +1,334 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"haspmv/internal/sparse"
+)
+
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	for _, place := range []Placement{Banded, Clustered, Random, Skewed} {
+		sp := Spec{
+			Name: "t", Rows: 500, Cols: 500, TargetNNZ: 6000,
+			Dist:  NormalLen{Mean: 12, Std: 4, Min: 0, Max: 60},
+			Place: place, Seed: 11,
+		}
+		a := sp.Generate()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%v: %v", place, err)
+		}
+		if a.NNZ() != 6000 {
+			t.Fatalf("%v: nnz = %d, want 6000", place, a.NNZ())
+		}
+		if !a.RowsSorted() {
+			t.Fatalf("%v: rows not sorted", place)
+		}
+		b := sp.Generate()
+		if !a.Equal(b) {
+			t.Fatalf("%v: generation not deterministic", place)
+		}
+	}
+}
+
+func TestGenerateDistinctColumnsProperty(t *testing.T) {
+	f := func(seed int64, placeRaw uint8) bool {
+		place := Placement(int(placeRaw) % 4)
+		r := rand.New(rand.NewSource(seed))
+		rows := 64 + r.Intn(400)
+		sp := Spec{
+			Rows: rows, Cols: rows,
+			TargetNNZ: rows * (2 + r.Intn(8)),
+			Dist:      UniformLen{Min: 0, Max: 20},
+			Place:     place, Seed: seed,
+		}
+		a := sp.Generate()
+		if a.Validate() != nil || !a.RowsSorted() {
+			return false
+		}
+		for i := 0; i < a.Rows; i++ {
+			lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+			for k := lo + 1; k < hi; k++ {
+				if a.ColIdx[k] == a.ColIdx[k-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedLocality(t *testing.T) {
+	sp := Spec{Rows: 2000, Cols: 2000, TargetNNZ: 40000,
+		Dist: NormalLen{Mean: 20, Std: 2, Min: 10, Max: 30}, Place: Banded, Seed: 3}
+	a := sp.Generate()
+	if bw := sparse.Bandwidth(a); bw > 64 {
+		t.Fatalf("banded matrix bandwidth = %d, want narrow", bw)
+	}
+}
+
+func TestSkewedHasHubs(t *testing.T) {
+	sp := Spec{Rows: 4000, Cols: 4000, TargetNNZ: 20000,
+		Dist: NewPowerLen(1, 2000, 4), Place: Skewed, Seed: 5, HubRows: 2}
+	a := sp.Generate()
+	s := sparse.ComputeRowStats(a)
+	if s.MaxRowLen < 1000 {
+		t.Fatalf("hub rows missing: max row len %d", s.MaxRowLen)
+	}
+	if s.Gini < 0.4 {
+		t.Fatalf("skewed matrix not irregular enough: gini %.3f", s.Gini)
+	}
+}
+
+func TestConstLenExact(t *testing.T) {
+	sp := Spec{Rows: 300, Cols: 300, Dist: ConstLen{L: 7}, Place: Random, Seed: 1}
+	a := sp.Generate()
+	for i := 0; i < a.Rows; i++ {
+		if a.RowLen(i) != 7 {
+			t.Fatalf("row %d has %d entries, want 7", i, a.RowLen(i))
+		}
+	}
+}
+
+func TestRepairTotalRespectsBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	lens := make([]int, 100)
+	for i := range lens {
+		lens[i] = 5 + r.Intn(10)
+	}
+	repairTotal(r, lens, 1200, 3, 20, nil)
+	sum := 0
+	for _, l := range lens {
+		if l < 3 || l > 20 {
+			t.Fatalf("repair violated bounds: %d", l)
+		}
+		sum += l
+	}
+	if sum != 1200 {
+		t.Fatalf("repair sum = %d, want 1200", sum)
+	}
+	// Unreachable targets clamp to the feasible extreme.
+	lens2 := []int{5, 5}
+	repairTotal(r, lens2, 1000, 0, 8, nil)
+	if lens2[0]+lens2[1] != 16 {
+		t.Fatalf("clamp to max failed: %v", lens2)
+	}
+	repairTotal(r, lens2, 0, 2, 8, nil)
+	if lens2[0]+lens2[1] != 4 {
+		t.Fatalf("clamp to min failed: %v", lens2)
+	}
+}
+
+func TestRepresentativeRosterComplete(t *testing.T) {
+	names := RepresentativeNames()
+	if len(names) != 22 {
+		t.Fatalf("roster has %d entries, want 22", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate matrix %q", n)
+		}
+		seen[n] = true
+		if _, ok := RepresentativeInfo(n); !ok {
+			t.Fatalf("info missing for %q", n)
+		}
+	}
+	if _, ok := RepresentativeInfo("nope"); ok {
+		t.Fatal("info returned for unknown name")
+	}
+}
+
+// TestRepresentativeStats verifies the Table II reproduction: at scale 1/16
+// each generated matrix must match the published shape — the average row
+// length within 25% and min row length category (zero vs nonzero) exact.
+func TestRepresentativeStats(t *testing.T) {
+	const scale = 16
+	for _, ri := range representative() {
+		ri := ri
+		t.Run(ri.Name, func(t *testing.T) {
+			a := Representative(ri.Name, scale)
+			if err := a.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			s := sparse.ComputeRowStats(a)
+			wantRows := ri.PaperRows / scale
+			if math.Abs(float64(s.Rows-wantRows)) > float64(wantRows)/10+64 {
+				t.Errorf("rows = %d, want ~%d", s.Rows, wantRows)
+			}
+			wantNNZ := ri.PaperNNZ / scale
+			if math.Abs(float64(s.NNZ-wantNNZ)) > float64(wantNNZ)/10+float64(s.Rows) {
+				t.Errorf("nnz = %d, want ~%d", s.NNZ, wantNNZ)
+			}
+			if ri.PaperAvg > 0 {
+				ratio := s.AvgRowLen / ri.PaperAvg
+				if ratio < 0.75 || ratio > 1.35 {
+					t.Errorf("avg row len = %.2f, paper %.2f", s.AvgRowLen, ri.PaperAvg)
+				}
+			}
+			if (ri.PaperMin == 0) != (s.MinRowLen == 0) {
+				// Zero-min matrices must keep their empty rows; they are
+				// an edge case every SpMV implementation must handle.
+				t.Errorf("min row len = %d, paper %d", s.MinRowLen, ri.PaperMin)
+			}
+		})
+	}
+}
+
+func TestRepresentativeScaleOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size generation")
+	}
+	// Only the smallest full-size matrix: dc2 at scale 1 (766K nnz).
+	a := Representative("dc2", 1)
+	s := sparse.ComputeRowStats(a)
+	if s.NNZ != 766000 {
+		t.Fatalf("dc2 nnz = %d, want 766000", s.NNZ)
+	}
+	if s.MaxRowLen < 50000 {
+		t.Fatalf("dc2 hub row missing: max %d", s.MaxRowLen)
+	}
+}
+
+func TestRepresentativeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown matrix")
+		}
+	}()
+	Representative("not-a-matrix", 1)
+}
+
+func TestCorpusSpansRange(t *testing.T) {
+	opt := CorpusOptions{Size: 50, MinNNZ: 1000, MaxNNZ: 100000, Seed: 1}
+	specs := Corpus(opt)
+	if len(specs) != 50 {
+		t.Fatalf("corpus size = %d", len(specs))
+	}
+	families := map[Placement]int{}
+	for i, sp := range specs {
+		a := sp.Generate()
+		if err := a.Validate(); err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		nnz := a.NNZ()
+		if nnz < 500 || nnz > 150000 {
+			t.Fatalf("spec %d nnz %d outside range", i, nnz)
+		}
+		families[sp.Place]++
+	}
+	if len(families) < 3 {
+		t.Fatalf("corpus uses only %d placement families", len(families))
+	}
+	// First and last specs must span the log range.
+	if specs[0].TargetNNZ > 2*opt.MinNNZ {
+		t.Fatalf("first spec nnz %d too large", specs[0].TargetNNZ)
+	}
+	if specs[len(specs)-1].TargetNNZ < opt.MaxNNZ/2 {
+		t.Fatalf("last spec nnz %d too small", specs[len(specs)-1].TargetNNZ)
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(CorpusOptions{Size: 10, MinNNZ: 1000, MaxNNZ: 5000, Seed: 9})
+	b := Corpus(CorpusOptions{Size: 10, MinNNZ: 1000, MaxNNZ: 5000, Seed: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus spec %d differs between calls", i)
+		}
+		if !a[i].Generate().Equal(b[i].Generate()) {
+			t.Fatalf("corpus matrix %d differs between calls", i)
+		}
+	}
+}
+
+func TestCorpusEdgeOptions(t *testing.T) {
+	if Corpus(CorpusOptions{Size: 0}) != nil {
+		t.Fatal("empty corpus should be nil")
+	}
+	specs := Corpus(CorpusOptions{Size: 1, MinNNZ: 10, MaxNNZ: 5, Seed: 1})
+	if len(specs) != 1 {
+		t.Fatal("single-spec corpus")
+	}
+	if specs[0].Generate().Validate() != nil {
+		t.Fatal("degenerate corpus spec invalid")
+	}
+}
+
+func TestSortedRepresentativeByNNZ(t *testing.T) {
+	infos := SortedRepresentativeByNNZ()
+	for i := 1; i < len(infos); i++ {
+		if infos[i].PaperNNZ < infos[i-1].PaperNNZ {
+			t.Fatal("not sorted by nnz")
+		}
+	}
+}
+
+func TestScaleSpecClamps(t *testing.T) {
+	sp := Spec{Rows: 1000, Cols: 1000, TargetNNZ: 10000,
+		Dist: NewPowerLen(1, 900, 8), Place: Skewed, Seed: 1}
+	s2 := scaleSpec(sp, 10)
+	if s2.Rows != 100 || s2.Cols != 100 {
+		t.Fatalf("scaled dims %dx%d", s2.Rows, s2.Cols)
+	}
+	_, max := s2.Dist.Bounds()
+	if max > s2.Cols {
+		t.Fatalf("dist max %d exceeds cols %d", max, s2.Cols)
+	}
+	a := s2.Generate()
+	if a.Validate() != nil {
+		t.Fatal("scaled spec generates invalid matrix")
+	}
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero cols")
+		}
+	}()
+	Spec{Rows: 10, Cols: 0, Dist: ConstLen{L: 1}}.Generate()
+}
+
+// Mixed placement must produce rows with widely diverse cache-line
+// density (the rma10 trait Figure 9 depends on): some rows near 1 nnz per
+// x line (scattered), some near 8 (banded).
+func TestMixedPlacementDiversity(t *testing.T) {
+	sp := Spec{Rows: 3000, Cols: 3000, Dist: ConstLen{L: 48}, Place: Mixed, Seed: 12}
+	a := sp.Generate()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.RowsSorted() {
+		t.Fatal("unsorted rows")
+	}
+	dense, sparse := 0, 0
+	for i := 0; i < a.Rows; i++ {
+		lines := 0
+		ben := -1
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if l := a.ColIdx[k] / 8; l > ben {
+				lines++
+				ben = l
+			}
+		}
+		perLine := float64(a.RowLen(i)) / float64(lines)
+		if perLine > 4 {
+			dense++
+		}
+		if perLine < 1.5 {
+			sparse++
+		}
+	}
+	if dense < a.Rows/10 || sparse < a.Rows/10 {
+		t.Fatalf("mixed rows not diverse: %d dense, %d scattered of %d", dense, sparse, a.Rows)
+	}
+	if Mixed.String() != "mixed" {
+		t.Fatal("placement string")
+	}
+}

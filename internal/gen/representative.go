@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"haspmv/internal/sparse"
+)
+
+// RepInfo records the published Table II statistics for one of the 22
+// representative matrices, together with the Spec that reproduces them
+// synthetically.
+type RepInfo struct {
+	Name string
+	// Published statistics from the paper's Table II.
+	PaperRows, PaperNNZ int
+	PaperMin, PaperMax  int
+	PaperAvg            float64
+	// Spec generates a matrix matching those statistics at scale 1.
+	Spec Spec
+}
+
+// kilo/mega helpers keep the table legible.
+func k(x float64) int { return int(x * 1e3) }
+func m(x float64) int { return int(x * 1e6) }
+
+// representative returns the full Table II roster. Each entry's Spec is
+// constructed so that rows, nnz and the min/avg/max row lengths match the
+// published values; the placement reflects the matrix's provenance (FEM
+// matrices are banded, web/circuit graphs are skewed with hub rows, etc.).
+func representative() []RepInfo {
+	mk := func(name string, rows, nnz, min, max int, avg float64, dist LenDist, place Placement, hubs int) RepInfo {
+		return RepInfo{
+			Name:      name,
+			PaperRows: rows, PaperNNZ: nnz,
+			PaperMin: min, PaperMax: max, PaperAvg: avg,
+			Spec: Spec{
+				Name: name, Rows: rows, Cols: rows, TargetNNZ: nnz,
+				Dist: dist, Place: place, Seed: seedFor(name), HubRows: hubs,
+			},
+		}
+	}
+	return []RepInfo{
+		mk("consph", k(83), m(6.0), 1, 81, 72, NormalLen{Mean: 72, Std: 6, Min: 1, Max: 81}, Banded, 0),
+		mk("Ga41As41H72", k(268), m(18.5), 18, 702, 68, NewPowerLen(18, 702, 68), Clustered, 40),
+		mk("conf5_4-8x8-10", k(49), m(1.9), 39, 39, 39, ConstLen{L: 39}, Banded, 0),
+		mk("webbase-1M", m(1.0), m(3.1), 1, k(4.7), 3, NewPowerLen(1, k(4.7), 3), Skewed, 12),
+		mk("cop20k_A", k(121), m(2.6), 0, 81, 21, NormalLen{Mean: 21, Std: 12, Min: 0, Max: 81}, Banded, 0),
+		mk("in-2004", m(1.4), m(16.9), 0, k(7.8), 12, NewPowerLen(0, k(7.8), 12), Skewed, 20),
+		mk("pdb1HYS", k(36), m(4.3), 18, 204, 119, NormalLen{Mean: 119, Std: 25, Min: 18, Max: 204}, Clustered, 0),
+		mk("ASIC_680k", k(683), m(3.9), 1, k(395), 6, NewPowerLen(1, k(395), 6), Skewed, 2),
+		mk("Si41Ge41H72", k(186), m(15.0), 13, 662, 80, NewPowerLen(13, 662, 80), Clustered, 30),
+		mk("circuit5M", m(5.6), m(59.5), 1, m(1.29), 10, NewPowerLen(1, m(1.29), 10), Skewed, 2),
+		mk("rma10", k(47), m(2.4), 4, 145, 50, NormalLen{Mean: 50, Std: 22, Min: 4, Max: 145}, Mixed, 0),
+		mk("FullChip", m(2.9), m(26.6), 1, m(2.3), 9, NewPowerLen(1, m(2.3), 9), Skewed, 2),
+		mk("mip1", k(66), m(10.4), 4, k(66.4), 155, NewPowerLen(4, k(66.4), 155), Clustered, 3),
+		mk("mac_econ_fwd500", k(207), m(1.3), 1, 44, 6, NormalLen{Mean: 6, Std: 4, Min: 1, Max: 44}, Random, 0),
+		mk("cant", k(62), m(4.0), 1, 78, 64, NormalLen{Mean: 64, Std: 7, Min: 1, Max: 78}, Banded, 0),
+		mk("dc2", k(117), k(766), 1, k(114), 7, NewPowerLen(1, k(114), 7), Skewed, 2),
+		mk("shipsec1", k(141), m(7.8), 24, 102, 55, NormalLen{Mean: 55, Std: 12, Min: 24, Max: 102}, Banded, 0),
+		mk("n4c6-b7", k(163), m(1.3), 8, 8, 8, ConstLen{L: 8}, Random, 0),
+		mk("Dubcova2", k(65), m(1.0), 4, 25, 15, NormalLen{Mean: 15, Std: 4, Min: 4, Max: 25}, Banded, 0),
+		mk("viscorocks", k(37.8), m(1.1), 16, 42, 30, NormalLen{Mean: 30, Std: 5, Min: 16, Max: 42}, Banded, 0),
+		mk("dawson5", k(51), m(1.0), 1, 33, 19, NormalLen{Mean: 19, Std: 6, Min: 1, Max: 33}, Banded, 0),
+		mk("G_n_pin_pout", k(100), m(1.0), 0, 25, 10, NormalLen{Mean: 10, Std: 3.2, Min: 0, Max: 25}, Random, 0),
+	}
+}
+
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// RepresentativeNames lists Table II's matrices in paper order.
+func RepresentativeNames() []string {
+	infos := representative()
+	names := make([]string, len(infos))
+	for i, ri := range infos {
+		names[i] = ri.Name
+	}
+	return names
+}
+
+// RepresentativeInfo returns the published statistics and Spec for one of
+// the 22 matrices. The bool result is false for unknown names.
+func RepresentativeInfo(name string) (RepInfo, bool) {
+	for _, ri := range representative() {
+		if ri.Name == name {
+			return ri, true
+		}
+	}
+	return RepInfo{}, false
+}
+
+// Representative generates one of the 22 Table II matrices at the given
+// scale divisor: rows and nnz shrink by the factor while the average row
+// length (and therefore the cache behaviour per row) is preserved. Scale 1
+// reproduces the published size; scale 16 is the test-friendly default in
+// the harness. Panics on unknown names (the roster is a fixed published
+// table, so a typo is a programming error).
+func Representative(name string, scale int) *sparse.CSR {
+	ri, ok := RepresentativeInfo(name)
+	if !ok {
+		panic(fmt.Sprintf("gen: unknown representative matrix %q", name))
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	sp := ri.Spec
+	if scale > 1 {
+		sp = scaleSpec(sp, scale)
+	}
+	return sp.Generate()
+}
+
+// scaleSpec shrinks a Spec by the divisor, clamping distribution maxima to
+// the reduced column count so hub rows stay representable.
+func scaleSpec(sp Spec, scale int) Spec {
+	sp.Rows = maxInt(sp.Rows/scale, 64)
+	sp.Cols = maxInt(sp.Cols/scale, 64)
+	sp.TargetNNZ = maxInt(sp.TargetNNZ/scale, sp.Rows)
+	sp.Dist = clampDist(sp.Dist, sp.Cols)
+	sp.Name = fmt.Sprintf("%s@1/%d", sp.Name, scale)
+	return sp
+}
+
+func clampDist(d LenDist, cols int) LenDist {
+	switch t := d.(type) {
+	case ConstLen:
+		if t.L > cols {
+			t.L = cols
+		}
+		return t
+	case UniformLen:
+		if t.Max > cols {
+			t.Max = cols
+		}
+		if t.Min > t.Max {
+			t.Min = t.Max
+		}
+		return t
+	case NormalLen:
+		if t.Max > cols {
+			t.Max = cols
+		}
+		if t.Min > t.Max {
+			t.Min = t.Max
+		}
+		return t
+	case PowerLen:
+		if t.Max > cols {
+			t.Max = cols
+		}
+		if t.Min > t.Max {
+			t.Min = t.Max
+		}
+		return t
+	default:
+		return d
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SortedRepresentativeByNNZ returns the roster ordered by published nnz,
+// the ordering used on the x-axes of Figures 10 and 11.
+func SortedRepresentativeByNNZ() []RepInfo {
+	infos := representative()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].PaperNNZ < infos[j].PaperNNZ })
+	return infos
+}

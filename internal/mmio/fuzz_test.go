@@ -1,0 +1,58 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the Matrix Market parser with hostile inputs: it must
+// never panic, and whatever it accepts must be a valid matrix that
+// round-trips through Write.
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 3.5\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 2\n3 1 -1\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n",
+		"%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 7\n",
+		"%%MatrixMarket matrix array real general\n2 1\n1\n2\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5\n",
+		"%%MatrixMarket matrix coordinate real general\n0 0 0\n",
+		"% comment only",
+		"%%MatrixMarket matrix coordinate real general\n2 2 9999999\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n",
+		"%%MatrixMarket matrix coordinate real general\n1000000000000 2 1\n1 1 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Shrink the allocation limits so even "valid" huge headers stay
+	// cheap under the fuzzer.
+	saved := Limits
+	Limits.MaxRows, Limits.MaxCols, Limits.MaxNNZ = 1<<16, 1<<16, 1<<20
+	f.Cleanup(func() { Limits = saved })
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		a, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if verr := a.Validate(); verr != nil {
+			t.Fatalf("accepted invalid matrix: %v\ninput: %q", verr, src)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		b, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !a.Equal(b) {
+			t.Fatalf("round trip changed matrix\ninput: %q", src)
+		}
+	})
+}

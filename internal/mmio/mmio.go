@@ -1,0 +1,311 @@
+// Package mmio reads and writes Matrix Market (.mtx) files, the exchange
+// format of the SuiteSparse Matrix Collection that the paper benchmarks
+// against. The coordinate and array formats are supported with the
+// real/integer/pattern fields and general/symmetric/skew-symmetric
+// symmetries (complex matrices are rejected, matching the paper's
+// double-precision evaluation).
+package mmio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"haspmv/internal/sparse"
+)
+
+// Header describes the banner line of a Matrix Market file.
+type Header struct {
+	Object   string // "matrix"
+	Format   string // "coordinate" | "array"
+	Field    string // "real" | "integer" | "pattern"
+	Symmetry string // "general" | "symmetric" | "skew-symmetric"
+}
+
+// ErrNotMatrixMarket is returned when the banner line is missing or malformed.
+var ErrNotMatrixMarket = errors.New("mmio: not a Matrix Market file")
+
+// Limits bounds the sizes a file may declare before Read allocates for
+// them, protecting callers from out-of-memory on adversarial headers
+// ("1000000000000 2 1"). The defaults comfortably cover the largest
+// SuiteSparse matrices; override for genuinely bigger data.
+var Limits = struct {
+	MaxRows, MaxCols, MaxNNZ int
+}{1 << 28, 1 << 28, 1 << 31}
+
+func checkSize(rows, cols, nnz int) error {
+	if rows > Limits.MaxRows || cols > Limits.MaxCols || nnz > Limits.MaxNNZ {
+		return fmt.Errorf("mmio: declared size %dx%d nnz %d exceeds limits (%d, %d, %d)",
+			rows, cols, nnz, Limits.MaxRows, Limits.MaxCols, Limits.MaxNNZ)
+	}
+	return nil
+}
+
+func parseValue(field string) (float64, error) {
+	v, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("mmio: non-finite value %q", field)
+	}
+	return v, nil
+}
+
+// Read parses a Matrix Market stream into a CSR matrix. Symmetric and
+// skew-symmetric storage is expanded to general storage, mirroring how
+// SpMV benchmarks consume SuiteSparse matrices.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	coo, _, err := ReadCOO(r)
+	if err != nil {
+		return nil, err
+	}
+	return coo.ToCSR(), nil
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*sparse.CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// ReadCOO parses a Matrix Market stream into COO triplets, returning the
+// parsed header alongside. Symmetry expansion happens here: off-diagonal
+// entries of symmetric matrices are mirrored; skew-symmetric mirrors are
+// negated and diagonals must be absent per the specification.
+func ReadCOO(r io.Reader) (*sparse.COO, Header, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	hdr, err := readBanner(sc)
+	if err != nil {
+		return nil, hdr, err
+	}
+
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, hdr, fmt.Errorf("mmio: missing size line: %w", err)
+	}
+
+	switch hdr.Format {
+	case "coordinate":
+		coo, err := readCoordinate(sc, hdr, line)
+		return coo, hdr, err
+	case "array":
+		coo, err := readArray(sc, hdr, line)
+		return coo, hdr, err
+	default:
+		return nil, hdr, fmt.Errorf("mmio: unsupported format %q", hdr.Format)
+	}
+}
+
+func readBanner(sc *bufio.Scanner) (Header, error) {
+	var hdr Header
+	if !sc.Scan() {
+		return hdr, ErrNotMatrixMarket
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) != 5 || banner[0] != "%%matrixmarket" {
+		return hdr, ErrNotMatrixMarket
+	}
+	hdr = Header{Object: banner[1], Format: banner[2], Field: banner[3], Symmetry: banner[4]}
+	if hdr.Object != "matrix" {
+		return hdr, fmt.Errorf("mmio: unsupported object %q", hdr.Object)
+	}
+	switch hdr.Field {
+	case "real", "integer", "pattern":
+	case "complex":
+		return hdr, errors.New("mmio: complex matrices are not supported")
+	default:
+		return hdr, fmt.Errorf("mmio: unsupported field %q", hdr.Field)
+	}
+	switch hdr.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	case "hermitian":
+		return hdr, errors.New("mmio: hermitian matrices are not supported")
+	default:
+		return hdr, fmt.Errorf("mmio: unsupported symmetry %q", hdr.Symmetry)
+	}
+	return hdr, nil
+}
+
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+func readCoordinate(sc *bufio.Scanner, hdr Header, sizeLine string) (*sparse.COO, error) {
+	f := strings.Fields(sizeLine)
+	if len(f) != 3 {
+		return nil, fmt.Errorf("mmio: bad coordinate size line %q", sizeLine)
+	}
+	rows, err1 := strconv.Atoi(f[0])
+	cols, err2 := strconv.Atoi(f[1])
+	nnz, err3 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil || err3 != nil || rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: bad coordinate size line %q", sizeLine)
+	}
+	if err := checkSize(rows, cols, nnz); err != nil {
+		return nil, err
+	}
+	coo := &sparse.COO{Rows: rows, Cols: cols}
+	pattern := hdr.Field == "pattern"
+	for k := 0; k < nnz; k++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d/%d: %w", k+1, nnz, err)
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("mmio: entry %d has %d fields, want %d", k+1, len(fields), want)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d row: %w", k+1, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d col: %w", k+1, err)
+		}
+		v := 1.0
+		if !pattern {
+			v, err = parseValue(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("mmio: entry %d value: %w", k+1, err)
+			}
+		}
+		i-- // Matrix Market is 1-based.
+		j--
+		if i < 0 || i >= rows || j < 0 || j >= cols {
+			return nil, fmt.Errorf("mmio: entry %d index (%d,%d) out of %dx%d", k+1, i+1, j+1, rows, cols)
+		}
+		if err := addWithSymmetry(coo, hdr.Symmetry, i, j, v); err != nil {
+			return nil, fmt.Errorf("mmio: entry %d: %w", k+1, err)
+		}
+	}
+	return coo, nil
+}
+
+func readArray(sc *bufio.Scanner, hdr Header, sizeLine string) (*sparse.COO, error) {
+	if hdr.Field == "pattern" {
+		return nil, errors.New("mmio: pattern field is invalid for array format")
+	}
+	f := strings.Fields(sizeLine)
+	if len(f) != 2 {
+		return nil, fmt.Errorf("mmio: bad array size line %q", sizeLine)
+	}
+	rows, err1 := strconv.Atoi(f[0])
+	cols, err2 := strconv.Atoi(f[1])
+	if err1 != nil || err2 != nil || rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("mmio: bad array size line %q", sizeLine)
+	}
+	if err := checkSize(rows, cols, 0); err != nil {
+		return nil, err
+	}
+	if rows > 0 && cols > Limits.MaxNNZ/rows {
+		return nil, fmt.Errorf("mmio: dense array %dx%d exceeds entry limit", rows, cols)
+	}
+	coo := &sparse.COO{Rows: rows, Cols: cols}
+	// Array format is column-major dense; symmetric variants store the
+	// lower triangle only.
+	for j := 0; j < cols; j++ {
+		iStart := 0
+		if hdr.Symmetry != "general" {
+			iStart = j
+			if hdr.Symmetry == "skew-symmetric" {
+				iStart = j + 1
+			}
+		}
+		for i := iStart; i < rows; i++ {
+			line, err := nextDataLine(sc)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: array entry (%d,%d): %w", i+1, j+1, err)
+			}
+			v, err := parseValue(strings.Fields(line)[0])
+			if err != nil {
+				return nil, fmt.Errorf("mmio: array entry (%d,%d): %w", i+1, j+1, err)
+			}
+			if v == 0 {
+				continue
+			}
+			if err := addWithSymmetry(coo, hdr.Symmetry, i, j, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return coo, nil
+}
+
+func addWithSymmetry(coo *sparse.COO, symmetry string, i, j int, v float64) error {
+	coo.Add(i, j, v)
+	switch symmetry {
+	case "symmetric":
+		if i != j {
+			coo.Add(j, i, v)
+		}
+	case "skew-symmetric":
+		if i == j {
+			return errors.New("skew-symmetric matrix has a diagonal entry")
+		}
+		coo.Add(j, i, -v)
+	}
+	return nil
+}
+
+// Write emits the matrix in coordinate/real/general form with 1-based
+// indices, which every Matrix Market consumer accepts.
+func Write(w io.Writer, a *sparse.CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%%Written by the haspmv reproduction toolkit\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, a.ColIdx[k]+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the matrix to path in Matrix Market form.
+func WriteFile(path string, a *sparse.CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

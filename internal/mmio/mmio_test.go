@@ -1,0 +1,252 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"haspmv/internal/sparse"
+)
+
+func TestReadCoordinateGeneral(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 5
+1 1 1.5
+1 4 -2
+2 2 3
+3 1 4
+3 3 0.5
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{
+		{1.5, 0, 0, -2},
+		{0, 3, 0, 0},
+		{4, 0, 0.5, 0},
+	}, 0)
+	if !a.Equal(want) {
+		t.Fatalf("got %v %v %v", a.RowPtr, a.ColIdx, a.Val)
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2
+2 1 5
+3 3 7
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{
+		{2, 5, 0},
+		{5, 0, 0},
+		{0, 0, 7},
+	}, 0)
+	if !a.EqualValues(want, 0) {
+		t.Fatalf("symmetric expansion wrong: %v", a.ToDense())
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+3 3 2
+2 1 5
+3 2 -1
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{
+		{0, -5, 0},
+		{5, 0, 1},
+		{0, -1, 0},
+	}, 0)
+	if !a.EqualValues(want, 0) {
+		t.Fatalf("skew expansion wrong: %v", a.ToDense())
+	}
+}
+
+func TestSkewDiagonalRejected(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+1 1 5
+`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Fatal("accepted skew-symmetric diagonal")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{{0, 1}, {1, 0}}, 0)
+	if !a.Equal(want) {
+		t.Fatal("pattern values should default to 1")
+	}
+}
+
+func TestReadInteger(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate integer general
+2 2 1
+2 2 7
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Val[0] != 7 {
+		t.Fatalf("integer value = %v", a.Val[0])
+	}
+}
+
+func TestReadArrayGeneral(t *testing.T) {
+	// Column-major 2x2 dense: [[1,3],[2,0]].
+	src := `%%MatrixMarket matrix array real general
+2 2
+1
+2
+3
+0
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{{1, 3}, {2, 0}}, 0)
+	if !a.Equal(want) {
+		t.Fatalf("array parse: %v", a.ToDense())
+	}
+}
+
+func TestReadArraySymmetric(t *testing.T) {
+	// Lower triangle of a 2x2 symmetric: entries (1,1),(2,1),(2,2).
+	src := `%%MatrixMarket matrix array real symmetric
+2 2
+1
+4
+9
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{{1, 4}, {4, 9}}, 0)
+	if !a.EqualValues(want, 0) {
+		t.Fatalf("array symmetric parse: %v", a.ToDense())
+	}
+}
+
+func TestRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no banner":       "3 3 1\n1 1 1\n",
+		"bad banner":      "%%MatrixMarket tensor coordinate real general\n1 1 1\n1 1 1\n",
+		"complex":         "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"hermitian":       "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"bad symmetry":    "%%MatrixMarket matrix coordinate real diagonal\n1 1 1\n1 1 1\n",
+		"bad field":       "%%MatrixMarket matrix coordinate decimal general\n1 1 1\n1 1 1\n",
+		"bad format":      "%%MatrixMarket matrix list real general\n1 1 1\n1 1 1\n",
+		"pattern array":   "%%MatrixMarket matrix array pattern general\n1 1\n1\n",
+		"short size":      "%%MatrixMarket matrix coordinate real general\n3 3\n",
+		"size not int":    "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"negative size":   "%%MatrixMarket matrix coordinate real general\n-1 3 0\n",
+		"missing entries": "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1\n",
+		"oob index":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"zero index":      "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+		"short entry":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"empty file":      "",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted malformed input", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		coo := &sparse.COO{Rows: 1 + r.Intn(20), Cols: 1 + r.Intn(20)}
+		n := r.Intn(60)
+		for k := 0; k < n; k++ {
+			coo.Add(r.Intn(coo.Rows), r.Intn(coo.Cols), r.NormFloat64())
+		}
+		a := coo.ToCSR()
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			return false
+		}
+		b, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	a := sparse.FromDense([][]float64{{1, 0}, {0, 2}}, 0)
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("ReadFile on missing path succeeded")
+	}
+}
+
+func TestHeaderReturned(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real symmetric\n1 1 1\n1 1 3\n"
+	_, hdr, err := ReadCOO(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Symmetry != "symmetric" || hdr.Field != "real" || hdr.Format != "coordinate" {
+		t.Fatalf("header = %+v", hdr)
+	}
+}
+
+func TestDuplicateEntriesSummed(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+2 2 3
+1 1 1
+1 1 2
+2 2 5
+`
+	a, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.FromDense([][]float64{{3, 0}, {0, 5}}, 0)
+	if !a.Equal(want) {
+		t.Fatalf("duplicates not summed: %v", a.ToDense())
+	}
+}

@@ -1,0 +1,138 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a sparse matrix in coordinate (triplet) format. It is the natural
+// assembly and file-exchange format (Matrix Market coordinate files map to
+// it directly) and converts to CSR in O(nnz).
+type COO struct {
+	Rows int
+	Cols int
+	I    []int
+	J    []int
+	V    []float64
+}
+
+// NNZ returns the number of stored triplets (duplicates counted separately).
+func (c *COO) NNZ() int { return len(c.I) }
+
+// Add appends a triplet. Out-of-range indices panic; accumulation of
+// duplicates is deferred to ToCSR.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.Rows || j < 0 || j >= c.Cols {
+		panic(fmt.Sprintf("sparse: COO entry (%d,%d) out of range %dx%d", i, j, c.Rows, c.Cols))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// Validate checks index ranges and array-length consistency.
+func (c *COO) Validate() error {
+	if len(c.I) != len(c.J) || len(c.I) != len(c.V) {
+		return fmt.Errorf("sparse: COO array lengths differ (%d,%d,%d)", len(c.I), len(c.J), len(c.V))
+	}
+	for k := range c.I {
+		if c.I[k] < 0 || c.I[k] >= c.Rows {
+			return fmt.Errorf("sparse: COO row index %d out of range at %d", c.I[k], k)
+		}
+		if c.J[k] < 0 || c.J[k] >= c.Cols {
+			return fmt.Errorf("sparse: COO col index %d out of range at %d", c.J[k], k)
+		}
+	}
+	return nil
+}
+
+// ToCSR converts to CSR via counting sort on rows. Within each row, entries
+// are sorted by column and duplicate coordinates are summed, matching the
+// conventional Matrix Market semantics for assembled matrices.
+func (c *COO) ToCSR() *CSR {
+	a := &CSR{Rows: c.Rows, Cols: c.Cols, RowPtr: make([]int, c.Rows+1)}
+	for _, i := range c.I {
+		a.RowPtr[i+1]++
+	}
+	for i := 0; i < c.Rows; i++ {
+		a.RowPtr[i+1] += a.RowPtr[i]
+	}
+	nnz := len(c.I)
+	a.ColIdx = make([]int, nnz)
+	a.Val = make([]float64, nnz)
+	next := append([]int(nil), a.RowPtr[:c.Rows]...)
+	for k := 0; k < nnz; k++ {
+		i := c.I[k]
+		p := next[i]
+		next[i]++
+		a.ColIdx[p] = c.J[k]
+		a.Val[p] = c.V[k]
+	}
+	a.SortRows()
+	a.dedupSortedRows()
+	return a
+}
+
+// dedupSortedRows merges duplicate column entries within rows that are
+// already sorted, compacting the arrays in place.
+func (a *CSR) dedupSortedRows() {
+	w := 0
+	newPtr := make([]int, a.Rows+1)
+	for i := 0; i < a.Rows; i++ {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		k := lo
+		for k < hi {
+			col := a.ColIdx[k]
+			sum := a.Val[k]
+			k++
+			for k < hi && a.ColIdx[k] == col {
+				sum += a.Val[k]
+				k++
+			}
+			a.ColIdx[w] = col
+			a.Val[w] = sum
+			w++
+		}
+		newPtr[i+1] = w
+	}
+	a.RowPtr = newPtr
+	a.ColIdx = a.ColIdx[:w]
+	a.Val = a.Val[:w]
+}
+
+// FromCSR converts a CSR matrix to COO triplets in row-major order.
+func FromCSR(a *CSR) *COO {
+	c := &COO{Rows: a.Rows, Cols: a.Cols}
+	nnz := a.NNZ()
+	c.I = make([]int, 0, nnz)
+	c.J = make([]int, 0, nnz)
+	c.V = make([]float64, 0, nnz)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c.I = append(c.I, i)
+			c.J = append(c.J, a.ColIdx[k])
+			c.V = append(c.V, a.Val[k])
+		}
+	}
+	return c
+}
+
+// SortRowMajor sorts the triplets by (row, column).
+func (c *COO) SortRowMajor() {
+	sort.Sort(&cooSorter{c})
+}
+
+type cooSorter struct{ c *COO }
+
+func (s *cooSorter) Len() int { return len(s.c.I) }
+func (s *cooSorter) Less(a, b int) bool {
+	if s.c.I[a] != s.c.I[b] {
+		return s.c.I[a] < s.c.I[b]
+	}
+	return s.c.J[a] < s.c.J[b]
+}
+func (s *cooSorter) Swap(a, b int) {
+	s.c.I[a], s.c.I[b] = s.c.I[b], s.c.I[a]
+	s.c.J[a], s.c.J[b] = s.c.J[b], s.c.J[a]
+	s.c.V[a], s.c.V[b] = s.c.V[b], s.c.V[a]
+}

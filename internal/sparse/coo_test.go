@@ -1,0 +1,214 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSRSortsAndDedups(t *testing.T) {
+	c := &COO{Rows: 3, Cols: 3}
+	c.Add(2, 1, 1)
+	c.Add(0, 2, 2)
+	c.Add(0, 0, 3)
+	c.Add(0, 2, 4) // duplicate of (0,2): must sum to 6
+	c.Add(1, 1, 5)
+	a := c.ToCSR()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.RowsSorted() {
+		t.Fatal("ToCSR produced unsorted rows")
+	}
+	want := FromDense([][]float64{
+		{3, 0, 6},
+		{0, 5, 0},
+		{0, 1, 0},
+	}, 0)
+	if !a.Equal(want) {
+		t.Fatalf("ToCSR = %v / %v / %v", a.RowPtr, a.ColIdx, a.Val)
+	}
+}
+
+func TestCOOAddPanicsOutOfRange(t *testing.T) {
+	c := &COO{Rows: 2, Cols: 2}
+	for _, p := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Add(%d,%d) did not panic", p[0], p[1])
+				}
+			}()
+			c.Add(p[0], p[1], 1)
+		}()
+	}
+}
+
+func TestCOOValidate(t *testing.T) {
+	c := &COO{Rows: 2, Cols: 2, I: []int{0}, J: []int{0, 1}, V: []float64{1}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted ragged COO")
+	}
+	c = &COO{Rows: 2, Cols: 2, I: []int{5}, J: []int{0}, V: []float64{1}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range row")
+	}
+	c = &COO{Rows: 2, Cols: 2, I: []int{0}, J: []int{9}, V: []float64{1}}
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range col")
+	}
+}
+
+// Property: CSR -> COO -> CSR is the identity for matrices with sorted,
+// duplicate-free rows (which ToCSR guarantees).
+func TestCSRCOORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCSR(r, 3+r.Intn(25), 3+r.Intn(25), 0.25)
+		b := FromCSR(a).ToCSR()
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shuffling triplet order never changes the resulting CSR.
+func TestCOOOrderInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCSR(r, 4+r.Intn(20), 4+r.Intn(20), 0.3)
+		c := FromCSR(a)
+		perm := r.Perm(c.NNZ())
+		sh := &COO{Rows: c.Rows, Cols: c.Cols}
+		for _, p := range perm {
+			sh.Add(c.I[p], c.J[p], c.V[p])
+		}
+		return sh.ToCSR().Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOOSortRowMajor(t *testing.T) {
+	c := &COO{Rows: 3, Cols: 3}
+	c.Add(2, 2, 1)
+	c.Add(0, 1, 2)
+	c.Add(2, 0, 3)
+	c.Add(0, 0, 4)
+	c.SortRowMajor()
+	wantI := []int{0, 0, 2, 2}
+	wantJ := []int{0, 1, 0, 2}
+	for k := range wantI {
+		if c.I[k] != wantI[k] || c.J[k] != wantJ[k] {
+			t.Fatalf("sorted order = %v/%v, want %v/%v", c.I, c.J, wantI, wantJ)
+		}
+	}
+}
+
+func TestStatsFigures(t *testing.T) {
+	a := fig1Matrix()
+	s := ComputeRowStats(a)
+	if s.MinRowLen != 1 || s.MaxRowLen != 8 {
+		t.Fatalf("min/max = %d/%d, want 1/8", s.MinRowLen, s.MaxRowLen)
+	}
+	if s.NNZ != 24 {
+		t.Fatalf("nnz = %d", s.NNZ)
+	}
+	if s.AvgRowLen != 24.0/8.0 {
+		t.Fatalf("avg = %v", s.AvgRowLen)
+	}
+	if s.EmptyRows != 0 {
+		t.Fatalf("empty = %d", s.EmptyRows)
+	}
+	if s.Gini <= 0 || s.Gini >= 1 {
+		t.Fatalf("gini = %v out of (0,1)", s.Gini)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	// Perfectly even rows: Gini == 0.
+	even := FromDense([][]float64{{1, 1}, {1, 1}}, 0)
+	if g := ComputeRowStats(even).Gini; g != 0 {
+		t.Fatalf("even Gini = %v, want 0", g)
+	}
+	// All mass in one row out of many: Gini -> (n-1)/n.
+	c := &COO{Rows: 10, Cols: 10}
+	for j := 0; j < 10; j++ {
+		c.Add(0, j, 1)
+	}
+	g := ComputeRowStats(c.ToCSR()).Gini
+	if g < 0.85 || g > 0.95 {
+		t.Fatalf("concentrated Gini = %v, want ~0.9", g)
+	}
+}
+
+func TestBandwidthAndDensity(t *testing.T) {
+	a := FromDense([][]float64{
+		{1, 1, 0, 0},
+		{1, 1, 1, 0},
+		{0, 1, 1, 1},
+		{0, 0, 1, 1},
+	}, 0)
+	if bw := Bandwidth(a); bw != 1 {
+		t.Fatalf("bandwidth = %d, want 1", bw)
+	}
+	if d := Density(a); d != 10.0/16.0 {
+		t.Fatalf("density = %v", d)
+	}
+	if Density(&CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}) != 0 {
+		t.Fatal("empty density != 0")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if Dot(x, y) != 32 {
+		t.Fatalf("Dot = %v", Dot(x, y))
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2")
+	}
+	z := append([]float64(nil), y...)
+	AXPY(2, x, z)
+	if z[0] != 6 || z[2] != 12 {
+		t.Fatalf("AXPY = %v", z)
+	}
+	Scale(0.5, z)
+	if z[0] != 3 {
+		t.Fatalf("Scale = %v", z)
+	}
+	v := Ones(3)
+	if v[2] != 1 {
+		t.Fatal("Ones")
+	}
+	if MaxAbsDiff(x, y) != 3 {
+		t.Fatal("MaxAbsDiff")
+	}
+	if Iota(3)[2] != 2 {
+		t.Fatal("Iota")
+	}
+	Fill(v, 7)
+	if v[0] != 7 {
+		t.Fatal("Fill")
+	}
+	for _, fn := range []func(){
+		func() { Dot(x, v[:2]) },
+		func() { AXPY(1, x, v[:2]) },
+		func() { MaxAbsDiff(x, v[:2]) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,289 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig1Matrix is the 8x8 example style matrix used throughout the paper's
+// figures (an arbitrary small sparse matrix with mixed row lengths).
+func fig1Matrix() *CSR {
+	return FromDense([][]float64{
+		{1, 0, 0, 2, 0, 0, 0, 0},
+		{0, 3, 4, 0, 0, 5, 0, 0},
+		{0, 0, 6, 0, 0, 0, 0, 0},
+		{7, 0, 0, 8, 9, 0, 1, 2},
+		{0, 0, 0, 0, 3, 0, 0, 0},
+		{4, 5, 6, 7, 8, 9, 1, 2},
+		{0, 0, 0, 0, 0, 0, 3, 0},
+		{0, 4, 0, 0, 0, 5, 0, 6},
+	}, 0)
+}
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	coo := &COO{Rows: rows, Cols: cols}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	a := fig1Matrix()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	d := a.ToDense()
+	b := FromDense(d, 0)
+	if !a.Equal(b) {
+		t.Fatalf("dense round trip changed matrix")
+	}
+}
+
+func TestCSRBasics(t *testing.T) {
+	a := fig1Matrix()
+	if a.Rows != 8 || a.Cols != 8 {
+		t.Fatalf("dims = %dx%d, want 8x8", a.Rows, a.Cols)
+	}
+	if got, want := a.NNZ(), 24; got != want {
+		t.Fatalf("NNZ = %d, want %d", got, want)
+	}
+	if got := a.RowLen(5); got != 8 {
+		t.Fatalf("RowLen(5) = %d, want 8", got)
+	}
+	cols, vals := a.Row(2)
+	if len(cols) != 1 || cols[0] != 2 || vals[0] != 6 {
+		t.Fatalf("Row(2) = %v %v, want [2] [6]", cols, vals)
+	}
+}
+
+func TestValidateRejectsBadMatrices(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*CSR)
+	}{
+		{"rowptr length", func(a *CSR) { a.RowPtr = a.RowPtr[:len(a.RowPtr)-1] }},
+		{"rowptr nonzero start", func(a *CSR) { a.RowPtr[0] = 1 }},
+		{"rowptr decreasing", func(a *CSR) { a.RowPtr[3] = a.RowPtr[4] + 1 }},
+		{"colidx range high", func(a *CSR) { a.ColIdx[0] = a.Cols }},
+		{"colidx range low", func(a *CSR) { a.ColIdx[0] = -1 }},
+		{"val length", func(a *CSR) { a.Val = a.Val[:len(a.Val)-1] }},
+		{"negative rows", func(a *CSR) { a.Rows = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := fig1Matrix()
+			tc.mut(a)
+			if err := a.Validate(); err == nil {
+				t.Fatalf("Validate accepted corrupted matrix (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestNewCSRValidates(t *testing.T) {
+	if _, err := NewCSR(2, 2, []int{0, 1}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("NewCSR accepted short RowPtr")
+	}
+	a, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 2})
+	if err != nil {
+		t.Fatalf("NewCSR rejected valid input: %v", err)
+	}
+	if a.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", a.NNZ())
+	}
+}
+
+func TestMulVecReference(t *testing.T) {
+	a := fig1Matrix()
+	x := Iota(8)
+	y := make([]float64, 8)
+	a.MulVec(y, x)
+	d := a.ToDense()
+	for i := 0; i < 8; i++ {
+		want := 0.0
+		for j := 0; j < 8; j++ {
+			want += d[i][j] * x[j]
+		}
+		if math.Abs(y[i]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, y[i], want)
+		}
+	}
+}
+
+func TestMulVecPanicsOnBadLengths(t *testing.T) {
+	a := fig1Matrix()
+	for _, tc := range []struct{ ny, nx int }{{8, 7}, {7, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MulVec(%d,%d) did not panic", tc.ny, tc.nx)
+				}
+			}()
+			a.MulVec(make([]float64, tc.ny), make([]float64, tc.nx))
+		}()
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a := randomCSR(rng, 1+rng.Intn(40), 1+rng.Intn(40), 0.15)
+		tt := a.Transpose().Transpose()
+		if !a.EqualValues(tt, 0) {
+			t.Fatalf("transpose twice changed matrix (trial %d)", trial)
+		}
+	}
+}
+
+func TestTransposeMulVecAgrees(t *testing.T) {
+	// (A^T x)_j == sum_i A_ij x_i, checked against dense arithmetic.
+	rng := rand.New(rand.NewSource(7))
+	a := randomCSR(rng, 30, 20, 0.2)
+	at := a.Transpose()
+	x := make([]float64, 30)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 20)
+	at.MulVec(y, x)
+	d := a.ToDense()
+	for j := 0; j < 20; j++ {
+		want := 0.0
+		for i := 0; i < 30; i++ {
+			want += d[i][j] * x[i]
+		}
+		if math.Abs(y[j]-want) > 1e-9 {
+			t.Fatalf("A^T x mismatch at %d: got %v want %v", j, y[j], want)
+		}
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	a := fig1Matrix()
+	// Scramble row 5 manually.
+	lo, hi := a.RowPtr[5], a.RowPtr[5+1]
+	for k := lo; k < (lo+hi)/2; k++ {
+		o := hi - 1 - (k - lo)
+		a.ColIdx[k], a.ColIdx[o] = a.ColIdx[o], a.ColIdx[k]
+		a.Val[k], a.Val[o] = a.Val[o], a.Val[k]
+	}
+	if a.RowsSorted() {
+		t.Fatal("scramble failed")
+	}
+	ref := fig1Matrix()
+	a.SortRows()
+	if !a.RowsSorted() {
+		t.Fatal("SortRows left unsorted rows")
+	}
+	if !a.Equal(ref) {
+		t.Fatal("SortRows changed matrix content")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := fig1Matrix()
+	b := a.Clone()
+	b.Val[0] = 99
+	b.ColIdx[0] = 5
+	b.RowPtr[1] = 0
+	if a.Val[0] == 99 || a.ColIdx[0] == 5 || a.RowPtr[1] == 0 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestEqualValuesToleratesRowOrder(t *testing.T) {
+	a := fig1Matrix()
+	b := a.Clone()
+	// Reverse entries in each row of b: same values, different order.
+	for i := 0; i < b.Rows; i++ {
+		lo, hi := b.RowPtr[i], b.RowPtr[i+1]
+		for l, r := lo, hi-1; l < r; l, r = l+1, r-1 {
+			b.ColIdx[l], b.ColIdx[r] = b.ColIdx[r], b.ColIdx[l]
+			b.Val[l], b.Val[r] = b.Val[r], b.Val[l]
+		}
+	}
+	if !a.EqualValues(b, 1e-15) {
+		t.Fatal("EqualValues should ignore within-row order")
+	}
+	b.Val[0] += 1
+	if a.EqualValues(b, 1e-15) {
+		t.Fatal("EqualValues missed a changed value")
+	}
+}
+
+// Property: for random matrices, MulVec is linear: A(ax+by) = aAx + bAy.
+func TestMulVecLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomCSR(r, 5+r.Intn(30), 5+r.Intn(30), 0.2)
+		x1 := make([]float64, a.Cols)
+		x2 := make([]float64, a.Cols)
+		for i := range x1 {
+			x1[i], x2[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		alpha, beta := r.NormFloat64(), r.NormFloat64()
+		comb := make([]float64, a.Cols)
+		for i := range comb {
+			comb[i] = alpha*x1[i] + beta*x2[i]
+		}
+		y1 := make([]float64, a.Rows)
+		y2 := make([]float64, a.Rows)
+		yc := make([]float64, a.Rows)
+		a.MulVec(y1, x1)
+		a.MulVec(y2, x2)
+		a.MulVec(yc, comb)
+		for i := range yc {
+			if math.Abs(yc[i]-(alpha*y1[i]+beta*y2[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	a := &CSR{Rows: 0, Cols: 0, RowPtr: []int{0}}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("empty matrix invalid: %v", err)
+	}
+	if a.NNZ() != 0 {
+		t.Fatal("empty matrix has nonzeros")
+	}
+	a.MulVec(nil, nil) // must not panic
+	s := ComputeRowStats(a)
+	if s.NNZ != 0 || s.Rows != 0 {
+		t.Fatalf("stats of empty matrix: %+v", s)
+	}
+}
+
+func TestMatrixWithEmptyRows(t *testing.T) {
+	// cop20k_A-style matrices have min row length 0; every algorithm must
+	// survive them, starting with the base type.
+	a, err := NewCSR(4, 4, []int{0, 0, 2, 2, 3}, []int{1, 3, 0}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 4)
+	a.MulVec(y, Ones(4))
+	want := []float64{0, 3, 0, 3}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+	if s := ComputeRowStats(a); s.EmptyRows != 2 || s.MinRowLen != 0 {
+		t.Fatalf("stats = %+v, want 2 empty rows", s)
+	}
+}

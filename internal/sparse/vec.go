@@ -1,0 +1,78 @@
+package sparse
+
+import "math"
+
+// Vector helpers shared by the examples (conjugate gradient, PageRank) and
+// the test suite. They operate on plain []float64 so they compose with the
+// SpMV kernels without wrapper types.
+
+// Dot returns the inner product of a and b. Lengths must match.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("sparse: AXPY length mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Fill sets every element of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference between
+// a and b; it is the comparison metric in the correctness tests.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: MaxAbsDiff length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Ones returns a length-n vector of ones.
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	Fill(v, 1)
+	return v
+}
+
+// Iota returns the vector [0, 1, ..., n-1]; handy for deterministic tests.
+func Iota(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return v
+}

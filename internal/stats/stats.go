@@ -1,0 +1,207 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: means, geometric means, percentiles, linear regression
+// (Figure 5 draws a regression line through the speedup scatter), and
+// speedup summaries (Figure 8 reports average and maximum speedups).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values; non-positive
+// entries are skipped (they would make the product meaningless).
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Min and Max return the extremes, or 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or 0 for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) by linear
+// interpolation, or 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// LinReg is a fitted line y = Slope*x + Intercept.
+type LinReg struct {
+	Slope, Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	N  int
+}
+
+// LinearRegression fits ordinary least squares through (x, y) pairs.
+// Fewer than two points, or zero x-variance, yield a flat line through
+// the mean.
+func LinearRegression(xs, ys []float64) LinReg {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	if n == 0 {
+		return LinReg{}
+	}
+	mx := Mean(xs[:n])
+	my := Mean(ys[:n])
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 || n < 2 {
+		return LinReg{Slope: 0, Intercept: my, R2: 0, N: n}
+	}
+	slope := sxy / sxx
+	r2 := 0.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return LinReg{Slope: slope, Intercept: my - slope*mx, R2: r2, N: n}
+}
+
+// At evaluates the fitted line.
+func (l LinReg) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// SpeedupSummary condenses a per-matrix speedup distribution the way the
+// paper's abstract reports it: "average speedup of 2.61x (up to 5.23x)".
+type SpeedupSummary struct {
+	N       int
+	Mean    float64
+	GeoMean float64
+	Max     float64
+	Min     float64
+	Median  float64
+	// WinRate is the fraction of cases with speedup > 1.
+	WinRate float64
+}
+
+// Summarize builds a SpeedupSummary from per-case speedups.
+func Summarize(speedups []float64) SpeedupSummary {
+	s := SpeedupSummary{
+		N:       len(speedups),
+		Mean:    Mean(speedups),
+		GeoMean: GeoMean(speedups),
+		Max:     Max(speedups),
+		Min:     Min(speedups),
+		Median:  Percentile(speedups, 50),
+	}
+	wins := 0
+	for _, v := range speedups {
+		if v > 1 {
+			wins++
+		}
+	}
+	if s.N > 0 {
+		s.WinRate = float64(wins) / float64(s.N)
+	}
+	return s
+}
+
+// Log10 returns log10(x) guarding zero/negative inputs (scatter axes in
+// the figures are log-scaled).
+func Log10(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log10(x)
+}
+
+// BinByX averages ys within log-spaced x bins — Figure 5 "averages
+// matrices with the same average row lengths to make the figure clearer".
+// Returns bin centers and means for non-empty bins.
+func BinByX(xs, ys []float64, bins int) (cx, cy []float64) {
+	if len(xs) == 0 || bins < 1 {
+		return nil, nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi <= lo {
+		return []float64{lo}, []float64{Mean(ys)}
+	}
+	sums := make([]float64, bins)
+	counts := make([]int, bins)
+	for i, x := range xs {
+		b := int(float64(bins) * (x - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		sums[b] += ys[i]
+		counts[b]++
+	}
+	for b := 0; b < bins; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		cx = append(cx, lo+(float64(b)+0.5)*(hi-lo)/float64(bins))
+		cy = append(cy, sums[b]/float64(counts[b]))
+	}
+	return cx, cy
+}

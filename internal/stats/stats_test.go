@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("empty means")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Fatal("geomean")
+	}
+	// Non-positive entries skipped.
+	if !almost(GeoMean([]float64{-1, 0, 4, 1}), 2) {
+		t.Fatal("geomean with junk")
+	}
+	if GeoMean([]float64{0, -2}) != 0 {
+		t.Fatal("all-junk geomean")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatal("min/max")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty min/max")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {105, 50}, {12.5, 15},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); !almost(got, tc.want) {
+			t.Errorf("P%.1f = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Fatal("singleton percentile")
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	l := LinearRegression(xs, ys)
+	if !almost(l.Slope, 2) || !almost(l.Intercept, 1) || !almost(l.R2, 1) {
+		t.Fatalf("fit: %+v", l)
+	}
+	if !almost(l.At(10), 21) {
+		t.Fatal("At")
+	}
+}
+
+func TestLinearRegressionDegenerate(t *testing.T) {
+	if l := LinearRegression(nil, nil); l.N != 0 {
+		t.Fatal("empty fit")
+	}
+	l := LinearRegression([]float64{5, 5, 5}, []float64{1, 2, 3})
+	if l.Slope != 0 || !almost(l.Intercept, 2) {
+		t.Fatalf("zero-variance fit: %+v", l)
+	}
+	l = LinearRegression([]float64{1}, []float64{9})
+	if l.Slope != 0 || !almost(l.Intercept, 9) {
+		t.Fatalf("single-point fit: %+v", l)
+	}
+	// Mismatched lengths use the common prefix.
+	l = LinearRegression([]float64{0, 1, 2}, []float64{0, 2})
+	if l.N != 2 {
+		t.Fatalf("prefix fit N = %d", l.N)
+	}
+}
+
+// Property: regression residuals are orthogonal to x (normal equations).
+func TestRegressionNormalEquationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			ys[i] = 3*xs[i] - 2 + r.NormFloat64()
+		}
+		l := LinearRegression(xs, ys)
+		dot := 0.0
+		sum := 0.0
+		for i := range xs {
+			res := ys[i] - l.At(xs[i])
+			dot += res * xs[i]
+			sum += res
+		}
+		return math.Abs(dot) < 1e-6*float64(n)*100 && math.Abs(sum) < 1e-6*float64(n)*10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 1.5, 2.0, 4.0})
+	if s.N != 4 || !almost(s.Mean, 2.0) || !almost(s.Max, 4) || !almost(s.Min, 0.5) {
+		t.Fatalf("summary: %+v", s)
+	}
+	if !almost(s.WinRate, 0.75) {
+		t.Fatalf("winrate: %v", s.WinRate)
+	}
+	if !almost(s.Median, 1.75) {
+		t.Fatalf("median: %v", s.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.WinRate != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestLog10(t *testing.T) {
+	if !almost(Log10(1000), 3) || Log10(0) != 0 || Log10(-3) != 0 {
+		t.Fatal("log10 guard")
+	}
+}
+
+func TestBinByX(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ys := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	cx, cy := BinByX(xs, ys, 2)
+	if len(cx) != 2 || len(cy) != 2 {
+		t.Fatalf("bins: %v %v", cx, cy)
+	}
+	// First bin holds 0..4 (x < 4.5), second 5..9.
+	if !almost(cy[0], 2) || !almost(cy[1], 7) {
+		t.Fatalf("bin means: %v", cy)
+	}
+	if cx, cy = BinByX(nil, nil, 3); cx != nil || cy != nil {
+		t.Fatal("empty bins")
+	}
+	cx, cy = BinByX([]float64{2, 2}, []float64{1, 3}, 4)
+	if len(cx) != 1 || !almost(cy[0], 2) {
+		t.Fatalf("degenerate-range bins: %v %v", cx, cy)
+	}
+}

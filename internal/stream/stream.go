@@ -1,0 +1,92 @@
+// Package stream reproduces the paper's stream-triad micro-benchmark
+// (Section III-A, Figure 3): McCalpin's a[i] = b[i] + s*c[i] kernel swept
+// over vector sizes from cache-resident to DRAM-bound, for the three core
+// compositions of each AMP. The sweep is priced on the machine model
+// (internal/costmodel); a real in-process triad kernel is also provided so
+// the harness can report host wall-clock numbers alongside.
+package stream
+
+import (
+	"math"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+)
+
+// Point is one measurement of the sweep.
+type Point struct {
+	// Elems is the per-array element count; TotalBytes = 24*Elems covers
+	// the two loads and one store of the triad.
+	Elems      int
+	TotalBytes int
+	GBps       float64
+	BoundBy    string
+}
+
+// Sweep runs the modeled triad over a log-spaced size range for one core
+// composition. Sizes follow the figure's x-axis: total vector footprint
+// from ~256KB to ~1.5GB.
+func Sweep(m *amp.Machine, p costmodel.Params, cfg amp.Config, points int) []Point {
+	if points < 2 {
+		points = 2
+	}
+	cores := m.Cores(cfg)
+	out := make([]Point, 0, points)
+	minBytes := 256.0 * 1024
+	maxBytes := 1.5 * 1024 * 1024 * 1024
+	for i := 0; i < points; i++ {
+		f := float64(i) / float64(points-1)
+		bytes := minBytes * math.Pow(maxBytes/minBytes, f)
+		elems := int(bytes / 24)
+		r := costmodel.EstimateTriad(m, p, cores, elems)
+		out = append(out, Point{
+			Elems:      elems,
+			TotalBytes: elems * 24,
+			GBps:       r.GBps,
+			BoundBy:    r.BoundBy,
+		})
+	}
+	return out
+}
+
+// HostTriad measures the real triad bandwidth of the host for one worker
+// count, giving the harness an honest native number to print next to the
+// modeled curves. reps must be >= 1.
+func HostTriad(workers, elems, reps int) float64 {
+	if workers < 1 || elems < workers || reps < 1 {
+		return 0
+	}
+	a := make([]float64, elems)
+	b := make([]float64, elems)
+	c := make([]float64, elems)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = 2
+	}
+	const scalar = 3.0
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		exec.Parallel(workers, func(w int) {
+			lo := elems * w / workers
+			hi := elems * (w + 1) / workers
+			av, bv, cv := a[lo:hi], b[lo:hi], c[lo:hi]
+			for i := range av {
+				av[i] = bv[i] + scalar*cv[i]
+			}
+		})
+	}
+	sec := time.Since(start).Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(24*elems*reps) / sec / 1e9
+}
+
+// DRAMPlateau returns the modeled deep-plateau bandwidth for a config — a
+// single number summarizing the right edge of Figure 3.
+func DRAMPlateau(m *amp.Machine, p costmodel.Params, cfg amp.Config) float64 {
+	r := costmodel.EstimateTriad(m, p, m.Cores(cfg), 64_000_000)
+	return r.GBps
+}

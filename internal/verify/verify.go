@@ -1,0 +1,171 @@
+// Package verify provides the correctness protocol every SpMV
+// implementation in this repository must pass, in a testing-free form so
+// both the test suite (via internal/algtest) and cmd/haspmv-bench's
+// selfcheck mode can run it: an adversarial matrix battery (empty rows,
+// hub rows holding half the matrix, more cores than rows, non-square
+// shapes), verification against the serial reference with poisoned
+// outputs, and the cover-every-nonzero-exactly-once invariant.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+// Case is one matrix of the battery.
+type Case struct {
+	Name string
+	A    *sparse.CSR
+}
+
+// Battery returns the standard adversarial matrix set.
+func Battery() []Case {
+	rng := rand.New(rand.NewSource(99))
+	var cases []Case
+	add := func(name string, a *sparse.CSR) {
+		if err := a.Validate(); err != nil {
+			panic(fmt.Sprintf("algtest: battery matrix %s invalid: %v", name, err))
+		}
+		cases = append(cases, Case{Name: name, A: a})
+	}
+
+	add("fig1-8x8", sparse.FromDense([][]float64{
+		{1, 0, 0, 2, 0, 0, 0, 0},
+		{0, 3, 4, 0, 0, 5, 0, 0},
+		{0, 0, 6, 0, 0, 0, 0, 0},
+		{7, 0, 0, 8, 9, 0, 1, 2},
+		{0, 0, 0, 0, 3, 0, 0, 0},
+		{4, 5, 6, 7, 8, 9, 1, 2},
+		{0, 0, 0, 0, 0, 0, 3, 0},
+		{0, 4, 0, 0, 0, 5, 0, 6},
+	}, 0))
+
+	add("empty-0x0", &sparse.CSR{Rows: 0, Cols: 0, RowPtr: []int{0}})
+	add("all-zero-4x4", &sparse.CSR{Rows: 4, Cols: 4, RowPtr: []int{0, 0, 0, 0, 0}})
+	add("single-entry", sparse.FromDense([][]float64{{0, 0}, {0, 5}}, 0))
+	add("single-row-1xN", gen.Spec{Name: "r", Rows: 1, Cols: 500, TargetNNZ: 300,
+		Dist: gen.ConstLen{L: 300}, Place: gen.Random, Seed: 1}.Generate())
+
+	// Nx1 column matrix.
+	col := &sparse.COO{Rows: 400, Cols: 1}
+	for i := 0; i < 400; i += 3 {
+		col.Add(i, 0, float64(i)+0.5)
+	}
+	add("column-Nx1", col.ToCSR())
+
+	// Fewer rows than cores: partitions must degrade gracefully.
+	add("tiny-3x3", sparse.FromDense([][]float64{
+		{1, 2, 0}, {0, 0, 3}, {4, 0, 5},
+	}, 0))
+
+	// Alternating empty rows (cop20k_A-style min=0).
+	alt := &sparse.COO{Rows: 64, Cols: 64}
+	for i := 0; i < 64; i += 2 {
+		for j := 0; j < 5; j++ {
+			alt.Add(i, (i*7+j*13)%64, 1+float64(j))
+		}
+	}
+	add("alternating-empty", alt.ToCSR())
+
+	// One hub row holding half the nonzeros (webbase/FullChip pattern).
+	hub := &sparse.COO{Rows: 200, Cols: 200}
+	for j := 0; j < 200; j++ {
+		hub.Add(100, j, 0.5)
+	}
+	for i := 0; i < 200; i++ {
+		hub.Add(i, (i*31)%200, 1)
+	}
+	add("hub-row", hub.ToCSR())
+
+	add("banded-fem", gen.Spec{Name: "b", Rows: 700, Cols: 700, TargetNNZ: 700 * 12,
+		Dist: gen.NormalLen{Mean: 12, Std: 2, Min: 4, Max: 24}, Place: gen.Banded, Seed: 2}.Generate())
+	add("const-rows", gen.Spec{Name: "c", Rows: 513, Cols: 513, // odd size: uneven splits
+		Dist: gen.ConstLen{L: 9}, Place: gen.Random, Seed: 3}.Generate())
+	add("powerlaw", gen.Spec{Name: "p", Rows: 1000, Cols: 1000, TargetNNZ: 6000,
+		Dist: gen.NewPowerLen(1, 400, 6), Place: gen.Skewed, Seed: 4, HubRows: 2}.Generate())
+	add("wide-rect", gen.Spec{Name: "w", Rows: 60, Cols: 3000, TargetNNZ: 60 * 40,
+		Dist: gen.ConstLen{L: 40}, Place: gen.Random, Seed: 5}.Generate())
+	add("tall-rect", gen.Spec{Name: "t", Rows: 3000, Cols: 60, TargetNNZ: 3000 * 4,
+		Dist: gen.UniformLen{Min: 0, Max: 8}, Place: gen.Random, Seed: 6}.Generate())
+
+	// A medium random matrix for good measure.
+	_ = rng
+	add("medium-random", gen.Spec{Name: "m", Rows: 2500, Cols: 2500, TargetNNZ: 30000,
+		Dist: gen.UniformLen{Min: 0, Max: 30}, Place: gen.Random, Seed: 7}.Generate())
+
+	return cases
+}
+
+// Matrix returns the battery matrix with the given name, panicking on
+// unknown names (tests reference fixed battery members).
+func Matrix(name string) *sparse.CSR {
+	for _, c := range Battery() {
+		if c.Name == name {
+			return c.A
+		}
+	}
+	panic(fmt.Sprintf("algtest: no battery matrix %q", name))
+}
+
+// Tolerance for comparing against the serial reference; the unrolled
+// kernels and fragment sums reassociate floating point.
+const Tolerance = 1e-9
+
+// OnMatrix runs the full correctness protocol for one algorithm on
+// one matrix, returning an error instead of failing a test: prepare,
+// check the cover-exactly-once invariant, compare against the serial
+// reference with poisoned outputs, and repeat the multiply (the
+// inspector-executor contract).
+func OnMatrix(alg exec.Algorithm, m *amp.Machine, a *sparse.CSR) error {
+	prep, err := alg.Prepare(m, a)
+	if err != nil {
+		return fmt.Errorf("%s: Prepare: %w", alg.Name(), err)
+	}
+	if err := exec.CheckAssignments(a, prep.Assignments()); err != nil {
+		return fmt.Errorf("%s: %w", alg.Name(), err)
+	}
+	x := make([]float64, a.Cols)
+	r := rand.New(rand.NewSource(123))
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	want := make([]float64, a.Rows)
+	a.MulVec(want, x)
+	got := make([]float64, a.Rows)
+	// Poison the output to catch rows no one writes.
+	for i := range got {
+		got[i] = 1e300
+	}
+	prep.Compute(got, x)
+	scale := 1.0
+	for _, w := range want {
+		if aw := abs(w); aw > scale {
+			scale = aw
+		}
+	}
+	for i := range want {
+		if abs(got[i]-want[i]) > Tolerance*scale {
+			return fmt.Errorf("%s: y[%d] = %v, want %v (scale %v)", alg.Name(), i, got[i], want[i], scale)
+		}
+	}
+	// Repeat: Compute must be reusable (inspector-executor contract).
+	prep.Compute(got, x)
+	for i := range want {
+		if abs(got[i]-want[i]) > Tolerance*scale {
+			return fmt.Errorf("%s: second Compute diverged at %d", alg.Name(), i)
+		}
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/sparse"
+)
+
+// brokenAlg wraps a correct serial SpMV and then injects one specific
+// defect, to prove the protocol catches each class of bug.
+type brokenAlg struct {
+	defect string
+}
+
+func (b brokenAlg) Name() string { return "broken(" + b.defect + ")" }
+
+func (b brokenAlg) Prepare(m *amp.Machine, a *sparse.CSR) (exec.Prepared, error) {
+	return &brokenPrep{defect: b.defect, mat: a}, nil
+}
+
+type brokenPrep struct {
+	defect string
+	mat    *sparse.CSR
+	calls  int
+}
+
+func (p *brokenPrep) Compute(y, x []float64) {
+	p.mat.MulVec(y, x)
+	p.calls++
+	switch p.defect {
+	case "wrong-value":
+		if len(y) > 0 {
+			y[len(y)/2] += 1
+		}
+	case "skipped-row":
+		if len(y) > 0 {
+			y[0] = 1e300 // leaves the poison in place
+		}
+	case "not-reusable":
+		if p.calls == 2 && len(y) > 0 {
+			y[0] += 0.5
+		}
+	}
+}
+
+func (p *brokenPrep) Assignments() []costmodel.Assignment {
+	full := []costmodel.Assignment{{Core: 0, Spans: []costmodel.Span{{Lo: 0, Hi: p.mat.NNZ()}}}}
+	switch p.defect {
+	case "gap":
+		if p.mat.NNZ() > 1 {
+			full[0].Spans[0].Hi--
+		}
+	case "overlap":
+		if p.mat.NNZ() > 1 {
+			full = append(full, costmodel.Assignment{Core: 1, Spans: []costmodel.Span{{Lo: 0, Hi: 1}}})
+		}
+	}
+	return full
+}
+
+func TestProtocolCatchesInjectedDefects(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := Matrix("banded-fem")
+	for _, defect := range []string{"wrong-value", "skipped-row", "not-reusable", "gap", "overlap"} {
+		err := OnMatrix(brokenAlg{defect: defect}, m, a)
+		if err == nil {
+			t.Errorf("defect %q not caught", defect)
+		} else if !strings.Contains(err.Error(), "broken") && !strings.Contains(err.Error(), "exec:") {
+			t.Errorf("defect %q: unattributed error %v", defect, err)
+		}
+	}
+	// And the clean algorithm passes.
+	if err := OnMatrix(brokenAlg{defect: "none"}, m, a); err != nil {
+		t.Errorf("clean algorithm rejected: %v", err)
+	}
+}
+
+func TestBatteryIsStable(t *testing.T) {
+	names := map[string]bool{}
+	for _, c := range Battery() {
+		if names[c.Name] {
+			t.Fatalf("duplicate battery case %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, required := range []string{"fig1-8x8", "empty-0x0", "hub-row", "powerlaw", "tall-rect"} {
+		if !names[required] {
+			t.Fatalf("battery lost case %q", required)
+		}
+	}
+	// Matrix lookup round-trips and panics on unknowns.
+	if Matrix("hub-row").NNZ() == 0 {
+		t.Fatal("hub-row empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown name did not panic")
+		}
+	}()
+	Matrix("never-heard-of-it")
+}

@@ -1,0 +1,186 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// GMRESOptions tune the restarted GMRES solver. Zero values select
+// Restart = 30, MaxIter = 10*rows+50 total inner iterations and
+// Tol = 1e-10.
+type GMRESOptions struct {
+	// Restart is the Krylov subspace dimension m of GMRES(m).
+	Restart int
+	MaxIter int
+	Tol     float64
+	// Precondition applies z = M^-1 v (right preconditioning).
+	Precondition func(z, v []float64)
+}
+
+func (o GMRESOptions) withDefaults(n int) GMRESOptions {
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10*n + 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Precondition == nil {
+		o.Precondition = func(z, v []float64) { copy(z, v) }
+	}
+	return o
+}
+
+// GMRES solves A x = b for general A with restarted GMRES(m): Arnoldi
+// orthogonalization (modified Gram-Schmidt), Givens-rotation updates of
+// the Hessenberg least-squares problem, and right preconditioning. x
+// supplies the start vector and receives the solution.
+func GMRES(op Operator, b, x []float64, opts GMRESOptions) (Stats, error) {
+	n := op.Rows()
+	if op.Cols() != n {
+		return Stats{}, ErrNotSquare
+	}
+	if len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("solver: GMRES vector lengths %d/%d, want %d", len(b), len(x), n)
+	}
+	opts = opts.withDefaults(n)
+	m := opts.Restart
+	if m > n && n > 0 {
+		m = n
+	}
+	if n == 0 {
+		return Stats{Converged: true}, nil
+	}
+
+	normB := norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+
+	// Arnoldi basis, Hessenberg columns, Givens rotations, residual rhs.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1) // h[i][j], i <= j+1
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+	w := make([]float64, n)
+	z := make([]float64, n)
+
+	st := Stats{}
+	for st.Iterations < opts.MaxIter {
+		// Outer (restart) iteration: r0 = b - A x.
+		op.Apply(w, x)
+		for i := range w {
+			v[0][i] = b[i] - w[i]
+		}
+		beta := norm2(v[0])
+		st.Residual = beta / normB
+		if st.Residual < opts.Tol {
+			st.Converged = true
+			return st, nil
+		}
+		scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0
+		for ; k < m && st.Iterations < opts.MaxIter; k++ {
+			st.Iterations++
+			// Arnoldi step with right preconditioning: w = A M^-1 v_k.
+			opts.Precondition(z, v[k])
+			op.Apply(w, z)
+			for i := 0; i <= k; i++ {
+				h[i][k] = dot(w, v[i])
+				axpy(-h[i][k], v[i], w)
+			}
+			h[k+1][k] = norm2(w)
+			subdiag := h[k+1][k] // preserved: the Givens step zeroes it
+			if subdiag > 1e-300 {
+				for i := range w {
+					v[k+1][i] = w[i] / subdiag
+				}
+			}
+			// Apply the accumulated Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation annihilating h[k+1][k].
+			r := math.Hypot(h[k][k], h[k+1][k])
+			if r == 0 {
+				return st, ErrBreakdown
+			}
+			cs[k] = h[k][k] / r
+			sn[k] = h[k+1][k] / r
+			h[k][k] = r
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			st.Residual = math.Abs(g[k+1]) / normB
+			if st.Residual < opts.Tol {
+				k++
+				break
+			}
+			if subdiag <= 1e-300 {
+				// Lucky breakdown: the Krylov subspace is exhausted and
+				// the least-squares solution over it is exact.
+				k++
+				break
+			}
+		}
+
+		// Back-substitute y from the k x k triangular system.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			sum := g[i]
+			for j := i + 1; j < k; j++ {
+				sum -= h[i][j] * y[j]
+			}
+			y[i] = sum / h[i][i]
+		}
+		// x += M^-1 (V y).
+		for i := range w {
+			w[i] = 0
+		}
+		for j := 0; j < k; j++ {
+			axpy(y[j], v[j], w)
+		}
+		opts.Precondition(z, w)
+		for i := range x {
+			x[i] += z[i]
+		}
+		if st.Residual < opts.Tol {
+			// Recompute the true residual to guard against drift.
+			op.Apply(w, x)
+			num := 0.0
+			for i := range w {
+				d := b[i] - w[i]
+				num += d * d
+			}
+			st.Residual = math.Sqrt(num) / normB
+			if st.Residual < opts.Tol*10 {
+				st.Converged = true
+				return st, nil
+			}
+		}
+	}
+	return st, nil
+}
+
+func axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}

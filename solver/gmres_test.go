@@ -1,0 +1,138 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"haspmv"
+)
+
+func TestGMRESOnNonsymmetric(t *testing.T) {
+	a := nonsymmetric(500, 21)
+	op := FromMatrix(a)
+	exact := make([]float64, 500)
+	for i := range exact {
+		exact[i] = math.Cos(float64(i) / 7)
+	}
+	b := rhsFor(a, exact)
+	x := make([]float64, 500)
+	st, err := GMRES(op, b, x, GMRESOptions{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("GMRES did not converge: %+v", st)
+	}
+	if res := residual(a, x, b); res > 1e-9 {
+		t.Fatalf("residual %.2e", res)
+	}
+}
+
+func TestGMRESRestartSmallerThanConvergence(t *testing.T) {
+	// A small restart forces several outer cycles; on a diagonally
+	// dominant system GMRES(m) still converges quickly.
+	a := nonsymmetric(600, 13)
+	b := rhsFor(a, ones(600))
+	x := make([]float64, 600)
+	st, err := GMRES(FromMatrix(a), b, x, GMRESOptions{Restart: 8, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("restarted GMRES did not converge: %+v", st)
+	}
+	if res := residual(a, x, b); res > 1e-8 {
+		t.Fatalf("residual %.2e", res)
+	}
+	// Full-subspace GMRES on an SPD system is exact within n steps.
+	p := poisson1D(80)
+	bp := rhsFor(p, ones(80))
+	xp := make([]float64, 80)
+	st, err = GMRES(FromMatrix(p), bp, xp, GMRESOptions{Restart: 80, Tol: 1e-12})
+	if err != nil || !st.Converged || st.Iterations > 80 {
+		t.Fatalf("full-subspace GMRES: %+v %v", st, err)
+	}
+	for i := range xp {
+		if math.Abs(xp[i]-1) > 1e-6 {
+			t.Fatalf("xp[%d] = %v", i, xp[i])
+		}
+	}
+}
+
+func TestGMRESWithJacobiPreconditioner(t *testing.T) {
+	a := nonsymmetric(400, 5)
+	b := rhsFor(a, ones(400))
+	pre, err := DiagonalPreconditioner(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPlain := make([]float64, 400)
+	plain, err := GMRES(FromMatrix(a), b, xPlain, GMRESOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xPre := make([]float64, 400)
+	prec, err := GMRES(FromMatrix(a), b, xPre, GMRESOptions{Tol: 1e-10, Precondition: pre})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !prec.Converged {
+		t.Fatalf("convergence: %+v / %+v", plain, prec)
+	}
+	if prec.Iterations > plain.Iterations {
+		t.Fatalf("preconditioned GMRES slower: %d vs %d", prec.Iterations, plain.Iterations)
+	}
+	if res := residual(a, xPre, b); res > 1e-8 {
+		t.Fatalf("preconditioned residual %.2e", res)
+	}
+}
+
+func TestGMRESViaHandle(t *testing.T) {
+	a := nonsymmetric(300, 31)
+	m := haspmv.IntelI913900KF()
+	h, err := haspmv.Analyze(m, a, haspmv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhsFor(a, ones(300))
+	x := make([]float64, 300)
+	st, err := GMRES(FromHandle(h), b, x, GMRESOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("GMRES over HASpMV: %+v", st)
+	}
+	if res := residual(a, x, b); res > 1e-8 {
+		t.Fatalf("residual %.2e", res)
+	}
+}
+
+func TestGMRESErrors(t *testing.T) {
+	rect := haspmv.FromDense([][]float64{{1, 0, 0}, {0, 1, 0}}, 0)
+	if _, err := GMRES(FromMatrix(rect), make([]float64, 2), make([]float64, 2), GMRESOptions{}); err != ErrNotSquare {
+		t.Fatalf("non-square: %v", err)
+	}
+	sq := poisson1D(4)
+	if _, err := GMRES(FromMatrix(sq), make([]float64, 3), make([]float64, 4), GMRESOptions{}); err == nil {
+		t.Fatal("short b accepted")
+	}
+}
+
+func TestGMRESZeroRHSAndMaxIter(t *testing.T) {
+	a := poisson1D(50)
+	x := ones(50)
+	st, err := GMRES(FromMatrix(a), make([]float64, 50), x, GMRESOptions{})
+	if err != nil || !st.Converged {
+		t.Fatalf("zero-rhs: %+v %v", st, err)
+	}
+	b := rhsFor(a, ones(50))
+	x2 := make([]float64, 50)
+	st, err = GMRES(FromMatrix(a), b, x2, GMRESOptions{MaxIter: 2, Tol: 1e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Converged || st.Iterations != 2 {
+		t.Fatalf("max-iter stop: %+v", st)
+	}
+}

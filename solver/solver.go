@@ -1,0 +1,303 @@
+// Package solver provides the iterative methods the paper's introduction
+// motivates SpMV with: conjugate gradient (for symmetric positive-definite
+// systems), BiCGSTAB (for general systems), and power iteration (the
+// graph-processing/PageRank kernel shape). All methods consume an Operator
+// — satisfied by a haspmv.Handle — so every A*x inside the solver runs
+// through the heterogeneity-aware kernel.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"haspmv"
+)
+
+// Operator is a linear operator y = A*x.
+type Operator interface {
+	// Apply computes y = A*x; len(x) = Cols(), len(y) = Rows().
+	Apply(y, x []float64)
+	Rows() int
+	Cols() int
+}
+
+// handleOp adapts a haspmv.Handle to Operator.
+type handleOp struct{ h *haspmv.Handle }
+
+func (o handleOp) Apply(y, x []float64) { o.h.Multiply(y, x) }
+func (o handleOp) Rows() int            { return o.h.Rows() }
+func (o handleOp) Cols() int            { return o.h.Cols() }
+
+// FromHandle wraps an analyzed HASpMV (or baseline) handle as an Operator.
+func FromHandle(h *haspmv.Handle) Operator { return handleOp{h} }
+
+// matrixOp adapts a raw matrix (serial reference SpMV) as an Operator.
+type matrixOp struct{ a *haspmv.Matrix }
+
+func (o matrixOp) Apply(y, x []float64) { o.a.MulVec(y, x) }
+func (o matrixOp) Rows() int            { return o.a.Rows }
+func (o matrixOp) Cols() int            { return o.a.Cols }
+
+// FromMatrix wraps a matrix with the serial reference kernel.
+func FromMatrix(a *haspmv.Matrix) Operator { return matrixOp{a} }
+
+// Stats reports a solve.
+type Stats struct {
+	Iterations int
+	// Residual is the final relative residual ||b-Ax|| / ||b||.
+	Residual  float64
+	Converged bool
+}
+
+// Options tune the Krylov solvers. Zero values select MaxIter =
+// 10*rows and Tol = 1e-10.
+type Options struct {
+	MaxIter int
+	Tol     float64
+	// Precondition applies z = M^-1 r in place of the identity; it must
+	// not alias its arguments. Use DiagonalPreconditioner for Jacobi.
+	Precondition func(z, r []float64)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10*n + 50
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Precondition == nil {
+		o.Precondition = func(z, r []float64) { copy(z, r) }
+	}
+	return o
+}
+
+// ErrNotSquare is returned when a solver needs a square operator.
+var ErrNotSquare = errors.New("solver: operator is not square")
+
+// ErrBreakdown is returned when a Krylov recurrence hits a zero pivot.
+var ErrBreakdown = errors.New("solver: numerical breakdown")
+
+// CG solves A x = b for symmetric positive-definite A, starting from the
+// contents of x. It performs one operator application per iteration.
+func CG(op Operator, b, x []float64, opts Options) (Stats, error) {
+	n := op.Rows()
+	if op.Cols() != n {
+		return Stats{}, ErrNotSquare
+	}
+	if len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("solver: CG vector lengths %d/%d, want %d", len(b), len(x), n)
+	}
+	opts = opts.withDefaults(n)
+
+	r := make([]float64, n)
+	op.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	z := make([]float64, n)
+	opts.Precondition(z, r)
+	p := append([]float64(nil), z...)
+	ap := make([]float64, n)
+
+	normB := norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	rz := dot(r, z)
+	st := Stats{}
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		if res := norm2(r) / normB; res < opts.Tol {
+			st.Residual = res
+			st.Converged = true
+			return st, nil
+		}
+		op.Apply(ap, p)
+		pap := dot(p, ap)
+		if pap == 0 {
+			return st, ErrBreakdown
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		opts.Precondition(z, r)
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	st.Residual = norm2(r) / normB
+	st.Converged = st.Residual < opts.Tol
+	return st, nil
+}
+
+// BiCGSTAB solves A x = b for general (nonsymmetric) A, starting from the
+// contents of x. Two operator applications per iteration.
+func BiCGSTAB(op Operator, b, x []float64, opts Options) (Stats, error) {
+	n := op.Rows()
+	if op.Cols() != n {
+		return Stats{}, ErrNotSquare
+	}
+	if len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("solver: BiCGSTAB vector lengths %d/%d, want %d", len(b), len(x), n)
+	}
+	opts = opts.withDefaults(n)
+
+	r := make([]float64, n)
+	op.Apply(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	rHat := append([]float64(nil), r...)
+	v := make([]float64, n)
+	p := make([]float64, n)
+	ph := make([]float64, n)
+	sh := make([]float64, n)
+	t := make([]float64, n)
+	s := make([]float64, n)
+
+	normB := norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	st := Stats{}
+	for st.Iterations = 0; st.Iterations < opts.MaxIter; st.Iterations++ {
+		if res := norm2(r) / normB; res < opts.Tol {
+			st.Residual = res
+			st.Converged = true
+			return st, nil
+		}
+		rhoNew := dot(rHat, r)
+		if rhoNew == 0 || omega == 0 {
+			return st, ErrBreakdown
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		opts.Precondition(ph, p)
+		op.Apply(v, ph)
+		rv := dot(rHat, v)
+		if rv == 0 {
+			return st, ErrBreakdown
+		}
+		alpha = rho / rv
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if res := norm2(s) / normB; res < opts.Tol {
+			for i := range x {
+				x[i] += alpha * ph[i]
+			}
+			st.Iterations++
+			st.Residual = res
+			st.Converged = true
+			return st, nil
+		}
+		opts.Precondition(sh, s)
+		op.Apply(t, sh)
+		tt := dot(t, t)
+		if tt == 0 {
+			return st, ErrBreakdown
+		}
+		omega = dot(t, s) / tt
+		for i := range x {
+			x[i] += alpha*ph[i] + omega*sh[i]
+			r[i] = s[i] - omega*t[i]
+		}
+	}
+	st.Residual = norm2(r) / normB
+	st.Converged = st.Residual < opts.Tol
+	return st, nil
+}
+
+// DiagonalPreconditioner builds a Jacobi preconditioner z = r / diag(A).
+// Zero diagonal entries pass through unscaled.
+func DiagonalPreconditioner(a *haspmv.Matrix) (func(z, r []float64), error) {
+	if a.Rows != a.Cols {
+		return nil, ErrNotSquare
+	}
+	diag := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				diag[i] = a.Val[k]
+			}
+		}
+	}
+	return func(z, r []float64) {
+		for i := range z {
+			if diag[i] != 0 {
+				z[i] = r[i] / diag[i]
+			} else {
+				z[i] = r[i]
+			}
+		}
+	}, nil
+}
+
+// PowerIteration estimates the dominant eigenvalue (by magnitude) of the
+// operator and leaves the corresponding eigenvector estimate in x (which
+// supplies the start vector and must be nonzero). Returns the Rayleigh
+// quotient estimate.
+func PowerIteration(op Operator, x []float64, maxIter int, tol float64) (lambda float64, iters int, err error) {
+	n := op.Rows()
+	if op.Cols() != n {
+		return 0, 0, ErrNotSquare
+	}
+	if len(x) != n {
+		return 0, 0, fmt.Errorf("solver: PowerIteration vector length %d, want %d", len(x), n)
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	nx := norm2(x)
+	if nx == 0 {
+		return 0, 0, errors.New("solver: zero start vector")
+	}
+	scale(1/nx, x)
+	y := make([]float64, n)
+	prev := math.Inf(1)
+	for iters = 1; iters <= maxIter; iters++ {
+		op.Apply(y, x)
+		lambda = dot(x, y)
+		ny := norm2(y)
+		if ny == 0 {
+			return 0, iters, errors.New("solver: operator annihilated the iterate")
+		}
+		for i := range x {
+			x[i] = y[i] / ny
+		}
+		if math.Abs(lambda-prev) <= tol*math.Abs(lambda) {
+			return lambda, iters, nil
+		}
+		prev = lambda
+	}
+	return lambda, maxIter, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm2(v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+func scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
