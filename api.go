@@ -27,7 +27,9 @@
 package haspmv
 
 import (
+	"fmt"
 	"io"
+	"sync/atomic"
 
 	"haspmv/internal/amp"
 	"haspmv/internal/costmodel"
@@ -35,6 +37,7 @@ import (
 	"haspmv/internal/gen"
 	"haspmv/internal/mmio"
 	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
 
 	"haspmv/internal/baselines/csr5"
 	"haspmv/internal/baselines/csrsimple"
@@ -132,6 +135,10 @@ type Handle struct {
 	matrix  *Matrix
 	prep    exec.Prepared
 	name    string
+
+	multiplies      atomic.Int64
+	batchMultiplies atomic.Int64
+	batchVectors    atomic.Int64
 }
 
 // Analyze prepares HASpMV for the matrix on the machine.
@@ -199,13 +206,43 @@ func (h *Handle) Matrix() *Matrix { return h.matrix }
 
 // MultiplyBatch computes Y[v] = A*X[v] for a block of vectors, using the
 // fused multi-vector path when the algorithm provides one (HASpMV walks
-// the index stream once per row fragment for the whole block).
-func (h *Handle) MultiplyBatch(Y, X [][]float64) { exec.ComputeBatch(h.prep, Y, X) }
+// the index stream once per row fragment for the whole block). Every
+// X[v] must have length Cols() and every Y[v] length Rows(); mismatches
+// panic with a descriptive message rather than corrupting results inside
+// a kernel goroutine.
+func (h *Handle) MultiplyBatch(Y, X [][]float64) {
+	if len(Y) != len(X) {
+		panic(fmt.Sprintf("haspmv: MultiplyBatch got %d output vectors for %d right-hand sides", len(Y), len(X)))
+	}
+	for v := range X {
+		if len(X[v]) != h.matrix.Cols {
+			panic(fmt.Sprintf("haspmv: MultiplyBatch x[%d] has length %d, want Cols() = %d", v, len(X[v]), h.matrix.Cols))
+		}
+		if len(Y[v]) != h.matrix.Rows {
+			panic(fmt.Sprintf("haspmv: MultiplyBatch y[%d] has length %d, want Rows() = %d", v, len(Y[v]), h.matrix.Rows))
+		}
+	}
+	h.batchMultiplies.Add(1)
+	h.batchVectors.Add(int64(len(X)))
+	exec.ComputeBatch(h.prep, Y, X)
+}
 
-// Multiply computes y = A*x with one goroutine per simulated core. Note
-// that Go cannot pin goroutines to P/E cores, so host wall-clock does not
-// reflect AMP asymmetry; use Simulate for modeled AMP timing.
-func (h *Handle) Multiply(y, x []float64) { h.prep.Compute(y, x) }
+// Multiply computes y = A*x on the simulated cores. x must have length
+// Cols() and y length Rows(); mismatches panic with a descriptive message
+// (a short y would otherwise corrupt results or crash deep inside a
+// kernel goroutine). Note that Go cannot pin goroutines to P/E cores, so
+// host wall-clock does not reflect AMP asymmetry; use Simulate for
+// modeled AMP timing.
+func (h *Handle) Multiply(y, x []float64) {
+	if len(y) != h.matrix.Rows {
+		panic(fmt.Sprintf("haspmv: Multiply y has length %d, want Rows() = %d", len(y), h.matrix.Rows))
+	}
+	if len(x) != h.matrix.Cols {
+		panic(fmt.Sprintf("haspmv: Multiply x has length %d, want Cols() = %d", len(x), h.matrix.Cols))
+	}
+	h.multiplies.Add(1)
+	h.prep.Compute(y, x)
+}
 
 // Simulate prices the prepared SpMV on the machine model. Passing nil
 // params uses the calibrated defaults.
@@ -244,6 +281,81 @@ type Energy = costmodel.Energy
 func (h *Handle) SimulateEnergy(p *ModelParams) (ModelResult, Energy) {
 	r := h.Simulate(p)
 	return r, costmodel.EstimateEnergy(h.machine, r)
+}
+
+// ---------------------------------------------------------------- telemetry
+
+// TelemetryStats is a point-in-time snapshot of the telemetry registry
+// and (when enabled) the active collector: counters, gauges, phase
+// timers, per-core execution totals, span counts and partition records.
+type TelemetryStats = telemetry.Stats
+
+// TelemetryServer serves /metrics (Prometheus text format), /debug/vars
+// (expvar) and /debug/pprof on its own mux.
+type TelemetryServer = telemetry.Server
+
+// EnableTelemetry turns on instrumentation collection across the whole
+// pipeline (phase timers, per-core spans, partition records). The hot
+// path is designed so that with telemetry disabled — the default —
+// Multiply performs zero additional allocations and only nil-check
+// overhead.
+func EnableTelemetry() { telemetry.Enable() }
+
+// DisableTelemetry turns collection back off. Registry counters keep
+// their values.
+func DisableTelemetry() { telemetry.Disable() }
+
+// TelemetryEnabled reports whether collection is currently on.
+func TelemetryEnabled() bool { return telemetry.Enabled() }
+
+// TelemetrySnapshot returns the global telemetry view (the same object
+// expvar publishes under the "haspmv" key once telemetry is enabled).
+func TelemetrySnapshot() TelemetryStats { return telemetry.Snapshot() }
+
+// ServeTelemetry starts an HTTP server exposing /metrics, /debug/vars and
+// /debug/pprof on addr (":0" picks an ephemeral port; query Addr()).
+func ServeTelemetry(addr string) (*TelemetryServer, error) { return telemetry.Serve(addr) }
+
+// WriteTelemetryTrace exports the active collector as Chrome trace_event
+// JSON — one span per simulated core per multiply plus the partition
+// decisions — openable in chrome://tracing or https://ui.perfetto.dev.
+// It errors when telemetry is disabled.
+func WriteTelemetryTrace(w io.Writer) error { return telemetry.WriteTrace(w) }
+
+// WriteTelemetryMetrics renders the registry and active collector in the
+// Prometheus text exposition format (the body of /metrics).
+func WriteTelemetryMetrics(w io.Writer) error { return telemetry.WritePrometheus(w) }
+
+// HandleStats summarize one handle's shape and usage.
+type HandleStats struct {
+	// Algorithm is the prepared method's report name.
+	Algorithm string
+	// Rows, Cols and NNZ describe the analyzed matrix.
+	Rows, Cols, NNZ int
+	// Cores is the number of per-core work assignments the partition
+	// produced.
+	Cores int
+	// Multiplies counts Multiply calls on this handle.
+	Multiplies int64
+	// BatchMultiplies and BatchVectors count MultiplyBatch calls and the
+	// total right-hand sides they carried.
+	BatchMultiplies, BatchVectors int64
+}
+
+// Stats returns this handle's usage counters and partition summary. For
+// the pipeline-wide view (phase timers, per-core spans, traces) see
+// TelemetrySnapshot.
+func (h *Handle) Stats() HandleStats {
+	return HandleStats{
+		Algorithm:       h.name,
+		Rows:            h.matrix.Rows,
+		Cols:            h.matrix.Cols,
+		NNZ:             h.matrix.NNZ(),
+		Cores:           len(h.prep.Assignments()),
+		Multiplies:      h.multiplies.Load(),
+		BatchMultiplies: h.batchMultiplies.Load(),
+		BatchVectors:    h.batchVectors.Load(),
+	}
 }
 
 // TuneProportion golden-section-searches the level-1 split share that

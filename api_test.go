@@ -2,6 +2,7 @@ package haspmv
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -194,6 +195,141 @@ func TestRepresentativeNamesFacade(t *testing.T) {
 	if !found {
 		t.Fatal("webbase-1M missing")
 	}
+}
+
+func mustPanicWith(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want message containing %q)", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v, want message containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestMultiplyValidatesLengths(t *testing.T) {
+	m := IntelI912900KF()
+	a := Representative("dawson5", 64)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	mustPanicWith(t, "want Rows()", func() { h.Multiply(make([]float64, a.Rows+1), x) })
+	mustPanicWith(t, "want Cols()", func() { h.Multiply(y, make([]float64, a.Cols-1)) })
+	mustPanicWith(t, "output vectors", func() {
+		h.MultiplyBatch([][]float64{y}, [][]float64{x, x})
+	})
+	mustPanicWith(t, "x[1]", func() {
+		h.MultiplyBatch([][]float64{y, make([]float64, a.Rows)}, [][]float64{x, make([]float64, a.Cols+2)})
+	})
+	mustPanicWith(t, "y[0]", func() {
+		h.MultiplyBatch([][]float64{make([]float64, 1)}, [][]float64{x})
+	})
+}
+
+func TestHandleStatsCountsUsage(t *testing.T) {
+	m := IntelI912900KF()
+	a := Representative("rma10", 64)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	h.Multiply(y, x)
+	h.Multiply(y, x)
+	h.MultiplyBatch([][]float64{y, make([]float64, a.Rows), make([]float64, a.Rows)},
+		[][]float64{x, x, x})
+	s := h.Stats()
+	if s.Algorithm != h.Name() || s.Rows != a.Rows || s.Cols != a.Cols || s.NNZ != a.NNZ() {
+		t.Fatalf("shape stats: %+v", s)
+	}
+	if s.Cores <= 0 {
+		t.Fatalf("cores: %+v", s)
+	}
+	if s.Multiplies != 2 || s.BatchMultiplies != 1 || s.BatchVectors != 3 {
+		t.Fatalf("usage stats: %+v", s)
+	}
+}
+
+// TestMultiplyZeroAllocsWhenTelemetryDisabled is the overhead guard behind
+// the telemetry design: with collection off (the default), the steady-state
+// Multiply hot path must not allocate at all — scratch buffers live on the
+// Prepared, Parallel dispatches to a persistent worker pool, and every
+// counter gates on one atomic load.
+func TestMultiplyZeroAllocsWhenTelemetryDisabled(t *testing.T) {
+	if TelemetryEnabled() {
+		t.Fatal("telemetry unexpectedly enabled at test start")
+	}
+	m := IntelI912900KF()
+	a := Representative("rma10", 32)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	h.Multiply(y, x) // warm the scratch and the worker pool
+	if n := testing.AllocsPerRun(100, func() { h.Multiply(y, x) }); n != 0 {
+		t.Fatalf("Multiply allocates %v times per op with telemetry disabled, want 0", n)
+	}
+}
+
+func TestTelemetryFacadeRoundTrip(t *testing.T) {
+	EnableTelemetry()
+	defer DisableTelemetry()
+	if !TelemetryEnabled() {
+		t.Fatal("EnableTelemetry did not enable")
+	}
+	m := IntelI912900KF()
+	a := Representative("rma10", 64)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	h.Multiply(y, x)
+
+	s := TelemetrySnapshot()
+	if !s.Enabled || len(s.Cores) == 0 || len(s.Partitions) == 0 {
+		t.Fatalf("snapshot after instrumented run: enabled=%v cores=%d partitions=%d",
+			s.Enabled, len(s.Cores), len(s.Partitions))
+	}
+
+	var trace bytes.Buffer
+	if err := WriteTelemetryTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(trace.Bytes()) {
+		t.Fatal("trace is not valid JSON")
+	}
+
+	var prom bytes.Buffer
+	if err := WriteTelemetryMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "haspmv_enabled 1") {
+		t.Fatalf("prometheus body missing haspmv_enabled:\n%.400s", prom.String())
+	}
+
+	srv, err := ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Addr() == "" {
+		t.Fatal("server has no address")
+	}
+	srv.Close()
 }
 
 func TestOptionsVariantsThroughFacade(t *testing.T) {

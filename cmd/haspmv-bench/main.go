@@ -11,6 +11,7 @@
 //	haspmv-bench -exp fig10           # preprocessing cost
 //	haspmv-bench -exp fig11           # the 22 matrices, all methods
 //	haspmv-bench -exp energy          # extension: modeled energy per SpMV
+//	haspmv-bench -exp phases          # telemetry phase timers (Fig. 7 style)
 //	haspmv-bench -exp selfcheck       # verify every method on the battery
 //	haspmv-bench -exp breakdown       # per-core time/traffic decomposition
 //	haspmv-bench -exp host            # real host wall-clock (caveats apply)
@@ -19,9 +20,18 @@
 // Scale knobs: -corpus N (matrices standing in for the 2888 SuiteSparse
 // sweep), -maxnnz (largest corpus matrix), -scale S (divisor on the
 // published sizes of the representative matrices), -machines a,b,...
+//
+// Observability knobs: -telemetry enables instrumentation for the run,
+// -metrics-addr ADDR serves /metrics (Prometheus text), /debug/vars
+// (expvar) and /debug/pprof while the experiments execute, and
+// -trace FILE writes a Chrome trace_event JSON (one span per simulated
+// core plus partition-decision records) openable in chrome://tracing or
+// https://ui.perfetto.dev. Both -metrics-addr and -trace imply
+// -telemetry.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +41,7 @@ import (
 
 	"haspmv/internal/amp"
 	"haspmv/internal/bench"
+	"haspmv/internal/telemetry"
 	"haspmv/internal/verify"
 )
 
@@ -43,7 +54,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("haspmv-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, breakdown, host, selfcheck, all)")
+	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, selfcheck, all)")
 	corpus := fs.Int("corpus", 0, "corpus size (default from harness)")
 	maxNNZ := fs.Int("maxnnz", 0, "largest corpus matrix nnz")
 	scale := fs.Int("scale", 0, "representative matrix scale divisor (1 = published size)")
@@ -52,7 +63,13 @@ func run(args []string) error {
 	matrix := fs.String("matrix", "rma10", "representative matrix for breakdown/host experiments")
 	seed := fs.Int64("seed", 0, "corpus seed override")
 	csvDir := fs.String("csv", "", "also write one CSV per experiment into this directory")
+	telemetryOn := fs.Bool("telemetry", false, "collect phase timers, per-core spans and partition records")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (implies -telemetry; \":0\" picks a port)")
+	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON here after the run (implies -telemetry)")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
 		return err
 	}
 	writeCSV := func(name string, emit func(io.Writer) error) error {
@@ -98,9 +115,53 @@ func run(args []string) error {
 	}
 
 	out := os.Stdout
+
+	// Observability: -metrics-addr and -trace both need a live collector.
+	if *metricsAddr != "" || *tracePath != "" {
+		*telemetryOn = true
+	}
+	if *telemetryOn {
+		col := telemetry.NewCollector()
+		prev := telemetry.Activate(col)
+		defer telemetry.Activate(prev)
+		if *metricsAddr != "" {
+			srv, err := telemetry.Serve(*metricsAddr)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "haspmv-bench: serving /metrics, /debug/vars and /debug/pprof on http://%s\n", srv.Addr())
+		}
+		if *tracePath != "" {
+			defer func() {
+				// One instrumented Prepare+Multiply so the trace carries a
+				// span per simulated core even for simulator-only runs.
+				if err := bench.TraceRun(cfg, cfg.Machines[0], *matrix); err != nil {
+					fmt.Fprintln(os.Stderr, "haspmv-bench: trace:", err)
+					return
+				}
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "haspmv-bench: trace:", err)
+					return
+				}
+				if err := col.WriteTrace(f); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "haspmv-bench: trace:", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "haspmv-bench: wrote Chrome trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *tracePath)
+			}()
+		}
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
-		ids = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "energy"}
+		ids = []string{"table1", "table2", "fig3", "fig4", "fig5", "fig8", "fig9", "fig10", "fig11", "energy", "phases"}
 	}
 	for _, id := range ids {
 		switch id {
@@ -172,6 +233,19 @@ func run(args []string) error {
 			bench.PrintFig11(out, res)
 			if err := writeCSV("fig11", func(w io.Writer) error { return bench.Fig11CSV(w, res) }); err != nil {
 				return err
+			}
+		case "phases":
+			for _, m := range cfg.Machines {
+				matrices := []string{"mac_econ_fwd500", "webbase-1M", "rma10", "cant", "Dubcova2"}
+				rows, err := bench.PhaseBreakdown(cfg, m, matrices)
+				if err != nil {
+					return err
+				}
+				bench.PrintPhases(out, m, rows)
+				m := m
+				if err := writeCSV("phases-"+m.Name, func(w io.Writer) error { return bench.PhasesCSV(w, m.Name, rows) }); err != nil {
+					return err
+				}
 			}
 		case "breakdown":
 			for _, m := range cfg.Machines {

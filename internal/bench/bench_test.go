@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"haspmv/internal/amp"
+	"haspmv/internal/telemetry"
 )
 
 func TestTable1CoversAllMachines(t *testing.T) {
@@ -386,6 +387,73 @@ func TestBreakdownShapes(t *testing.T) {
 	PrintBreakdown(&buf, m, "rma10", rows)
 	if !strings.Contains(buf.String(), "DRAM(KB)") {
 		t.Fatal("breakdown print malformed")
+	}
+}
+
+func TestPhaseBreakdownRecordsPipeline(t *testing.T) {
+	cfg := TestConfig()
+	m := amp.IntelI912900KF()
+	rows, err := PhaseBreakdown(cfg, m, []string{"rma10", "dawson5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]map[string]bool{}
+	for _, r := range rows {
+		if r.Millis < 0 || r.Count < 1 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		if got[r.Matrix] == nil {
+			got[r.Matrix] = map[string]bool{}
+		}
+		got[r.Matrix][r.Phase] = true
+	}
+	for _, matrix := range []string{"rma10", "dawson5"} {
+		for _, phase := range []string{"reorder", "cost", "partition_l1", "partition_l2", "prepare", "compute"} {
+			if !got[matrix][phase] {
+				t.Errorf("%s: phase %q missing", matrix, phase)
+			}
+		}
+	}
+	// The scoped collector must not leave telemetry enabled behind.
+	if telemetry.Enabled() {
+		t.Fatal("PhaseBreakdown left telemetry enabled")
+	}
+	var buf bytes.Buffer
+	PrintPhases(&buf, m, rows)
+	if !strings.Contains(buf.String(), "partition_l2") {
+		t.Fatal("phases print malformed")
+	}
+}
+
+func TestPhasesCSVHeader(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []PhaseRow{{Matrix: "rma10", NNZ: 7, Phase: "reorder", Millis: 1.5, Count: 2}}
+	if err := PhasesCSV(&buf, "i9-12900KF", rows); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "machine,matrix,nnz,phase,millis,count\n") {
+		t.Fatalf("header: %q", s)
+	}
+	if !strings.Contains(s, "i9-12900KF,rma10,7,reorder,1.5,2") {
+		t.Fatalf("row: %q", s)
+	}
+}
+
+func TestTraceRunNeedsTelemetry(t *testing.T) {
+	cfg := TestConfig()
+	m := amp.IntelI912900KF()
+	if err := TraceRun(cfg, m, "rma10"); err == nil {
+		t.Fatal("TraceRun succeeded without telemetry")
+	}
+	c := telemetry.NewCollector()
+	prev := telemetry.Activate(c)
+	defer telemetry.Activate(prev)
+	if err := TraceRun(cfg, m, "rma10"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Spans()) != m.TotalCores() {
+		t.Fatalf("trace run recorded %d spans, want one per core (%d)", len(c.Spans()), m.TotalCores())
 	}
 }
 

@@ -8,6 +8,9 @@ import (
 	"haspmv/internal/amp"
 	"haspmv/internal/exec"
 	"haspmv/internal/gen"
+	"haspmv/internal/telemetry"
+
+	haspmvcore "haspmv/internal/core"
 )
 
 // BreakdownRow decomposes one core's modeled time for one method.
@@ -73,6 +76,86 @@ func PrintBreakdown(w io.Writer, m *amp.Machine, matrix string, rows []Breakdown
 			r.LevelBytes[0]/1024, r.LevelBytes[1]/1024, r.LevelBytes[2]/1024, r.LevelBytes[3]/1024)
 	}
 	tw.Flush()
+}
+
+// PhaseRow is one telemetry-sourced phase measurement for one matrix:
+// where HASpMV's preprocessing and execution time actually went, from the
+// instrumentation inside Prepare/Compute rather than ad-hoc time.Since
+// wrappers (the Fig. 7-style preprocessing-overhead decomposition).
+type PhaseRow struct {
+	Matrix string
+	NNZ    int
+	Phase  string
+	Millis float64
+	Count  int64
+}
+
+// PhaseBreakdown prepares HASpMV for each named matrix under a scoped
+// telemetry collector, runs one multiply, and returns the recorded phase
+// timers in pipeline order (reorder → cost → partition L1/L2 → prepare →
+// compute).
+func PhaseBreakdown(cfg Config, m *amp.Machine, matrices []string) ([]PhaseRow, error) {
+	var rows []PhaseRow
+	for _, name := range matrices {
+		a := gen.Representative(name, cfg.RepScale)
+		c := telemetry.NewCollector()
+		prev := telemetry.Activate(c)
+		prep, err := haspmvcore.New(haspmvcore.Options{}).Prepare(m, a)
+		if err == nil {
+			x := make([]float64, a.Cols)
+			for i := range x {
+				x[i] = 1 + float64(i%7)/7
+			}
+			prep.Compute(make([]float64, a.Rows), x)
+		}
+		telemetry.Activate(prev)
+		if err != nil {
+			return nil, fmt.Errorf("phases on %s / %s: %w", m.Name, name, err)
+		}
+		for _, p := range telemetry.Phases() {
+			sec, n := c.PhaseSeconds(p)
+			if n == 0 {
+				continue
+			}
+			rows = append(rows, PhaseRow{
+				Matrix: name, NNZ: a.NNZ(),
+				Phase: p.String(), Millis: 1e3 * sec, Count: n,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintPhases renders the phase-timer breakdown.
+func PrintPhases(w io.Writer, m *amp.Machine, rows []PhaseRow) {
+	fmt.Fprintf(w, "\n# HASpMV phase timers on %s (telemetry-sourced; prepare = reorder+cost+partition+bookkeeping)\n", m.Name)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "matrix\tnnz\tphase\ttime(ms)\tcalls")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.4f\t%d\n", r.Matrix, r.NNZ, r.Phase, r.Millis, r.Count)
+	}
+	tw.Flush()
+}
+
+// TraceRun performs one fully instrumented HASpMV Prepare+Multiply on the
+// active telemetry collector, guaranteeing the exported trace carries one
+// span per simulated core and a partition record even when only simulator
+// experiments ran. It errors when telemetry is disabled.
+func TraceRun(cfg Config, m *amp.Machine, matrix string) error {
+	if telemetry.Active() == nil {
+		return fmt.Errorf("bench: TraceRun needs telemetry enabled")
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+	prep, err := haspmvcore.New(haspmvcore.Options{}).Prepare(m, a)
+	if err != nil {
+		return fmt.Errorf("trace run on %s / %s: %w", m.Name, matrix, err)
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	prep.Compute(make([]float64, a.Rows), x)
+	return nil
 }
 
 // HostRow is one method's real wall-clock measurement on this host.

@@ -129,6 +129,17 @@ func EnergyCSV(w io.Writer, rowsIn []EnergyRow) error {
 	return writeAll(cw, rows)
 }
 
+// PhasesCSV emits machine,matrix,nnz,phase,millis,count rows (the
+// telemetry-sourced Fig. 7-style preprocessing breakdown).
+func PhasesCSV(w io.Writer, machine string, rowsIn []PhaseRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "nnz", "phase", "millis", "count"}}
+	for _, r := range rowsIn {
+		rows = append(rows, []string{machine, r.Matrix, d(r.NNZ), r.Phase, f(r.Millis), strconv.FormatInt(r.Count, 10)})
+	}
+	return writeAll(cw, rows)
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

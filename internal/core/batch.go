@@ -2,8 +2,15 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"haspmv/internal/exec"
+	"haspmv/internal/telemetry"
+)
+
+var (
+	cBatchComputes = telemetry.NewCounter("core_batch_computes")
+	cBatchVectors  = telemetry.NewCounter("core_batch_vectors")
 )
 
 // ComputeBatch performs Y[v] = A * X[v] for a block of vectors with one
@@ -19,6 +26,11 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 	}
 	if nv == 0 {
 		return
+	}
+	tel := telemetry.Active()
+	var tBatch time.Time
+	if tel != nil {
+		tBatch = time.Now()
 	}
 	for _, x := range X {
 		if len(x) != p.mat.Cols {
@@ -44,6 +56,11 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 		if reg.Lo >= reg.Hi {
 			return
 		}
+		var t0 time.Time
+		if tel != nil {
+			t0 = time.Now()
+		}
+		nnzDone, frags := 0, 0
 		h, mat := p.h, p.mat
 		sums := make([]float64, nv)
 		r := rowOfPosition(h, reg.Lo)
@@ -78,9 +95,22 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 					extraRow[id] = orig
 					extraVal[id] = append([]float64(nil), sums...)
 				}
+				nnzDone += hi - lo
+				frags++
 				pos = fragEnd
 			}
 			r++
+		}
+		if tel != nil {
+			extra := 0
+			if extraRow[id] >= 0 {
+				extra = 1
+			}
+			tel.RecordSpan(telemetry.Span{
+				Name: "batch-core", Core: reg.Core,
+				Start: t0.Sub(tel.Start()), Dur: time.Since(t0),
+				NNZ: nnzDone, Fragments: frags, ExtraY: extra,
+			})
 		}
 	})
 	for id := 0; id < n; id++ {
@@ -89,5 +119,10 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 				Y[v][extraRow[id]] += extraVal[id][v]
 			}
 		}
+	}
+	cBatchComputes.Add(1)
+	cBatchVectors.Add(int64(nv))
+	if tel != nil {
+		tel.RecordPhase(telemetry.PhaseBatch, time.Since(tBatch))
 	}
 }

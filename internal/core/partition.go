@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"haspmv/internal/amp"
 	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
 )
 
 // Region is one core's share of the matrix: a half-open range in
@@ -74,11 +76,16 @@ func AutoBase(a *sparse.CSR) int {
 // partition implements Algorithm 4: cost boundaries at
 // P_proportion*COST (level 1) and equal gaps within each group (level 2),
 // each boundary located by binary search over the prefix costs and an
-// in-row walk for the exact nonzero offset.
-func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, pprop float64, metric CostMetric, oneLevel bool) []Region {
+// in-row walk for the exact nonzero offset. When tel is non-nil the two
+// levels are timed separately (the Fig. 7-style preprocessing breakdown).
+func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, pprop float64, metric CostMetric, oneLevel bool, tel *telemetry.Collector) []Region {
 	n := len(cores)
 	if n == 0 {
 		return nil
+	}
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
 	}
 	total := cs[len(cs)-1]
 
@@ -108,6 +115,10 @@ func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, p
 		}
 	}
 	bounds[n] = float64(total)
+	if tel != nil {
+		tel.RecordPhase(telemetry.PhasePartitionL1, time.Since(t0))
+		t0 = time.Now()
+	}
 
 	cuts := make([]int, n+1)
 	cuts[n] = h.NNZ()
@@ -120,6 +131,9 @@ func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, p
 	regions := make([]Region, n)
 	for i, c := range cores {
 		regions[i] = Region{Core: c, Lo: cuts[i], Hi: cuts[i+1]}
+	}
+	if tel != nil {
+		tel.RecordPhase(telemetry.PhasePartitionL2, time.Since(t0))
 	}
 	return regions
 }

@@ -3,12 +3,24 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"haspmv/internal/amp"
 	"haspmv/internal/costmodel"
 	"haspmv/internal/exec"
 	"haspmv/internal/kernel"
 	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
+)
+
+// HASpMV pipeline telemetry (no-ops while telemetry is disabled).
+var (
+	cPrepares   = telemetry.NewCounter("core_prepares")
+	cComputes   = telemetry.NewCounter("core_computes")
+	gRegions    = telemetry.NewGauge("core_regions")
+	computeHist = telemetry.NewHistogram("core_compute")
+	prepareHist = telemetry.NewHistogram("core_prepare")
 )
 
 // Options configure HASpMV. The zero value selects the paper's defaults:
@@ -41,6 +53,11 @@ type alg struct{ opts Options }
 func (a *alg) Name() string { return fmt.Sprintf("HASpMV(%v,%v)", a.opts.Config, a.opts.Metric) }
 
 func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
+	tel := telemetry.Active()
+	var tPrep, t0 time.Time
+	if tel != nil {
+		tPrep = time.Now()
+	}
 	if err := mat.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,15 +69,25 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 		opts.Base = AutoBase(mat)
 	}
 
+	if tel != nil {
+		t0 = time.Now()
+	}
 	var h *HACSR
 	if opts.DisableReorder {
 		h = Identity(mat)
 	} else {
 		h = Convert(mat, opts.Base)
 	}
+	if tel != nil {
+		tel.RecordPhase(telemetry.PhaseReorder, time.Since(t0))
+		t0 = time.Now()
+	}
 	cs := costSum(mat, h, opts.Metric)
+	if tel != nil {
+		tel.RecordPhase(telemetry.PhaseCacheLineCost, time.Since(t0))
+	}
 	cores := m.Cores(opts.Config)
-	regions := partition(mat, h, cs, m, cores, opts.PProportion, opts.Metric, opts.OneLevel)
+	regions := partition(mat, h, cs, m, cores, opts.PProportion, opts.Metric, opts.OneLevel, tel)
 	if err := checkRegions(h, regions); err != nil {
 		return nil, err
 	}
@@ -94,10 +121,51 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 		}
 	}
 
-	return &Prepared{
+	p := &Prepared{
 		mat: mat, h: h, machine: m,
 		opts: opts, regions: regions, emptyRows: empty, unroll: unroll,
-	}, nil
+	}
+	p.scratch.Store(p.newScratch())
+	cPrepares.Add(1)
+	gRegions.Set(int64(len(regions)))
+	if tel != nil {
+		d := time.Since(tPrep)
+		tel.RecordPhase(telemetry.PhasePrepare, d)
+		prepareHist.Observe(d)
+		tel.RecordPartition(partitionRecord(m, mat, h, cs, opts, regions))
+	}
+	return p, nil
+}
+
+// partitionRecord snapshots a partition decision for the trace: the
+// inputs (machine, matrix shape, base, metric, proportion) and the
+// resulting regions with row-granular cost shares.
+func partitionRecord(m *amp.Machine, a *sparse.CSR, h *HACSR, cs []int, opts Options, regions []Region) telemetry.PartitionRecord {
+	costAt := func(pos int) int {
+		if pos >= h.NNZ() {
+			return cs[h.Rows]
+		}
+		return cs[rowOfPosition(h, pos)]
+	}
+	rec := telemetry.PartitionRecord{
+		Algorithm:  "HASpMV",
+		Machine:    m.Name,
+		Rows:       a.Rows,
+		Cols:       a.Cols,
+		NNZ:        a.NNZ(),
+		Base:       opts.Base,
+		Metric:     opts.Metric.String(),
+		Proportion: opts.PProportion,
+		TotalCost:  cs[h.Rows],
+		Regions:    make([]telemetry.RegionRecord, len(regions)),
+	}
+	for i, r := range regions {
+		rec.Regions[i] = telemetry.RegionRecord{
+			Core: r.Core, Lo: r.Lo, Hi: r.Hi,
+			Cost: costAt(r.Hi) - costAt(r.Lo),
+		}
+	}
+	return rec
 }
 
 // Prepared is an analyzed HASpMV instance. It is exported (unlike the
@@ -111,6 +179,89 @@ type Prepared struct {
 	regions   []Region
 	emptyRows []int
 	unroll    []int
+	// scratch is the reusable per-call workspace. Compute claims it with
+	// an atomic swap and puts it back, so serial repeated multiplication
+	// is allocation-free; concurrent calls on the same Prepared fall back
+	// to a fresh workspace.
+	scratch atomic.Pointer[computeScratch]
+}
+
+// computeScratch is Compute's per-call workspace: the extraY conflict
+// slots, the parallel body closure (built once so the hot path does not
+// re-allocate it), and the per-call vectors and telemetry collector the
+// body reads.
+type computeScratch struct {
+	p        *Prepared
+	y, x     []float64
+	tel      *telemetry.Collector
+	extraRow []int
+	extraVal []float64
+	body     func(id int)
+}
+
+func (p *Prepared) newScratch() *computeScratch {
+	s := &computeScratch{
+		p:        p,
+		extraRow: make([]int, len(p.regions)),
+		extraVal: make([]float64, len(p.regions)),
+	}
+	s.body = s.run
+	return s
+}
+
+// run is one core's share of a Compute call (the body Algorithm 5 gives
+// each thread), plus optional span recording: nonzeros processed, row
+// fragments walked, and whether this core produced an extraY entry.
+func (s *computeScratch) run(id int) {
+	p := s.p
+	s.extraRow[id] = -1
+	reg := p.regions[id]
+	if reg.Lo >= reg.Hi {
+		return
+	}
+	tel := s.tel
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+	h, mat, y, x := p.h, p.mat, s.y, s.x
+	un := p.unroll[id]
+	nnzDone, frags := 0, 0
+	r := rowOfPosition(h, reg.Lo)
+	pos := reg.Lo
+	for pos < reg.Hi {
+		rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
+		fragEnd := rowEnd
+		if fragEnd > reg.Hi {
+			fragEnd = reg.Hi
+		}
+		if fragEnd > pos {
+			o := h.RowBeginNNZ[r]
+			sum := kernel.DotRange(mat.Val, mat.ColIdx, x,
+				o+(pos-rowStart), o+(fragEnd-rowStart), un)
+			if pos == rowStart {
+				// This core owns the row's first fragment: direct
+				// store (Algorithm 5's y[pl[id]] = kernel(...)).
+				y[h.Perm[r]] = sum
+			} else {
+				// Continuation fragment: only the first row of a
+				// region can start mid-row.
+				s.extraRow[id] = h.Perm[r]
+				s.extraVal[id] = sum
+			}
+			nnzDone += fragEnd - pos
+			frags++
+			pos = fragEnd
+		}
+		r++
+	}
+	if tel != nil {
+		extra := 0
+		if s.extraRow[id] >= 0 {
+			extra = 1
+		}
+		tel.RecordCoreSpan(reg.Core, t0, nnzDone, frags, extra)
+	}
 }
 
 // Format exposes the HACSR view.
@@ -120,54 +271,40 @@ func (p *Prepared) Format() *HACSR { return p.h }
 func (p *Prepared) Regions() []Region { return p.regions }
 
 // Compute implements Algorithm 5: per-core fragment kernels with the
-// extraY epilogue resolving rows that are cut across cores.
+// extraY epilogue resolving rows that are cut across cores. The
+// steady-state path performs zero heap allocations (the workspace is
+// reused via Prepared.scratch and exec.Parallel dispatches to a
+// persistent worker pool); with telemetry enabled it additionally records
+// one span per core and the whole-call compute phase.
 func (p *Prepared) Compute(y, x []float64) {
+	tel := telemetry.Active()
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+	s := p.scratch.Swap(nil)
+	if s == nil {
+		s = p.newScratch()
+	}
+	s.y, s.x, s.tel = y, x, tel
 	for _, r := range p.emptyRows {
 		y[r] = 0
 	}
 	n := len(p.regions)
-	extraRow := make([]int, n)
-	extraVal := make([]float64, n)
-	exec.Parallel(n, func(id int) {
-		extraRow[id] = -1
-		reg := p.regions[id]
-		if reg.Lo >= reg.Hi {
-			return
-		}
-		h, mat := p.h, p.mat
-		un := p.unroll[id]
-		r := rowOfPosition(h, reg.Lo)
-		pos := reg.Lo
-		for pos < reg.Hi {
-			rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
-			fragEnd := rowEnd
-			if fragEnd > reg.Hi {
-				fragEnd = reg.Hi
-			}
-			if fragEnd > pos {
-				o := h.RowBeginNNZ[r]
-				sum := kernel.DotRange(mat.Val, mat.ColIdx, x,
-					o+(pos-rowStart), o+(fragEnd-rowStart), un)
-				if pos == rowStart {
-					// This core owns the row's first fragment: direct
-					// store (Algorithm 5's y[pl[id]] = kernel(...)).
-					y[h.Perm[r]] = sum
-				} else {
-					// Continuation fragment: only the first row of a
-					// region can start mid-row.
-					extraRow[id] = h.Perm[r]
-					extraVal[id] = sum
-				}
-				pos = fragEnd
-			}
-			r++
-		}
-	})
+	exec.Parallel(n, s.body)
 	// Serial epilogue (Algorithm 5 lines 15-17): add the tail conflicts.
 	for id := 0; id < n; id++ {
-		if extraRow[id] >= 0 {
-			y[extraRow[id]] += extraVal[id]
+		if s.extraRow[id] >= 0 {
+			y[s.extraRow[id]] += s.extraVal[id]
 		}
+	}
+	s.y, s.x, s.tel = nil, nil, nil
+	p.scratch.Store(s)
+	cComputes.Add(1)
+	if tel != nil {
+		d := time.Since(t0)
+		tel.RecordPhase(telemetry.PhaseCompute, d)
+		computeHist.Observe(d)
 	}
 }
 

@@ -13,12 +13,26 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"haspmv/internal/amp"
 	"haspmv/internal/costmodel"
 	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
+)
+
+// Executor-level telemetry. Counter updates self-gate on the telemetry
+// enabled flag, so the disabled cost is one atomic load per counter.
+var (
+	cParallelCalls  = telemetry.NewCounter("exec_parallel_calls")
+	cParallelTasks  = telemetry.NewCounter("exec_parallel_tasks")
+	cParallelInline = telemetry.NewCounter("exec_parallel_inline")
+	cBatchCalls     = telemetry.NewCounter("exec_batch_calls")
+	cBatchFallback  = telemetry.NewCounter("exec_batch_fallback")
+	gParallelWidth  = telemetry.NewGauge("exec_parallel_width")
 )
 
 // Algorithm is an SpMV method that analyzes a matrix once and then
@@ -54,39 +68,127 @@ type BatchPrepared interface {
 
 // ComputeBatch multiplies a batch of vectors, using the fused path when
 // the algorithm provides one and falling back to repeated Compute
-// otherwise. Y and X must have equal lengths.
+// otherwise. Y and X must have equal outer lengths, and every inner
+// vector must match the shape of the first (algorithms additionally
+// validate inner lengths against the matrix dimensions).
 func ComputeBatch(p Prepared, Y, X [][]float64) {
 	if len(Y) != len(X) {
-		panic(fmt.Sprintf("exec: batch size mismatch %d vs %d", len(Y), len(X)))
+		panic(fmt.Sprintf("exec: batch size mismatch: %d output vectors for %d right-hand sides", len(Y), len(X)))
 	}
+	for v := 1; v < len(X); v++ {
+		if len(X[v]) != len(X[0]) {
+			panic(fmt.Sprintf("exec: batch x[%d] has length %d, want %d (all right-hand sides must have equal length)", v, len(X[v]), len(X[0])))
+		}
+		if len(Y[v]) != len(Y[0]) {
+			panic(fmt.Sprintf("exec: batch y[%d] has length %d, want %d (all output vectors must have equal length)", v, len(Y[v]), len(Y[0])))
+		}
+	}
+	cBatchCalls.Add(1)
 	if bp, ok := p.(BatchPrepared); ok {
 		bp.ComputeBatch(Y, X)
 		return
 	}
+	cBatchFallback.Add(1)
 	for v := range X {
 		p.Compute(Y[v], X[v])
 	}
 }
 
+// group is one Parallel invocation's completion state. It is pooled and
+// reused so the steady-state hot path allocates nothing.
+type group struct {
+	f       func(int)
+	pending atomic.Int64
+	// done receives exactly one token when pending reaches zero; buffered
+	// so the finishing goroutine never blocks.
+	done chan struct{}
+}
+
+// run executes one index and signals the barrier when it was the last.
+func (g *group) run(i int) {
+	g.f(i)
+	if g.pending.Add(-1) == 0 {
+		g.done <- struct{}{}
+	}
+}
+
+// task is one unit of a Parallel fan-out, handed to a pool worker.
+type task struct {
+	g *group
+	i int
+}
+
+var (
+	workersOnce sync.Once
+	workq       chan task
+	groupPool   = sync.Pool{New: func() any {
+		return &group{done: make(chan struct{}, 1)}
+	}}
+)
+
+// startWorkers spins up the persistent worker pool on first use. Workers
+// live for the life of the process; pooling (rather than a goroutine per
+// core per call) keeps the steady-state Compute path allocation-free,
+// which the repository-root telemetry overhead guard asserts.
+func startWorkers() {
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	workq = make(chan task, 1024)
+	for k := 0; k < w; k++ {
+		go func() {
+			for t := range workq {
+				t.g.run(t.i)
+			}
+		}()
+	}
+}
+
 // Parallel runs f(0..n-1) concurrently and waits for all. It stands in for
-// the paper's pinned OpenMP parallel-for: each index is one simulated core.
+// the paper's pinned OpenMP parallel-for: each index is one simulated
+// core. Work is dispatched to a persistent worker pool; the caller runs
+// index 0 itself and then *helps* — while its own barrier is open it
+// drains the shared queue rather than blocking, so nested Parallel calls
+// (or more groups than workers) make progress instead of deadlocking.
 func Parallel(n int, f func(i int)) {
 	if n <= 0 {
 		return
 	}
+	cParallelCalls.Add(1)
+	cParallelTasks.Add(int64(n))
+	gParallelWidth.Set(int64(n))
 	if n == 1 {
 		f(0)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
-			f(i)
-		}(i)
+	workersOnce.Do(startWorkers)
+	g := groupPool.Get().(*group)
+	g.f = f
+	g.pending.Store(int64(n))
+	for i := 1; i < n; i++ {
+		select {
+		case workq <- task{g: g, i: i}:
+		default:
+			// Queue full: run inline rather than block the dispatch.
+			cParallelInline.Add(1)
+			g.run(i)
+		}
 	}
-	wg.Wait()
+	g.run(0)
+	// Help-first barrier: steal queued work (ours or other groups') until
+	// our last index signals done. Some runnable goroutine can always
+	// receive from workq, so the scheme is deadlock-free by construction.
+	for {
+		select {
+		case <-g.done:
+			g.f = nil
+			groupPool.Put(g)
+			return
+		case t := <-workq:
+			t.g.run(t.i)
+		}
+	}
 }
 
 // Simulate prices the prepared SpMV on the machine model.

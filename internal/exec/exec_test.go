@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -100,5 +101,78 @@ func TestSimulateAndTimePrepare(t *testing.T) {
 	}
 	if d < 0 {
 		t.Fatal("negative duration")
+	}
+}
+
+func TestParallelLargeFanoutAndNesting(t *testing.T) {
+	// Fan out far beyond the worker count: the queue-full inline fallback
+	// must keep every index running exactly once.
+	var hits [4096]int32
+	Parallel(len(hits), func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+	// Nested Parallel must not deadlock (sends never block; full queues
+	// degrade to inline execution).
+	var inner [8][8]int32
+	Parallel(8, func(i int) {
+		Parallel(8, func(j int) { atomic.AddInt32(&inner[i][j], 1) })
+	})
+	for i := range inner {
+		for j := range inner[i] {
+			if inner[i][j] != 1 {
+				t.Fatalf("nested (%d,%d) ran %d times", i, j, inner[i][j])
+			}
+		}
+	}
+}
+
+// recordPrep counts Compute calls so the fallback path is observable.
+type recordPrep struct {
+	fakePrep
+	computes int32
+}
+
+func (r *recordPrep) Compute(y, x []float64) { atomic.AddInt32(&r.computes, 1) }
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want message containing %q)", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v, want message containing %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestComputeBatchFallbackValidation(t *testing.T) {
+	p := &recordPrep{}
+
+	// Outer mismatch.
+	mustPanic(t, "batch size mismatch", func() {
+		ComputeBatch(p, make([][]float64, 2), make([][]float64, 3))
+	})
+
+	// Inner right-hand-side mismatch on the non-BatchPrepared fallback.
+	X := [][]float64{make([]float64, 3), make([]float64, 2)}
+	Y := [][]float64{make([]float64, 3), make([]float64, 3)}
+	mustPanic(t, "x[1]", func() { ComputeBatch(p, Y, X) })
+
+	// Inner output mismatch.
+	X[1] = make([]float64, 3)
+	Y[1] = make([]float64, 4)
+	mustPanic(t, "y[1]", func() { ComputeBatch(p, Y, X) })
+
+	// Well-formed batch runs one Compute per vector.
+	Y[1] = make([]float64, 3)
+	ComputeBatch(p, Y, X)
+	if got := atomic.LoadInt32(&p.computes); got != 2 {
+		t.Fatalf("fallback ran %d Computes, want 2", got)
 	}
 }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// publishExpvarOnce exposes the global snapshot under the "haspmv" expvar
+// key the first time telemetry is enabled, so /debug/vars carries the
+// same view as /metrics without polluting expvar for users who never
+// enable telemetry.
+var expvarOnce sync.Once
+
+func publishExpvarOnce() {
+	expvarOnce.Do(func() {
+		expvar.Publish("haspmv", expvar.Func(func() any { return Snapshot() }))
+	})
+}
+
+// namespace prefixes every exposed metric name.
+const namespace = "haspmv_"
+
+// WritePrometheus renders the registry and the active collector in the
+// Prometheus text exposition format (version 0.0.4). It is the body of
+// the /metrics endpoint and is deterministic: metrics appear in sorted
+// name order.
+func WritePrometheus(w io.Writer) error {
+	counters, gauges, hists := registryLists()
+
+	for _, c := range counters {
+		name := namespace + c.Name() + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		name := namespace + g.Name()
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		if err := writeHistogram(w, h); err != nil {
+			return err
+		}
+	}
+
+	c := Active()
+	enabledVal := 0
+	if c != nil {
+		enabledVal = 1
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %senabled gauge\n%senabled %d\n", namespace, namespace, enabledVal); err != nil {
+		return err
+	}
+	if c == nil {
+		return nil
+	}
+
+	phaseSec := namespace + "phase_seconds_total"
+	phaseCnt := namespace + "phase_count_total"
+	fmt.Fprintf(w, "# TYPE %s counter\n", phaseSec)
+	fmt.Fprintf(w, "# TYPE %s counter\n", phaseCnt)
+	for _, p := range Phases() {
+		sec, n := c.PhaseSeconds(p)
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s{phase=%q} %s\n", phaseSec, p.String(), formatFloat(sec))
+		fmt.Fprintf(w, "%s{phase=%q} %d\n", phaseCnt, p.String(), n)
+	}
+
+	type coreMetric struct {
+		name string
+		get  func(*CoreCounters) float64
+	}
+	coreMetrics := []coreMetric{
+		{"core_spans_total", func(cc *CoreCounters) float64 { return float64(cc.Spans.Load()) }},
+		{"core_nnz_total", func(cc *CoreCounters) float64 { return float64(cc.NNZ.Load()) }},
+		{"core_fragments_total", func(cc *CoreCounters) float64 { return float64(cc.Fragments.Load()) }},
+		{"core_extra_y_total", func(cc *CoreCounters) float64 { return float64(cc.ExtraY.Load()) }},
+		{"core_busy_seconds_total", func(cc *CoreCounters) float64 { return float64(cc.BusyNs.Load()) / 1e9 }},
+	}
+	for _, m := range coreMetrics {
+		fmt.Fprintf(w, "# TYPE %s%s counter\n", namespace, m.name)
+		for core := range c.cores {
+			cc := &c.cores[core]
+			if cc.Spans.Load() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%s%s{core=\"%d\"} %s\n", namespace, m.name, core, formatFloat(m.get(cc)))
+		}
+	}
+
+	c.mu.Lock()
+	spanCount := len(c.spans)
+	c.mu.Unlock()
+	fmt.Fprintf(w, "# TYPE %sspans gauge\n%sspans %d\n", namespace, namespace, spanCount)
+	if d := c.dropped.Load(); d > 0 {
+		fmt.Fprintf(w, "# TYPE %sspans_dropped_total counter\n%sspans_dropped_total %d\n", namespace, namespace, d)
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, h *Histogram) error {
+	name := namespace + h.Name() + "_seconds"
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for b := 0; b <= histBuckets; b++ {
+		cnt := h.buckets[b].Load()
+		cum += cnt
+		if cnt == 0 && b < histBuckets {
+			continue
+		}
+		le := "+Inf"
+		if b < histBuckets {
+			// bucket b holds durations with bit-length b ns: upper bound 2^b - 1 ns.
+			le = formatFloat(float64(int64(1)<<uint(b)) / 1e9)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.SumSeconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

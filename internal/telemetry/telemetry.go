@@ -1,0 +1,472 @@
+// Package telemetry is the repository's observability layer: a
+// low-overhead instrumentation substrate threaded through the
+// analyze→partition→execute pipeline (DESIGN.md "Instrumentation").
+//
+// It provides four things:
+//
+//  1. a registry of atomic counters, gauges and histograms with an
+//     enabled/disabled fast path — when telemetry is off every update is
+//     one atomic load and a predicted branch, no locks, no allocation;
+//  2. phase timers capturing where Prepare time goes (HACSR reorder,
+//     cache-line cost, level-1/level-2 partition) and per-Compute spans
+//     with per-core nnz, row fragments and extraY conflict sizes;
+//  3. structured trace export: Chrome trace_event JSON of the per-core
+//     spans plus the partition-decision records, openable in
+//     chrome://tracing or Perfetto (see trace.go);
+//  4. exposition: an expvar-backed snapshot (Snapshot), Prometheus
+//     text-format rendering (WritePrometheus) and an HTTP server bundling
+//     /metrics, /debug/vars and net/http/pprof (Serve).
+//
+// The hot-path contract is strict: instrumented code obtains the active
+// *Collector once per operation via Active() and skips all recording when
+// it is nil. Counters/gauges/histograms self-gate on the package enabled
+// flag so call sites stay one-liners. With telemetry disabled the SpMV
+// compute path performs zero allocations (guarded by a test at the
+// repository root).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------- state
+
+var (
+	active  atomic.Pointer[Collector]
+	enabled atomic.Bool
+)
+
+// Active returns the collector currently receiving spans, phases and
+// partition records, or nil when telemetry is disabled. Hot paths load it
+// once per operation and nil-check.
+func Active() *Collector { return active.Load() }
+
+// Enabled reports whether telemetry collection is on. Counters, gauges
+// and histograms consult it internally; most callers never need it.
+func Enabled() bool { return enabled.Load() }
+
+// Enable installs a fresh collector and returns it. Registry counters
+// start (resp. resume) accumulating; spans and phases record into the new
+// collector.
+func Enable() *Collector {
+	c := NewCollector()
+	Activate(c)
+	return c
+}
+
+// Disable stops all collection. Registry counters keep their values (they
+// are monotonic, Prometheus-style); the previous collector remains
+// readable by whoever holds it.
+func Disable() { Activate(nil) }
+
+// Activate swaps the active collector (nil disables collection) and
+// returns the previous one, allowing scoped collection:
+//
+//	c := telemetry.NewCollector()
+//	prev := telemetry.Activate(c)
+//	defer telemetry.Activate(prev)
+func Activate(c *Collector) (prev *Collector) {
+	prev = active.Swap(c)
+	enabled.Store(c != nil)
+	if c != nil {
+		publishExpvarOnce()
+	}
+	return prev
+}
+
+// ---------------------------------------------------------------- registry
+
+// Counter is a monotonically increasing atomic counter. Add is a no-op
+// while telemetry is disabled.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter when telemetry is enabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the accumulated count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is an instantaneous atomic value (last fan-out width, region
+// count, ...). Set is a no-op while telemetry is disabled.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores the gauge value when telemetry is enabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// histBuckets is the number of power-of-two duration buckets; bucket k
+// holds observations with bit-length k nanoseconds (≈ [2^(k-1), 2^k) ns),
+// covering sub-nanosecond to ~9 seconds and a +Inf tail.
+const histBuckets = 34
+
+// Histogram accumulates duration observations into power-of-two buckets.
+// Observe is lock-free and a no-op while telemetry is disabled.
+type Histogram struct {
+	name    string
+	buckets [histBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Observe records one duration when telemetry is enabled.
+func (h *Histogram) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	b := 0
+	for v := ns; v > 0; v >>= 1 {
+		b++
+	}
+	if b > histBuckets {
+		b = histBuckets
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumSeconds returns the total observed time in seconds.
+func (h *Histogram) SumSeconds() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+var registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewCounter registers (or returns the existing) counter with the given
+// name. Call it at package init and keep the pointer; Add on the pointer
+// is the lock-free hot path.
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.counters == nil {
+		registry.counters = make(map[string]*Counter)
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// NewGauge registers (or returns the existing) gauge with the given name.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = make(map[string]*Gauge)
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// NewHistogram registers (or returns the existing) histogram with the
+// given name. Values are durations.
+func NewHistogram(name string) *Histogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.histograms == nil {
+		registry.histograms = make(map[string]*Histogram)
+	}
+	if h, ok := registry.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name}
+	registry.histograms[name] = h
+	return h
+}
+
+func counterSnapshot() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.counters))
+	for name, c := range registry.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+func gaugeSnapshot() map[string]int64 {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make(map[string]int64, len(registry.gauges))
+	for name, g := range registry.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+func registryLists() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		cs = append(cs, c)
+	}
+	for _, g := range registry.gauges {
+		gs = append(gs, g)
+	}
+	for _, h := range registry.histograms {
+		hs = append(hs, h)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return cs, gs, hs
+}
+
+// ---------------------------------------------------------------- collector
+
+// MaxCores bounds the per-core counter table (the largest Table I machine
+// has 24 simulated cores; 256 leaves headroom for extension presets).
+const MaxCores = 256
+
+// MaxSpans caps the span buffer so an unbounded run cannot grow memory
+// without limit; overflowing spans are counted in SpansDropped.
+const MaxSpans = 1 << 16
+
+// CoreCounters accumulate per-simulated-core execution totals.
+type CoreCounters struct {
+	Spans     atomic.Int64
+	NNZ       atomic.Int64
+	Fragments atomic.Int64
+	ExtraY    atomic.Int64
+	BusyNs    atomic.Int64
+}
+
+// Collector receives spans, phase timings and partition records while
+// active. All methods are safe for concurrent use; the per-core counters
+// are pure atomics, span append takes a short mutex.
+type Collector struct {
+	start  time.Time
+	phases [numPhases]phaseAccum
+	cores  [MaxCores]CoreCounters
+
+	mu         sync.Mutex
+	spans      []Span
+	partitions []PartitionRecord
+	dropped    atomic.Int64
+}
+
+type phaseAccum struct {
+	count atomic.Int64
+	ns    atomic.Int64
+}
+
+// NewCollector returns an empty collector; timestamps in its trace are
+// relative to this call.
+func NewCollector() *Collector {
+	return &Collector{start: time.Now(), spans: make([]Span, 0, 1024)}
+}
+
+// Start is the collector's epoch; span timestamps are relative to it.
+func (c *Collector) Start() time.Time { return c.start }
+
+// RecordPhase accumulates one timed occurrence of a pipeline phase.
+func (c *Collector) RecordPhase(p Phase, d time.Duration) {
+	if p < 0 || p >= numPhases {
+		return
+	}
+	c.phases[p].count.Add(1)
+	c.phases[p].ns.Add(int64(d))
+}
+
+// PhaseSeconds returns the accumulated time and count for one phase.
+func (c *Collector) PhaseSeconds(p Phase) (seconds float64, count int64) {
+	if p < 0 || p >= numPhases {
+		return 0, 0
+	}
+	return float64(c.phases[p].ns.Load()) / 1e9, c.phases[p].count.Load()
+}
+
+// Span is one timed unit of work: a per-core share of a Compute call, a
+// whole pipeline stage, or any custom region an instrumentation site
+// chooses to record.
+type Span struct {
+	// Name labels the span in the trace ("core", "compute", ...).
+	Name string
+	// Core is the simulated core id, or -1 for pipeline-level spans.
+	Core int
+	// Start is the offset from the collector epoch.
+	Start time.Duration
+	// Dur is the span length.
+	Dur time.Duration
+	// NNZ, Fragments and ExtraY describe the work done: nonzeros
+	// processed, row fragments walked, and conflict-epilogue entries
+	// produced (Algorithm 5's extraY slots).
+	NNZ, Fragments, ExtraY int
+}
+
+// RecordSpan appends a span (dropping it once MaxSpans is reached) and
+// folds its work totals into the per-core counters.
+func (c *Collector) RecordSpan(s Span) {
+	if s.Core >= 0 && s.Core < MaxCores {
+		cc := &c.cores[s.Core]
+		cc.Spans.Add(1)
+		cc.NNZ.Add(int64(s.NNZ))
+		cc.Fragments.Add(int64(s.Fragments))
+		cc.ExtraY.Add(int64(s.ExtraY))
+		cc.BusyNs.Add(int64(s.Dur))
+	}
+	c.mu.Lock()
+	if len(c.spans) < MaxSpans {
+		c.spans = append(c.spans, s)
+	} else {
+		c.dropped.Add(1)
+	}
+	c.mu.Unlock()
+}
+
+// RecordCoreSpan is the executor's entry point: one core's share of one
+// Compute call, timed from t0 to now.
+func (c *Collector) RecordCoreSpan(core int, t0 time.Time, nnz, fragments, extraY int) {
+	c.RecordSpan(Span{
+		Name:      "core",
+		Core:      core,
+		Start:     t0.Sub(c.start),
+		Dur:       time.Since(t0),
+		NNZ:       nnz,
+		Fragments: fragments,
+		ExtraY:    extraY,
+	})
+}
+
+// Spans returns a copy of the recorded spans.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// RecordPartition stores one partition-decision record.
+func (c *Collector) RecordPartition(r PartitionRecord) {
+	c.mu.Lock()
+	c.partitions = append(c.partitions, r)
+	c.mu.Unlock()
+}
+
+// Partitions returns a copy of the recorded partition decisions.
+func (c *Collector) Partitions() []PartitionRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]PartitionRecord(nil), c.partitions...)
+}
+
+// ---------------------------------------------------------------- snapshot
+
+// PhaseStats summarize one pipeline phase.
+type PhaseStats struct {
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// CoreStats summarize one simulated core's execution totals.
+type CoreStats struct {
+	Core        int     `json:"core"`
+	Spans       int64   `json:"spans"`
+	NNZ         int64   `json:"nnz"`
+	Fragments   int64   `json:"fragments"`
+	ExtraY      int64   `json:"extra_y"`
+	BusySeconds float64 `json:"busy_seconds"`
+}
+
+// Stats is a point-in-time snapshot of the registry and the active
+// collector; it marshals to JSON and backs the expvar export.
+type Stats struct {
+	Enabled       bool                  `json:"enabled"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Counters      map[string]int64      `json:"counters"`
+	Gauges        map[string]int64      `json:"gauges,omitempty"`
+	Phases        map[string]PhaseStats `json:"phases,omitempty"`
+	Cores         []CoreStats           `json:"cores,omitempty"`
+	Spans         int                   `json:"spans"`
+	SpansDropped  int64                 `json:"spans_dropped,omitempty"`
+	Partitions    []PartitionRecord     `json:"partitions,omitempty"`
+}
+
+// Stats snapshots this collector together with the global registry.
+func (c *Collector) Stats() Stats {
+	st := Stats{
+		Enabled:  Active() == c && c != nil,
+		Counters: counterSnapshot(),
+		Gauges:   gaugeSnapshot(),
+	}
+	if c == nil {
+		return st
+	}
+	st.UptimeSeconds = time.Since(c.start).Seconds()
+	st.Phases = make(map[string]PhaseStats)
+	for p := Phase(0); p < numPhases; p++ {
+		sec, n := c.PhaseSeconds(p)
+		if n > 0 {
+			st.Phases[p.String()] = PhaseStats{Count: n, Seconds: sec}
+		}
+	}
+	for core := range c.cores {
+		cc := &c.cores[core]
+		if n := cc.Spans.Load(); n > 0 {
+			st.Cores = append(st.Cores, CoreStats{
+				Core:        core,
+				Spans:       n,
+				NNZ:         cc.NNZ.Load(),
+				Fragments:   cc.Fragments.Load(),
+				ExtraY:      cc.ExtraY.Load(),
+				BusySeconds: float64(cc.BusyNs.Load()) / 1e9,
+			})
+		}
+	}
+	c.mu.Lock()
+	st.Spans = len(c.spans)
+	st.Partitions = append([]PartitionRecord(nil), c.partitions...)
+	c.mu.Unlock()
+	st.SpansDropped = c.dropped.Load()
+	return st
+}
+
+// Snapshot returns the global view: registry counters plus, when
+// telemetry is enabled, the active collector's phases, cores, spans and
+// partition records.
+func Snapshot() Stats { return Active().Stats() }

@@ -1,0 +1,277 @@
+package telemetry_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"haspmv/internal/exec"
+	"haspmv/internal/telemetry"
+)
+
+// withCollector runs f with a fresh active collector and restores the
+// previous telemetry state afterwards, keeping tests independent.
+func withCollector(t *testing.T, f func(c *telemetry.Collector)) {
+	t.Helper()
+	c := telemetry.NewCollector()
+	prev := telemetry.Activate(c)
+	defer telemetry.Activate(prev)
+	f(c)
+}
+
+func TestRegistryIdempotentAndGated(t *testing.T) {
+	c1 := telemetry.NewCounter("test_gated_counter")
+	c2 := telemetry.NewCounter("test_gated_counter")
+	if c1 != c2 {
+		t.Fatal("NewCounter returned distinct counters for one name")
+	}
+	prev := telemetry.Activate(nil)
+	defer telemetry.Activate(prev)
+
+	base := c1.Value()
+	c1.Add(5)
+	if c1.Value() != base {
+		t.Fatal("disabled counter accumulated")
+	}
+	g := telemetry.NewGauge("test_gated_gauge")
+	g.Set(42)
+	if g.Value() != 0 {
+		t.Fatal("disabled gauge stored")
+	}
+	h := telemetry.NewHistogram("test_gated_hist")
+	h.Observe(time.Millisecond)
+	if h.Count() != 0 {
+		t.Fatal("disabled histogram observed")
+	}
+
+	withCollector(t, func(*telemetry.Collector) {
+		c1.Add(5)
+		g.Set(42)
+		h.Observe(time.Millisecond)
+	})
+	if c1.Value() != base+5 || g.Value() != 42 || h.Count() != 1 {
+		t.Fatalf("enabled updates lost: counter %d (base %d), gauge %d, hist %d",
+			c1.Value(), base, g.Value(), h.Count())
+	}
+	if s := h.SumSeconds(); s < 0.0009 || s > 0.0011 {
+		t.Fatalf("histogram sum %v, want ~1ms", s)
+	}
+}
+
+func TestPhasesAndSpansSnapshot(t *testing.T) {
+	withCollector(t, func(c *telemetry.Collector) {
+		c.RecordPhase(telemetry.PhaseReorder, 2*time.Millisecond)
+		c.RecordPhase(telemetry.PhaseReorder, 3*time.Millisecond)
+		c.RecordCoreSpan(3, time.Now().Add(-time.Millisecond), 100, 7, 1)
+		c.RecordPartition(telemetry.PartitionRecord{
+			Algorithm: "HASpMV", Rows: 10, Cols: 10, NNZ: 40,
+			Proportion: 0.7,
+			Regions:    []telemetry.RegionRecord{{Core: 0, Lo: 0, Hi: 40, Cost: 12}},
+		})
+
+		st := telemetry.Snapshot()
+		if !st.Enabled {
+			t.Fatal("snapshot should report enabled")
+		}
+		ph, ok := st.Phases["reorder"]
+		if !ok || ph.Count != 2 || ph.Seconds < 0.004 {
+			t.Fatalf("reorder phase: %+v (ok=%v)", ph, ok)
+		}
+		if len(st.Cores) != 1 || st.Cores[0].Core != 3 || st.Cores[0].NNZ != 100 ||
+			st.Cores[0].Fragments != 7 || st.Cores[0].ExtraY != 1 {
+			t.Fatalf("core stats: %+v", st.Cores)
+		}
+		if st.Spans != 1 || len(st.Partitions) != 1 {
+			t.Fatalf("spans %d partitions %d", st.Spans, len(st.Partitions))
+		}
+		if _, err := json.Marshal(st); err != nil {
+			t.Fatalf("snapshot not JSON-marshalable: %v", err)
+		}
+	})
+	// After restore (disabled here), Snapshot still works and says so.
+	if st := telemetry.Snapshot(); st.Enabled && telemetry.Active() == nil {
+		t.Fatal("disabled snapshot claims enabled")
+	}
+}
+
+func TestSpanCapDropsNotGrows(t *testing.T) {
+	c := telemetry.NewCollector()
+	for i := 0; i < telemetry.MaxSpans+10; i++ {
+		c.RecordSpan(telemetry.Span{Name: "s", Core: 1})
+	}
+	st := c.Stats()
+	if st.Spans != telemetry.MaxSpans {
+		t.Fatalf("spans %d, want cap %d", st.Spans, telemetry.MaxSpans)
+	}
+	if st.SpansDropped != 10 {
+		t.Fatalf("dropped %d, want 10", st.SpansDropped)
+	}
+}
+
+func TestWriteTraceChromeFormat(t *testing.T) {
+	withCollector(t, func(c *telemetry.Collector) {
+		for core := 0; core < 4; core++ {
+			c.RecordCoreSpan(core, time.Now().Add(-time.Millisecond), 10*core, core, 0)
+		}
+		c.RecordPartition(telemetry.PartitionRecord{Algorithm: "HASpMV", Metric: "cacheline"})
+
+		var buf bytes.Buffer
+		if err := telemetry.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("trace is not valid JSON: %.200s", buf.String())
+		}
+		var tf struct {
+			TraceEvents []struct {
+				Name string  `json:"name"`
+				Ph   string  `json:"ph"`
+				Tid  int     `json:"tid"`
+				Dur  float64 `json:"dur"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+			t.Fatal(err)
+		}
+		tids := map[int]bool{}
+		instants := 0
+		for _, ev := range tf.TraceEvents {
+			switch ev.Ph {
+			case "X":
+				tids[ev.Tid] = true
+			case "i":
+				instants++
+			}
+		}
+		if len(tids) != 4 {
+			t.Fatalf("complete-span thread ids: %v, want one per core (4)", tids)
+		}
+		if instants != 1 {
+			t.Fatalf("instant events %d, want 1 partition record", instants)
+		}
+	})
+}
+
+func TestWriteTraceDisabledErrors(t *testing.T) {
+	prev := telemetry.Activate(nil)
+	defer telemetry.Activate(prev)
+	if err := telemetry.WriteTrace(io.Discard); err == nil {
+		t.Fatal("trace export with telemetry disabled should error")
+	}
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	cnt := telemetry.NewCounter("test_prom_counter")
+	withCollector(t, func(c *telemetry.Collector) {
+		cnt.Add(3)
+		c.RecordPhase(telemetry.PhaseCompute, time.Millisecond)
+		c.RecordCoreSpan(2, time.Now().Add(-time.Millisecond), 50, 5, 0)
+		telemetry.NewHistogram("test_prom_hist").Observe(time.Microsecond)
+
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{
+			"haspmv_test_prom_counter_total",
+			"# TYPE haspmv_test_prom_counter_total counter",
+			`haspmv_phase_seconds_total{phase="compute"}`,
+			`haspmv_core_nnz_total{core="2"} 50`,
+			"haspmv_test_prom_hist_seconds_bucket",
+			"haspmv_test_prom_hist_seconds_count 1",
+			"haspmv_enabled 1",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in:\n%s", want, out)
+			}
+		}
+		// Text-format sanity: every non-comment line is "name[{labels}] value".
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if fields := strings.Fields(line); len(fields) != 2 {
+				t.Fatalf("unparseable exposition line %q", line)
+			}
+		}
+	})
+}
+
+func TestServeMetricsVarsAndPprof(t *testing.T) {
+	withCollector(t, func(c *telemetry.Collector) {
+		c.RecordPhase(telemetry.PhasePrepare, time.Millisecond)
+		srv, err := telemetry.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		get := func(path string) (int, string) {
+			resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			return resp.StatusCode, string(body)
+		}
+
+		if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "haspmv_enabled 1") {
+			t.Fatalf("/metrics: %d %.120s", code, body)
+		}
+		if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, `"haspmv"`) {
+			t.Fatalf("/debug/vars: %d %.120s", code, body)
+		}
+		if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+			t.Fatalf("/debug/pprof/cmdline: %d", code)
+		}
+	})
+}
+
+// TestConcurrentUpdatesRace exercises the whole collection surface from
+// exec.Parallel workers; run with -race (CI does) to verify the lock-free
+// counter paths and the span/partition mutexes.
+func TestConcurrentUpdatesRace(t *testing.T) {
+	cnt := telemetry.NewCounter("test_race_counter")
+	hist := telemetry.NewHistogram("test_race_hist")
+	withCollector(t, func(c *telemetry.Collector) {
+		const fanout, rounds = 16, 20
+		var snapshots sync.WaitGroup
+		snapshots.Add(1)
+		go func() {
+			defer snapshots.Done()
+			for i := 0; i < rounds; i++ {
+				_ = telemetry.Snapshot()
+				var buf bytes.Buffer
+				_ = telemetry.WritePrometheus(&buf)
+			}
+		}()
+		for round := 0; round < rounds; round++ {
+			exec.Parallel(fanout, func(i int) {
+				cnt.Add(1)
+				hist.Observe(time.Duration(i) * time.Microsecond)
+				c.RecordPhase(telemetry.PhaseCompute, time.Microsecond)
+				c.RecordCoreSpan(i, time.Now(), i, 1, 0)
+			})
+		}
+		snapshots.Wait()
+		st := c.Stats()
+		if got := st.Phases["compute"].Count; got != fanout*rounds {
+			t.Fatalf("phase count %d, want %d", got, fanout*rounds)
+		}
+		var spans int64
+		for _, cs := range st.Cores {
+			spans += cs.Spans
+		}
+		if spans != fanout*rounds {
+			t.Fatalf("core spans %d, want %d", spans, fanout*rounds)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"strconv"
+)
+
+// RegionRecord is one core's share in a partition decision: a half-open
+// range in reordered-nnz space plus its modeled cost share.
+type RegionRecord struct {
+	Core int `json:"core"`
+	Lo   int `json:"lo"`
+	Hi   int `json:"hi"`
+	Cost int `json:"cost"`
+}
+
+// PartitionRecord captures one partition decision — the inputs and the
+// resulting per-core regions — so a trace documents *why* work landed
+// where it did, not only when it ran.
+type PartitionRecord struct {
+	Algorithm  string         `json:"algorithm"`
+	Machine    string         `json:"machine,omitempty"`
+	Rows       int            `json:"rows"`
+	Cols       int            `json:"cols"`
+	NNZ        int            `json:"nnz"`
+	Base       int            `json:"base"`
+	Metric     string         `json:"metric"`
+	Proportion float64        `json:"proportion"`
+	TotalCost  int            `json:"total_cost"`
+	Regions    []RegionRecord `json:"regions"`
+}
+
+// traceEvent is one Chrome trace_event entry; see the Trace Event Format
+// spec (the subset chrome://tracing and Perfetto both accept).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// pipeline-level spans (Core < 0) share one synthetic trace thread.
+const pipelineTid = 1000
+
+// WriteTrace renders the collector's spans and partition records as
+// Chrome trace_event JSON: one "X" (complete) event per span, with the
+// simulated core id as the thread id, plus an instant event per partition
+// decision and thread-name metadata. Open the file in chrome://tracing or
+// https://ui.perfetto.dev.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	spans := c.Spans()
+	parts := c.Partitions()
+
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, len(spans)+len(parts)+MaxCores/4)}
+	usedCores := map[int]bool{}
+	for _, s := range spans {
+		tid := s.Core
+		if tid < 0 {
+			tid = pipelineTid
+		}
+		usedCores[tid] = true
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  "spmv",
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+		}
+		if s.NNZ > 0 || s.Fragments > 0 || s.ExtraY > 0 {
+			ev.Args = map[string]any{"nnz": s.NNZ, "fragments": s.Fragments, "extra_y": s.ExtraY}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	for i, p := range parts {
+		args := map[string]any{"partition": p}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "partition " + p.Algorithm,
+			Cat:  "prepare",
+			Ph:   "i",
+			Ts:   float64(i), // decisions are unordered in time; spread for visibility
+			Pid:  1,
+			Tid:  pipelineTid,
+			S:    "g",
+			Args: args,
+		})
+		usedCores[pipelineTid] = true
+	}
+	for tid := range usedCores {
+		name := "pipeline"
+		if tid != pipelineTid {
+			name = "core " + strconv.Itoa(tid)
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// WriteTrace renders the active collector's trace; it errors when
+// telemetry is disabled (there is nothing to export).
+func WriteTrace(w io.Writer) error {
+	c := Active()
+	if c == nil {
+		return errors.New("telemetry: disabled, no trace to export (call Enable first)")
+	}
+	return c.WriteTrace(w)
+}
