@@ -205,11 +205,13 @@ func (h *Handle) Cols() int { return h.matrix.Cols }
 func (h *Handle) Matrix() *Matrix { return h.matrix }
 
 // MultiplyBatch computes Y[v] = A*X[v] for a block of vectors, using the
-// fused multi-vector path when the algorithm provides one (HASpMV walks
-// the index stream once per row fragment for the whole block). Every
-// X[v] must have length Cols() and every Y[v] length Rows(); mismatches
-// panic with a descriptive message rather than corrupting results inside
-// a kernel goroutine.
+// fused multi-vector path when the algorithm provides one. HASpMV walks
+// each row fragment's value and index streams once per block of up to 8
+// vectors through register-blocked kernels (one accumulator per vector),
+// and pools its workspace on the handle so the steady-state path is
+// allocation-free for any batch size. Every X[v] must have length Cols()
+// and every Y[v] length Rows(); mismatches panic with a descriptive
+// message rather than corrupting results inside a kernel goroutine.
 func (h *Handle) MultiplyBatch(Y, X [][]float64) {
 	if len(Y) != len(X) {
 		panic(fmt.Sprintf("haspmv: MultiplyBatch got %d output vectors for %d right-hand sides", len(Y), len(X)))

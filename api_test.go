@@ -284,6 +284,39 @@ func TestMultiplyZeroAllocsWhenTelemetryDisabled(t *testing.T) {
 	}
 }
 
+// TestMultiplyBatchZeroAllocsWhenTelemetryDisabled extends the overhead
+// guard to the fused batch path: once the pooled workspace has grown to
+// the batch size, steady-state MultiplyBatch must not allocate — for any
+// vector count, including ones below the warmed capacity.
+func TestMultiplyBatchZeroAllocsWhenTelemetryDisabled(t *testing.T) {
+	if TelemetryEnabled() {
+		t.Fatal("telemetry unexpectedly enabled at test start")
+	}
+	m := IntelI912900KF()
+	a := Representative("rma10", 32)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxNV = 11
+	X := make([][]float64, maxNV)
+	Y := make([][]float64, maxNV)
+	for v := range X {
+		X[v] = make([]float64, a.Cols)
+		for i := range X[v] {
+			X[v][i] = 1 + float64((i+v)%7)/7
+		}
+		Y[v] = make([]float64, a.Rows)
+	}
+	h.MultiplyBatch(Y, X) // warm the batch scratch to maxNV capacity
+	for _, nv := range []int{maxNV, 8, 3, 1} {
+		nv := nv
+		if n := testing.AllocsPerRun(100, func() { h.MultiplyBatch(Y[:nv], X[:nv]) }); n != 0 {
+			t.Fatalf("MultiplyBatch nv=%d allocates %v times per op with telemetry disabled, want 0", nv, n)
+		}
+	}
+}
+
 func TestTelemetryFacadeRoundTrip(t *testing.T) {
 	EnableTelemetry()
 	defer DisableTelemetry()

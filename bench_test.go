@@ -10,6 +10,7 @@
 package haspmv_test
 
 import (
+	"fmt"
 	"testing"
 
 	"haspmv"
@@ -160,8 +161,53 @@ func BenchmarkSpMVCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkComputeBatch compares the fused multi-vector multiply
+// (register-blocked kernels walking the index stream once per block of
+// vectors) against nv independent Multiply calls on a banded matrix,
+// where the value/index streams dominate and amortizing them pays most.
+func BenchmarkComputeBatch(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	a := haspmv.Representative("shipsec1", 16)
+	h, err := haspmv.Analyze(m, a, haspmv.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flops := func(nv int) float64 { return 2 * float64(a.NNZ()) * float64(nv) }
+	for _, nv := range []int{2, 4, 8} {
+		X := make([][]float64, nv)
+		Y := make([][]float64, nv)
+		for v := range X {
+			X[v] = make([]float64, a.Cols)
+			for i := range X[v] {
+				X[v][i] = 1 + float64((i+v)%7)/7
+			}
+			Y[v] = make([]float64, a.Rows)
+		}
+		b.Run(fmt.Sprintf("fused-nv%d", nv), func(b *testing.B) {
+			h.MultiplyBatch(Y, X) // warm the batch scratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.MultiplyBatch(Y, X)
+			}
+			b.ReportMetric(flops(nv)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
+		})
+		b.Run(fmt.Sprintf("repeated-nv%d", nv), func(b *testing.B) {
+			h.Multiply(Y[0], X[0])
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < nv; v++ {
+					h.Multiply(Y[v], X[v])
+				}
+			}
+			b.ReportMetric(flops(nv)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
+		})
+	}
+}
+
 // BenchmarkPrepare measures the real preprocessing cost (the Figure 10
-// quantity) of each method.
+// quantity) of each method. The 1M sub-benchmark runs HASpMV's parallel
+// Prepare pipeline on a >1.5M-nnz matrix, the scale where the chunked
+// sweeps engage.
 func BenchmarkPrepare(b *testing.B) {
 	m := haspmv.IntelI912900KF()
 	a := haspmv.Representative("webbase-1M", 16)
@@ -169,6 +215,16 @@ func BenchmarkPrepare(b *testing.B) {
 		alg := haspmvcore.New(haspmvcore.Options{})
 		for i := 0; i < b.N; i++ {
 			if _, err := alg.Prepare(m, a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HASpMV-1M", func(b *testing.B) {
+		big := haspmv.Representative("webbase-1M", 2)
+		alg := haspmvcore.New(haspmvcore.Options{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := alg.Prepare(m, big); err != nil {
 				b.Fatal(err)
 			}
 		}

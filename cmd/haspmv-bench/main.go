@@ -15,11 +15,13 @@
 //	haspmv-bench -exp selfcheck       # verify every method on the battery
 //	haspmv-bench -exp breakdown       # per-core time/traffic decomposition
 //	haspmv-bench -exp host            # real host wall-clock (caveats apply)
+//	haspmv-bench -exp batch           # fused multi-vector SpMV vs repeated (host)
 //	haspmv-bench -exp all             # everything, in paper order
 //
 // Scale knobs: -corpus N (matrices standing in for the 2888 SuiteSparse
 // sweep), -maxnnz (largest corpus matrix), -scale S (divisor on the
-// published sizes of the representative matrices), -machines a,b,...
+// published sizes of the representative matrices), -machines a,b,...,
+// -nvs 1,2,4,8 (batch widths for -exp batch)
 //
 // Observability knobs: -telemetry enables instrumentation for the run,
 // -metrics-addr ADDR serves /metrics (Prometheus text), /debug/vars
@@ -37,6 +39,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"haspmv/internal/amp"
@@ -44,6 +47,22 @@ import (
 	"haspmv/internal/telemetry"
 	"haspmv/internal/verify"
 )
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("width %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -54,13 +73,14 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("haspmv-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, selfcheck, all)")
+	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, selfcheck, all)")
 	corpus := fs.Int("corpus", 0, "corpus size (default from harness)")
 	maxNNZ := fs.Int("maxnnz", 0, "largest corpus matrix nnz")
 	scale := fs.Int("scale", 0, "representative matrix scale divisor (1 = published size)")
 	machines := fs.String("machines", "", "comma-separated machine names (default: all four)")
 	points := fs.Int("points", 24, "stream sweep points per curve (fig3)")
-	matrix := fs.String("matrix", "rma10", "representative matrix for breakdown/host experiments")
+	matrix := fs.String("matrix", "rma10", "representative matrix for breakdown/host/batch experiments")
+	nvs := fs.String("nvs", "1,2,4,8,16", "comma-separated batch widths for the batch experiment")
 	seed := fs.Int64("seed", 0, "corpus seed override")
 	csvDir := fs.String("csv", "", "also write one CSV per experiment into this directory")
 	telemetryOn := fs.Bool("telemetry", false, "collect phase timers, per-core spans and partition records")
@@ -262,6 +282,20 @@ func run(args []string) error {
 				return err
 			}
 			bench.PrintHostCompare(out, m, *matrix, rows)
+		case "batch":
+			widths, err := parseInts(*nvs)
+			if err != nil {
+				return fmt.Errorf("-nvs: %w", err)
+			}
+			m := cfg.Machines[0]
+			rows, err := bench.BatchThroughput(cfg, m, *matrix, widths, 5)
+			if err != nil {
+				return err
+			}
+			bench.PrintBatch(out, m, *matrix, rows)
+			if err := writeCSV("batch", func(w io.Writer) error { return bench.BatchCSV(w, m.Name, *matrix, rows) }); err != nil {
+				return err
+			}
 		case "selfcheck":
 			n := 0
 			for _, m := range cfg.Machines {

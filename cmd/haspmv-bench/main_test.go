@@ -37,6 +37,26 @@ func TestRunFlagsAndErrors(t *testing.T) {
 	}
 }
 
+func TestRunBatchExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "batch", "-scale", "64", "-matrix", "dawson5", "-nvs", "1,4", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "batch.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "machine,matrix,nv,") {
+		t.Fatalf("csv header: %q", string(data[:40]))
+	}
+	if err := run([]string{"-exp", "batch", "-nvs", "2,zero"}); err == nil || !strings.Contains(err.Error(), "-nvs") {
+		t.Fatalf("bad -nvs accepted: %v", err)
+	}
+	if err := run([]string{"-exp", "batch", "-nvs", "0"}); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("non-positive -nvs accepted: %v", err)
+	}
+}
+
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	err := run([]string{"-exp", "fig9", "-csv", dir})

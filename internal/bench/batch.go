@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+
+	haspmvcore "haspmv/internal/core"
+)
+
+// BatchRow is the host wall-clock of one batch width: the fused
+// multi-vector path (register-blocked kernels, one index-stream pass per
+// block of vectors) against nv repeated single-vector multiplies.
+type BatchRow struct {
+	NV         int
+	FusedUs    float64
+	RepeatedUs float64
+	// GFlops counts 2*nnz*nv flops over the fused time.
+	FusedGFlops    float64
+	RepeatedGFlops float64
+	// Speedup is RepeatedUs / FusedUs.
+	Speedup float64
+}
+
+// BatchThroughput measures real host wall-clock of HASpMV's fused batch
+// path on one representative matrix across batch widths. The same host
+// caveat as HostCompare applies: symmetric host cores show algorithmic
+// gains (here, index-stream amortization), not AMP behaviour.
+func BatchThroughput(cfg Config, m *amp.Machine, matrix string, nvs []int, reps int) ([]BatchRow, error) {
+	if reps < 1 {
+		reps = 5
+	}
+	if len(nvs) == 0 {
+		nvs = []int{1, 2, 4, 8, 16}
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+	alg := haspmvcore.New(haspmvcore.Options{})
+	prep, err := alg.Prepare(m, a)
+	if err != nil {
+		return nil, err
+	}
+	maxNV := 0
+	for _, nv := range nvs {
+		if nv > maxNV {
+			maxNV = nv
+		}
+	}
+	X := make([][]float64, maxNV)
+	Y := make([][]float64, maxNV)
+	for v := range X {
+		X[v] = make([]float64, a.Cols)
+		for i := range X[v] {
+			X[v][i] = 1 + float64((i+v)%7)/7
+		}
+		Y[v] = make([]float64, a.Rows)
+	}
+	bestOf := func(f func()) time.Duration {
+		f() // warm up (scratch pools, worker pool)
+		best := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	var rows []BatchRow
+	for _, nv := range nvs {
+		nv := nv
+		fused := bestOf(func() { exec.ComputeBatch(prep, Y[:nv], X[:nv]) })
+		repeated := bestOf(func() {
+			for v := 0; v < nv; v++ {
+				prep.Compute(Y[v], X[v])
+			}
+		})
+		flops := 2 * float64(a.NNZ()) * float64(nv)
+		row := BatchRow{
+			NV:         nv,
+			FusedUs:    float64(fused.Nanoseconds()) / 1e3,
+			RepeatedUs: float64(repeated.Nanoseconds()) / 1e3,
+		}
+		if s := fused.Seconds(); s > 0 {
+			row.FusedGFlops = flops / s / 1e9
+			row.Speedup = repeated.Seconds() / s
+		}
+		if s := repeated.Seconds(); s > 0 {
+			row.RepeatedGFlops = flops / s / 1e9
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintBatch renders the batch-width sweep.
+func PrintBatch(w io.Writer, m *amp.Machine, matrix string, rows []BatchRow) {
+	fmt.Fprintf(w, "\n# Batch SpMV on %s (machine model %s used for partitioning only)\n", matrix, m.Name)
+	fmt.Fprintln(w, "note: host cores are symmetric; these numbers show index-stream amortization, not AMP behaviour")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "nv\tfused(us)\trepeated(us)\tfused GFlops\trepeated GFlops\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.2fx\n",
+			r.NV, r.FusedUs, r.RepeatedUs, r.FusedGFlops, r.RepeatedGFlops, r.Speedup)
+	}
+	tw.Flush()
+}
+
+// BatchCSV emits machine,matrix,nv,fused_us,repeated_us,fused_gflops,
+// repeated_gflops,speedup rows.
+func BatchCSV(w io.Writer, machine, matrix string, rowsIn []BatchRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "nv", "fused_us", "repeated_us", "fused_gflops", "repeated_gflops", "speedup"}}
+	for _, r := range rowsIn {
+		rows = append(rows, []string{
+			machine, matrix, d(r.NV), f(r.FusedUs), f(r.RepeatedUs),
+			f(r.FusedGFlops), f(r.RepeatedGFlops), f(r.Speedup),
+		})
+	}
+	return writeAll(cw, rows)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"haspmv/internal/exec"
+	"haspmv/internal/kernel"
 	"haspmv/internal/telemetry"
 )
 
@@ -13,12 +14,131 @@ var (
 	cBatchVectors  = telemetry.NewCounter("core_batch_vectors")
 )
 
+// batchScratch is ComputeBatch's reusable workspace, pooled on
+// Prepared.batch under the same atomic-swap discipline as computeScratch.
+// The extraY conflict values for all vectors of all cores live in one
+// flat slice sized to nvCap, so a steady stream of batch calls with a
+// stable (or shrinking) vector count allocates nothing.
+type batchScratch struct {
+	p        *Prepared
+	Y, X     [][]float64
+	tel      *telemetry.Collector
+	nv       int
+	nvCap    int
+	extraRow []int
+	extraVal []float64 // len(regions)*nvCap, core id strided by nvCap
+	body     func(id int)
+}
+
+func (p *Prepared) newBatchScratch(nv int) *batchScratch {
+	// Round the capacity up to a whole number of register blocks so
+	// growing a batch by one vector does not immediately reallocate.
+	cap := (nv + kernel.MaxBlock - 1) / kernel.MaxBlock * kernel.MaxBlock
+	s := &batchScratch{
+		p:        p,
+		nvCap:    cap,
+		extraRow: make([]int, len(p.regions)),
+		extraVal: make([]float64, len(p.regions)*cap),
+	}
+	s.body = s.run
+	return s
+}
+
+// run is one core's share of a batch call: the same fragment walk as
+// computeScratch.run, with each fragment's index stream walked once by
+// the widest register-blocked kernel that still has vectors to feed.
+func (s *batchScratch) run(id int) {
+	p := s.p
+	s.extraRow[id] = -1
+	reg := p.regions[id]
+	if reg.Lo >= reg.Hi {
+		return
+	}
+	tel := s.tel
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+	h, mat, Y, X, nv := p.h, p.mat, s.Y, s.X, s.nv
+	un := p.unroll[id]
+	extra := s.extraVal[id*s.nvCap : id*s.nvCap+nv]
+	var sums [kernel.MaxBlock]float64
+	nnzDone, frags := 0, 0
+	r := reg.StartRow
+	pos := reg.Lo
+	for pos < reg.Hi {
+		rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
+		fragEnd := rowEnd
+		if fragEnd > reg.Hi {
+			fragEnd = reg.Hi
+		}
+		if fragEnd > pos {
+			o := h.RowBeginNNZ[r]
+			lo := o + (pos - rowStart)
+			hi := o + (fragEnd - rowStart)
+			orig := h.Perm[r]
+			first := pos == rowStart
+			// Tile the vector block: widest kernel first, then the
+			// narrower ones for the remainder, so every nv costs at most
+			// one pass per kernel.MaxBlock vectors over the fragment.
+			for v0 := 0; v0 < nv; {
+				var w int
+				switch rem := nv - v0; {
+				case rem >= 8:
+					w = 8
+					kernel.DotRangeBlock8(mat.Val, mat.ColIdx, X[v0:], sums[:8], lo, hi, un)
+				case rem >= 4:
+					w = 4
+					kernel.DotRangeBlock4(mat.Val, mat.ColIdx, X[v0:], sums[:4], lo, hi, un)
+				case rem >= 2:
+					w = 2
+					kernel.DotRangeBlock2(mat.Val, mat.ColIdx, X[v0:], sums[:2], lo, hi, un)
+				default:
+					w = 1
+					sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], lo, hi, un)
+				}
+				if first {
+					for j := 0; j < w; j++ {
+						Y[v0+j][orig] = sums[j]
+					}
+				} else {
+					copy(extra[v0:v0+w], sums[:w])
+				}
+				v0 += w
+			}
+			if !first {
+				// Continuation fragment: only the first row of a region
+				// can start mid-row, so one conflict slot per core.
+				s.extraRow[id] = orig
+			}
+			nnzDone += hi - lo
+			frags++
+			pos = fragEnd
+		}
+		r++
+	}
+	if tel != nil {
+		ex := 0
+		if s.extraRow[id] >= 0 {
+			ex = 1
+		}
+		tel.RecordSpan(telemetry.Span{
+			Name: "batch-core", Core: reg.Core,
+			Start: t0.Sub(tel.Start()), Dur: time.Since(t0),
+			NNZ: nnzDone, Fragments: frags, ExtraY: ex,
+		})
+	}
+}
+
 // ComputeBatch performs Y[v] = A * X[v] for a block of vectors with one
-// sweep over the matrix structure: each row fragment's column indices are
-// walked once and reused for every vector, amortizing the index stream the
-// way block Krylov solvers and multi-source graph traversals expect. The
-// partition, reorder and extraY conflict handling are identical to
-// Compute (Algorithm 5), generalized to a vector block.
+// sweep over the matrix structure: each row fragment's value and column
+// streams are walked once per block of kernel.MaxBlock vectors by the
+// register-blocked kernels (DotRangeBlock8/4/2), amortizing the index
+// stream the way block Krylov solvers and multi-source graph traversals
+// expect. The partition, reorder and extraY conflict handling are
+// identical to Compute (Algorithm 5), generalized to a vector block, and
+// the steady-state path performs zero heap allocations for any nv (the
+// workspace is pooled on Prepared.batch).
 func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 	nv := len(X)
 	if len(Y) != nv {
@@ -42,84 +162,29 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 			panic(fmt.Sprintf("core: batch y length %d, want %d", len(y), p.mat.Rows))
 		}
 	}
+	s := p.batch.Swap(nil)
+	if s == nil || s.nvCap < nv {
+		s = p.newBatchScratch(nv)
+	}
+	s.Y, s.X, s.tel, s.nv = Y, X, tel, nv
 	for _, r := range p.emptyRows {
 		for v := 0; v < nv; v++ {
 			Y[v][r] = 0
 		}
 	}
 	n := len(p.regions)
-	extraRow := make([]int, n)
-	extraVal := make([][]float64, n)
-	exec.Parallel(n, func(id int) {
-		extraRow[id] = -1
-		reg := p.regions[id]
-		if reg.Lo >= reg.Hi {
-			return
-		}
-		var t0 time.Time
-		if tel != nil {
-			t0 = time.Now()
-		}
-		nnzDone, frags := 0, 0
-		h, mat := p.h, p.mat
-		sums := make([]float64, nv)
-		r := rowOfPosition(h, reg.Lo)
-		pos := reg.Lo
-		for pos < reg.Hi {
-			rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
-			fragEnd := rowEnd
-			if fragEnd > reg.Hi {
-				fragEnd = reg.Hi
-			}
-			if fragEnd > pos {
-				o := h.RowBeginNNZ[r]
-				lo := o + (pos - rowStart)
-				hi := o + (fragEnd - rowStart)
-				for v := range sums {
-					sums[v] = 0
-				}
-				// One index-stream pass serving all vectors.
-				for k := lo; k < hi; k++ {
-					c := mat.ColIdx[k]
-					a := mat.Val[k]
-					for v := 0; v < nv; v++ {
-						sums[v] += a * X[v][c]
-					}
-				}
-				orig := h.Perm[r]
-				if pos == rowStart {
-					for v := 0; v < nv; v++ {
-						Y[v][orig] = sums[v]
-					}
-				} else {
-					extraRow[id] = orig
-					extraVal[id] = append([]float64(nil), sums...)
-				}
-				nnzDone += hi - lo
-				frags++
-				pos = fragEnd
-			}
-			r++
-		}
-		if tel != nil {
-			extra := 0
-			if extraRow[id] >= 0 {
-				extra = 1
-			}
-			tel.RecordSpan(telemetry.Span{
-				Name: "batch-core", Core: reg.Core,
-				Start: t0.Sub(tel.Start()), Dur: time.Since(t0),
-				NNZ: nnzDone, Fragments: frags, ExtraY: extra,
-			})
-		}
-	})
+	exec.Parallel(n, s.body)
+	// Serial epilogue (Algorithm 5 lines 15-17) across the vector block.
 	for id := 0; id < n; id++ {
-		if extraRow[id] >= 0 {
+		if s.extraRow[id] >= 0 {
+			extra := s.extraVal[id*s.nvCap:]
 			for v := 0; v < nv; v++ {
-				Y[v][extraRow[id]] += extraVal[id][v]
+				Y[v][s.extraRow[id]] += extra[v]
 			}
 		}
 	}
+	s.Y, s.X, s.tel = nil, nil, nil
+	p.batch.Store(s)
 	cBatchComputes.Add(1)
 	cBatchVectors.Add(int64(nv))
 	if tel != nil {

@@ -47,6 +47,93 @@ func TestComputeBatchMatchesCompute(t *testing.T) {
 	}
 }
 
+// TestComputeBatchMatchesComputeAcrossNV sweeps the vector-tiling
+// dispatch: every remainder class of the 8/4/2/1 block cascade (nv = 17
+// exercises 8+8+1, 5 exercises 4+1, ...) must agree with per-vector
+// Compute, including on rows cut across regions (hub-row's giant row) and
+// after shrinking nv below a previous call's capacity (scratch reuse).
+func TestComputeBatchMatchesComputeAcrossNV(t *testing.T) {
+	m := amp.IntelI912900KF()
+	for _, name := range []string{"powerlaw", "hub-row", "alternating-empty"} {
+		a := algtest.Matrix(name)
+		prep, err := New(Options{}).Prepare(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := prep.(*Prepared)
+		cut := false
+		for _, reg := range p.Regions() {
+			if reg.Lo < reg.Hi && p.Format().RowPtr[reg.StartRow] < reg.Lo {
+				cut = true
+			}
+		}
+		if name == "hub-row" && !cut {
+			t.Fatal("hub-row partition produced no mid-row cut; batch epilogue untested")
+		}
+		r := rand.New(rand.NewSource(42))
+		// Descending order makes later iterations reuse a scratch whose
+		// capacity exceeds nv.
+		for _, nv := range []int{17, 8, 5, 3, 2, 1} {
+			X := make([][]float64, nv)
+			Y := make([][]float64, nv)
+			for v := range X {
+				X[v] = make([]float64, a.Cols)
+				for i := range X[v] {
+					X[v][i] = r.NormFloat64()
+				}
+				Y[v] = make([]float64, a.Rows)
+				for i := range Y[v] {
+					Y[v][i] = 1e300 // poison
+				}
+			}
+			p.ComputeBatch(Y, X)
+			for v := range X {
+				want := make([]float64, a.Rows)
+				p.Compute(want, X[v])
+				for i := range want {
+					if math.Abs(Y[v][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+						t.Fatalf("%s nv=%d: batch[%d][%d] = %v, want %v", name, nv, v, i, Y[v][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The pooled workspace must survive capacity growth: a small batch, then
+// one larger than the rounded-up capacity, then small again.
+func TestComputeBatchScratchGrowth(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("hub-row")
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prep.(*Prepared)
+	r := rand.New(rand.NewSource(7))
+	for _, nv := range []int{2, 17, 3, 9, 1} {
+		X := make([][]float64, nv)
+		Y := make([][]float64, nv)
+		for v := range X {
+			X[v] = make([]float64, a.Cols)
+			for i := range X[v] {
+				X[v][i] = r.NormFloat64()
+			}
+			Y[v] = make([]float64, a.Rows)
+		}
+		p.ComputeBatch(Y, X)
+		for v := range X {
+			want := make([]float64, a.Rows)
+			a.MulVec(want, X[v])
+			for i := range want {
+				if math.Abs(Y[v][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("nv=%d vec %d row %d: got %v want %v", nv, v, i, Y[v][i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestComputeBatchViaExecHelper(t *testing.T) {
 	m := amp.IntelI913900KF()
 	a := gen.Representative("dawson5", 64)

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"haspmv/internal/exec"
 	"haspmv/internal/sparse"
 )
 
@@ -54,6 +55,27 @@ type HACSR struct {
 // reverse encounter order, exactly as the front_row/tail_row pointers of
 // the paper leave them).
 func Convert(a *sparse.CSR, base int) *HACSR {
+	h, _ := convert(a, base)
+	return h
+}
+
+// convert is Convert plus fused empty-row collection: Prepare needs the
+// zero-length rows anyway (they occupy no width in nnz space and must be
+// zeroed explicitly), and the reorder sweep already reads every row
+// length, so they are collected in the same pass instead of re-scanning
+// the row pointer afterwards.
+//
+// Above the grain the sweep runs as a two-pass parallel counting sort.
+// The sort key is the short/long class and the order within each class is
+// the serial encounter order, which two passes preserve exactly: pass one
+// counts each chunk's short and long rows, a serial scan turns the counts
+// into per-chunk write offsets (shorts ascending from the front, longs
+// descending from the tail — the front_row/tail_row pointers of Algorithm
+// 2, pre-advanced per chunk), and pass two places rows at those offsets.
+// Chunks cover ascending row ranges, so a row's position depends only on
+// the class counts before it — the same stability argument as any
+// counting sort — and the output is bit-identical to the serial loop.
+func convert(a *sparse.CSR, base int) (*HACSR, []int) {
 	m := a.Rows
 	// One backing allocation: conversion cost is HACSR's selling point
 	// (Figure 10), so the constant factors matter.
@@ -64,26 +86,93 @@ func Convert(a *sparse.CSR, base int) *HACSR {
 		RowBeginNNZ: buf[m : 2*m : 2*m],
 		RowPtr:      buf[2*m:],
 	}
-	frontRow, tailRow := 0, m-1
-	for i := 0; i < m; i++ {
-		l := a.RowPtr[i+1] - a.RowPtr[i]
-		if l < base {
-			h.Perm[frontRow] = i
-			h.RowBeginNNZ[frontRow] = a.RowPtr[i]
-			h.RowPtr[frontRow+1] = l // length, prefixed below
-			frontRow++
-		} else {
-			h.Perm[tailRow] = i
-			h.RowBeginNNZ[tailRow] = a.RowPtr[i]
-			h.RowPtr[tailRow+1] = l
-			tailRow--
+	c := exec.RangeChunks(m, prepWidth(), prepGrain)
+	if c <= 1 {
+		// Serial fast path: one fused placement + empty-collection pass.
+		var empty []int
+		frontRow, tailRow := 0, m-1
+		for i := 0; i < m; i++ {
+			l := a.RowPtr[i+1] - a.RowPtr[i]
+			if l == 0 {
+				empty = append(empty, i)
+			}
+			if l < base {
+				h.Perm[frontRow] = i
+				h.RowBeginNNZ[frontRow] = a.RowPtr[i]
+				h.RowPtr[frontRow+1] = l // length, prefixed below
+				frontRow++
+			} else {
+				h.Perm[tailRow] = i
+				h.RowBeginNNZ[tailRow] = a.RowPtr[i]
+				h.RowPtr[tailRow+1] = l
+				tailRow--
+			}
 		}
+		h.NumShort = frontRow
+		for i := 0; i < m; i++ {
+			h.RowPtr[i+1] += h.RowPtr[i]
+		}
+		return h, empty
 	}
-	h.NumShort = frontRow
-	for i := 0; i < m; i++ {
-		h.RowPtr[i+1] += h.RowPtr[i]
+	// Pass 1: count each chunk's short and empty rows.
+	shortIn := make([]int, c)
+	emptyIn := make([]int, c)
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(ch, lo, hi int) {
+		s, e := 0, 0
+		for i := lo; i < hi; i++ {
+			l := a.RowPtr[i+1] - a.RowPtr[i]
+			if l == 0 {
+				e++
+			}
+			if l < base {
+				s++
+			}
+		}
+		shortIn[ch], emptyIn[ch] = s, e
+	})
+	// Serial offset scan: each chunk's first short, long and empty slot.
+	shortOff := make([]int, c)
+	longOff := make([]int, c)
+	emptyOff := make([]int, c)
+	sAcc, lAcc, eAcc := 0, 0, 0
+	for ch := 0; ch < c; ch++ {
+		rows := (ch+1)*m/c - ch*m/c
+		shortOff[ch] = sAcc
+		sAcc += shortIn[ch]
+		longOff[ch] = m - 1 - lAcc
+		lAcc += rows - shortIn[ch]
+		emptyOff[ch] = eAcc
+		eAcc += emptyIn[ch]
 	}
-	return h
+	h.NumShort = sAcc
+	var empty []int
+	if eAcc > 0 {
+		empty = make([]int, eAcc)
+	}
+	// Pass 2: place rows (and empties) at the chunk offsets.
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(ch, lo, hi int) {
+		front, tail, ew := shortOff[ch], longOff[ch], emptyOff[ch]
+		for i := lo; i < hi; i++ {
+			l := a.RowPtr[i+1] - a.RowPtr[i]
+			if l == 0 {
+				empty[ew] = i
+				ew++
+			}
+			if l < base {
+				h.Perm[front] = i
+				h.RowBeginNNZ[front] = a.RowPtr[i]
+				h.RowPtr[front+1] = l
+				front++
+			} else {
+				h.Perm[tail] = i
+				h.RowBeginNNZ[tail] = a.RowPtr[i]
+				h.RowPtr[tail+1] = l
+				tail--
+			}
+		}
+	})
+	prefixSum(h.RowPtr[1:])
+	return h, empty
 }
 
 // Identity builds a HACSR that preserves the natural row order (the
@@ -199,27 +288,39 @@ func RowCacheLineCost(a *sparse.CSR, origRow int) int {
 // costSum builds the prefix-sum cost array over the *reordered* rows
 // (cost_sum in Algorithm 3): costSum[i] is the total cost of reordered
 // rows [0, i). The cache-line costs are computed in original row order —
-// one streaming pass over the column indices — and permuted afterwards,
-// keeping the HACSR conversion's single-pass cost profile (Figure 10).
+// one streaming pass over the column indices, chunked across the workers
+// since each row's cost is independent — then gathered through the
+// permutation and prefix-summed with the chunked parallel scan.
 func costSum(a *sparse.CSR, h *HACSR, metric CostMetric) []int {
 	cs := make([]int, h.Rows+1)
 	switch metric {
 	case CacheLineCost:
 		costs := make([]int, a.Rows)
-		for i := 0; i < a.Rows; i++ {
-			costs[i] = RowCacheLineCost(a, i)
-		}
-		for i := 0; i < h.Rows; i++ {
-			cs[i+1] = cs[i] + costs[h.Perm[i]]
-		}
+		exec.ParallelRanges(a.Rows, prepWidth(), prepGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				costs[i] = RowCacheLineCost(a, i)
+			}
+		})
+		exec.ParallelRanges(h.Rows, prepWidth(), prepGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cs[i+1] = costs[h.Perm[i]]
+			}
+		})
+		prefixSum(cs[1:])
 	case NNZCost:
-		for i := 0; i < h.Rows; i++ {
-			cs[i+1] = cs[i] + h.RowLen(i)
-		}
+		exec.ParallelRanges(h.Rows, prepWidth(), prepGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cs[i+1] = h.RowLen(i)
+			}
+		})
+		prefixSum(cs[1:])
 	case RowCost:
-		for i := 0; i < h.Rows; i++ {
-			cs[i+1] = cs[i] + 1
-		}
+		// Unit costs: the prefix sum is the index itself.
+		exec.ParallelRanges(h.Rows+1, prepWidth(), prepGrain, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cs[i] = i
+			}
+		})
 	default:
 		panic(fmt.Sprintf("core: unknown metric %v", metric))
 	}

@@ -17,6 +17,11 @@ import (
 type Region struct {
 	Core   int
 	Lo, Hi int
+	// StartRow is the reordered row containing Lo, cached at partition
+	// time so Compute, ComputeBatch and Assignments start their fragment
+	// walks without a per-call binary search. For an empty region
+	// (Lo == Hi == nnz) it is the row count.
+	StartRow int
 }
 
 // DefaultProportion derives the level-1 split (P_proportion in Algorithm
@@ -130,7 +135,7 @@ func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, p
 	}
 	regions := make([]Region, n)
 	for i, c := range cores {
-		regions[i] = Region{Core: c, Lo: cuts[i], Hi: cuts[i+1]}
+		regions[i] = Region{Core: c, Lo: cuts[i], Hi: cuts[i+1], StartRow: rowOfPosition(h, cuts[i])}
 	}
 	if tel != nil {
 		tel.RecordPhase(telemetry.PhasePartitionL2, time.Since(t0))
@@ -185,8 +190,9 @@ func costToPosition(a *sparse.CSR, h *HACSR, cs []int, bound float64, metric Cos
 	}
 }
 
-// checkRegions verifies that regions tile [0, nnz) in order; used by tests
-// and the harness self-check.
+// checkRegions verifies that regions tile [0, nnz) in order and that each
+// cached StartRow really contains Lo; used by tests and the harness
+// self-check.
 func checkRegions(h *HACSR, regions []Region) error {
 	pos := 0
 	for i, r := range regions {
@@ -195,6 +201,12 @@ func checkRegions(h *HACSR, regions []Region) error {
 		}
 		if r.Hi < r.Lo {
 			return fmt.Errorf("core: region %d inverted [%d,%d)", i, r.Lo, r.Hi)
+		}
+		if r.Lo < r.Hi {
+			if r.StartRow < 0 || r.StartRow >= h.Rows ||
+				h.RowPtr[r.StartRow] > r.Lo || h.RowPtr[r.StartRow+1] <= r.Lo {
+				return fmt.Errorf("core: region %d caches start row %d for position %d", i, r.StartRow, r.Lo)
+			}
 		}
 		pos = r.Hi
 	}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"haspmv/internal/algtest"
+	"haspmv/internal/sparse"
+)
+
+// withGrain forces the parallel Prepare sweeps into multi-chunk execution
+// (grain 1) or the serial fast path (a huge grain) for the duration of f.
+// Tests using it mutate the package-level knob and must not run parallel.
+func withGrain(g int, f func()) {
+	old := prepGrain
+	prepGrain = g
+	defer func() { prepGrain = old }()
+	f()
+}
+
+func TestPrefixSumMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 4097} {
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = r.Intn(9) - 1
+		}
+		want := append([]int(nil), xs...)
+		acc := 0
+		for i := range want {
+			acc += want[i]
+			want[i] = acc
+		}
+		got := append([]int(nil), xs...)
+		withGrain(1, func() { prefixSum(got) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parallel prefix sum %v, want %v", n, got, want)
+		}
+		got2 := append([]int(nil), xs...)
+		withGrain(1<<30, func() { prefixSum(got2) })
+		if !reflect.DeepEqual(got2, want) {
+			t.Fatalf("n=%d: serial prefix sum %v, want %v", n, got2, want)
+		}
+	}
+}
+
+func TestCollectEmptyRowsMatchesSerial(t *testing.T) {
+	for _, name := range []string{"fig1-8x8", "alternating-empty", "powerlaw", "hub-row"} {
+		a := algtest.Matrix(name)
+		var serial, parallel []int
+		withGrain(1<<30, func() { serial = collectEmptyRows(a) })
+		withGrain(1, func() { parallel = collectEmptyRows(a) })
+		if len(serial) == 0 && len(parallel) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%s: serial %v vs parallel %v", name, serial, parallel)
+		}
+		for _, i := range serial {
+			if a.RowPtr[i+1] != a.RowPtr[i] {
+				t.Fatalf("%s: row %d reported empty but has nonzeros", name, i)
+			}
+		}
+	}
+}
+
+// The two-pass counting sort must reproduce the serial reorder
+// bit-identically — same Perm, same RowPtr, same fused empty list — on
+// every base, including ones that put all rows in one class.
+func TestConvertParallelMatchesSerial(t *testing.T) {
+	mats := []*sparse.CSR{
+		algtest.Matrix("fig1-8x8"),
+		algtest.Matrix("alternating-empty"),
+		algtest.Matrix("powerlaw"),
+		algtest.Matrix("hub-row"),
+		algtest.Matrix("tall-rect"),
+	}
+	for _, a := range mats {
+		for _, base := range []int{1, 2, 4, 64, 1 << 30} {
+			var hs, hp *HACSR
+			var es, ep []int
+			withGrain(1<<30, func() { hs, es = convert(a, base) })
+			withGrain(1, func() { hp, ep = convert(a, base) })
+			if !reflect.DeepEqual(hs, hp) {
+				t.Fatalf("%dx%d base %d: parallel HACSR differs\nserial   %+v\nparallel %+v",
+					a.Rows, a.Cols, base, hs, hp)
+			}
+			if !reflect.DeepEqual(es, ep) {
+				t.Fatalf("%dx%d base %d: empty rows %v vs %v", a.Rows, a.Cols, base, es, ep)
+			}
+			if err := hp.Validate(a); err != nil {
+				t.Fatalf("%dx%d base %d: %v", a.Rows, a.Cols, base, err)
+			}
+		}
+	}
+}
+
+func TestCostSumParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"fig1-8x8", "powerlaw", "hub-row"} {
+		a := algtest.Matrix(name)
+		h := Convert(a, AutoBase(a))
+		for _, metric := range []CostMetric{CacheLineCost, NNZCost, RowCost} {
+			var serial, parallel []int
+			withGrain(1<<30, func() { serial = costSum(a, h, metric) })
+			withGrain(1, func() { parallel = costSum(a, h, metric) })
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("%s/%v: cost sums differ\nserial   %v\nparallel %v",
+					name, metric, serial, parallel)
+			}
+		}
+	}
+}

@@ -72,11 +72,17 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	if tel != nil {
 		t0 = time.Now()
 	}
+	// Rows with no nonzeros occupy zero width in nnz space and are not
+	// visited by the region walk; Compute zeroes them explicitly. The
+	// reorder sweep already classifies every row, so convert collects the
+	// empty ones in the same pass instead of re-scanning the row pointer.
 	var h *HACSR
+	var empty []int
 	if opts.DisableReorder {
 		h = Identity(mat)
+		empty = collectEmptyRows(mat)
 	} else {
-		h = Convert(mat, opts.Base)
+		h, empty = convert(mat, opts.Base)
 	}
 	if tel != nil {
 		tel.RecordPhase(telemetry.PhaseReorder, time.Since(t0))
@@ -90,24 +96,6 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	regions := partition(mat, h, cs, m, cores, opts.PProportion, opts.Metric, opts.OneLevel, tel)
 	if err := checkRegions(h, regions); err != nil {
 		return nil, err
-	}
-
-	// Rows with no nonzeros occupy zero width in nnz space and are not
-	// visited by the region walk; Compute zeroes them explicitly.
-	nEmpty := 0
-	for i := 0; i < mat.Rows; i++ {
-		if mat.RowPtr[i+1] == mat.RowPtr[i] {
-			nEmpty++
-		}
-	}
-	var empty []int
-	if nEmpty > 0 {
-		empty = make([]int, 0, nEmpty)
-		for i := 0; i < mat.Rows; i++ {
-			if mat.RowPtr[i+1] == mat.RowPtr[i] {
-				empty = append(empty, i)
-			}
-		}
 	}
 
 	// Per-core unroll threshold (Algorithm 6 determines Len by core
@@ -184,6 +172,8 @@ type Prepared struct {
 	// is allocation-free; concurrent calls on the same Prepared fall back
 	// to a fresh workspace.
 	scratch atomic.Pointer[computeScratch]
+	// batch is ComputeBatch's workspace under the same swap discipline.
+	batch atomic.Pointer[batchScratch]
 }
 
 // computeScratch is Compute's per-call workspace: the extraY conflict
@@ -227,7 +217,7 @@ func (s *computeScratch) run(id int) {
 	h, mat, y, x := p.h, p.mat, s.y, s.x
 	un := p.unroll[id]
 	nnzDone, frags := 0, 0
-	r := rowOfPosition(h, reg.Lo)
+	r := reg.StartRow
 	pos := reg.Lo
 	for pos < reg.Hi {
 		rowStart, rowEnd := h.RowPtr[r], h.RowPtr[r+1]
@@ -323,7 +313,7 @@ func (p *Prepared) Assignments() []costmodel.Assignment {
 	for i, reg := range p.regions {
 		asg := costmodel.Assignment{Core: reg.Core}
 		if reg.Lo < reg.Hi {
-			r := rowOfPosition(h, reg.Lo)
+			r := reg.StartRow
 			pos := reg.Lo
 			var cur costmodel.Span
 			open := false

@@ -145,6 +145,54 @@ func startWorkers() {
 	}
 }
 
+// Workers returns the useful data-parallel width for preprocessing
+// sweeps: the number of OS threads Go will actually run concurrently.
+// Unlike the pool size (which is floored at 2 for deadlock-freedom), this
+// is 1 on a single-CPU host, letting chunked sweeps collapse to their
+// serial fast path instead of paying handoff costs for no parallelism.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// RangeChunks returns how many contiguous chunks ParallelRanges splits n
+// elements into: at most parts, at least one, and never so many that a
+// chunk holds fewer than minPerChunk elements (the grain below which
+// goroutine handoff costs more than the sweep itself).
+func RangeChunks(n, parts, minPerChunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if minPerChunk < 1 {
+		minPerChunk = 1
+	}
+	c := parts
+	if max := n / minPerChunk; c > max {
+		c = max
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ParallelRanges splits [0, n) into RangeChunks(n, parts, minPerChunk)
+// near-equal contiguous chunks and runs f(chunk, lo, hi) for each through
+// Parallel. The chunk boundaries are a pure function of (n, parts,
+// minPerChunk), so multi-pass algorithms (counting sorts, prefix sums)
+// that call it twice with the same arguments see identical chunking. It
+// returns the chunk count; a single chunk runs inline on the caller.
+func ParallelRanges(n, parts, minPerChunk int, f func(chunk, lo, hi int)) int {
+	c := RangeChunks(n, parts, minPerChunk)
+	if c == 0 {
+		return 0
+	}
+	Parallel(c, func(i int) {
+		f(i, i*n/c, (i+1)*n/c)
+	})
+	return c
+}
+
 // Parallel runs f(0..n-1) concurrently and waits for all. It stands in for
 // the paper's pinned OpenMP parallel-for: each index is one simulated
 // core. Work is dispatched to a persistent worker pool; the caller runs

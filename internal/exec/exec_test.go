@@ -129,6 +129,70 @@ func TestParallelLargeFanoutAndNesting(t *testing.T) {
 	}
 }
 
+func TestRangeChunks(t *testing.T) {
+	cases := []struct{ n, parts, grain, want int }{
+		{0, 8, 1, 0},
+		{-3, 8, 1, 0},
+		{1, 8, 1, 1},
+		{100, 8, 1, 8},
+		{100, 8, 50, 2},
+		{100, 8, 100, 1},
+		{100, 8, 1000, 1},
+		{100, 0, 1, 1},  // parts floored at 1
+		{100, 8, 0, 8},  // grain floored at 1
+		{7, 16, 1, 7},   // never more chunks than elements
+	}
+	for _, c := range cases {
+		if got := RangeChunks(c.n, c.parts, c.grain); got != c.want {
+			t.Fatalf("RangeChunks(%d,%d,%d) = %d, want %d", c.n, c.parts, c.grain, got, c.want)
+		}
+	}
+}
+
+func TestParallelRangesTilesAndRepeats(t *testing.T) {
+	const n = 1000
+	hits := make([]int32, n)
+	var bounds [][2]int
+	boundsCh := make(chan [2]int, 64)
+	c := ParallelRanges(n, 7, 10, func(ch, lo, hi int) {
+		boundsCh <- [2]int{lo, hi}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	if c != 7 {
+		t.Fatalf("chunk count %d, want 7", c)
+	}
+	for len(boundsCh) > 0 {
+		bounds = append(bounds, <-boundsCh)
+	}
+	if len(bounds) != c {
+		t.Fatalf("f ran %d times, want %d", len(bounds), c)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("element %d covered %d times", i, h)
+		}
+	}
+	// Chunk boundaries are a pure function of the arguments: a second call
+	// must see the identical tiling (multi-pass algorithms rely on this).
+	again := make(chan [2]int, 64)
+	ParallelRanges(n, 7, 10, func(ch, lo, hi int) { again <- [2]int{lo, hi} })
+	seen := map[[2]int]bool{}
+	for _, b := range bounds {
+		seen[b] = true
+	}
+	for len(again) > 0 {
+		if b := <-again; !seen[b] {
+			t.Fatalf("second pass produced chunk %v absent from the first", b)
+		}
+	}
+	// Empty range: f never runs.
+	if c := ParallelRanges(0, 7, 10, func(ch, lo, hi int) { t.Fatal("ran on empty range") }); c != 0 {
+		t.Fatalf("empty range returned %d chunks", c)
+	}
+}
+
 // recordPrep counts Compute calls so the fallback path is observable.
 type recordPrep struct {
 	fakePrep
