@@ -1,0 +1,192 @@
+// Command benchdiff is the CI bench-regression gate. It has two modes:
+//
+//	benchdiff -parse bench.txt -out BENCH_ci.json
+//	    Parse `go test -bench` output, keep the minimum ns/op per
+//	    benchmark (the min of -count runs is the least noisy point
+//	    estimate), and write a flat {"name": ns_per_op} JSON snapshot.
+//
+//	benchdiff -old baseline.json -new BENCH_ci.json -threshold 15
+//	    Compare two snapshots and fail (exit 1) if any benchmark present
+//	    in both regressed by more than the threshold percentage. An
+//	    optional -filter regexp restricts which benchmarks are gated.
+//
+// Benchmark names are normalized by stripping the -GOMAXPROCS suffix, so
+// snapshots taken on hosts with different core counts stay comparable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	parse := fs.String("parse", "", "parse `go test -bench` output from this file into a snapshot")
+	outPath := fs.String("out", "", "where -parse writes the JSON snapshot")
+	oldPath := fs.String("old", "", "baseline snapshot for comparison")
+	newPath := fs.String("new", "", "current snapshot for comparison")
+	threshold := fs.Float64("threshold", 15, "max tolerated ns/op regression, percent")
+	filter := fs.String("filter", "", "regexp restricting which benchmarks are gated")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	switch {
+	case *parse != "":
+		if *outPath == "" {
+			return errors.New("-parse requires -out")
+		}
+		f, err := os.Open(*parse)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		snap, err := parseBench(f)
+		if err != nil {
+			return err
+		}
+		if len(snap) == 0 {
+			return fmt.Errorf("no benchmark results in %s", *parse)
+		}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d benchmarks to %s\n", len(snap), *outPath)
+		return nil
+	case *oldPath != "" || *newPath != "":
+		if *oldPath == "" || *newPath == "" {
+			return errors.New("comparison needs both -old and -new")
+		}
+		var re *regexp.Regexp
+		if *filter != "" {
+			var err error
+			if re, err = regexp.Compile(*filter); err != nil {
+				return fmt.Errorf("-filter: %w", err)
+			}
+		}
+		oldSnap, err := readSnapshot(*oldPath)
+		if err != nil {
+			return err
+		}
+		newSnap, err := readSnapshot(*newPath)
+		if err != nil {
+			return err
+		}
+		return compare(out, oldSnap, newSnap, *threshold, re)
+	default:
+		return errors.New("nothing to do: pass -parse/-out or -old/-new")
+	}
+}
+
+// benchLine matches one `go test -bench` result line; the -N suffix
+// (GOMAXPROCS) is stripped during normalization.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts min ns/op per normalized benchmark name.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	snap := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op %q for %s", fields[i], name)
+			}
+			if old, ok := snap[name]; !ok || v < old {
+				snap[name] = v
+			}
+			break
+		}
+	}
+	return snap, sc.Err()
+}
+
+func readSnapshot(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap := make(map[string]float64)
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// compare reports per-benchmark deltas and returns an error listing
+// every gated benchmark whose ns/op grew beyond the threshold.
+func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float64, filter *regexp.Regexp) error {
+	names := make([]string, 0, len(newSnap))
+	for name := range newSnap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	compared := 0
+	for _, name := range names {
+		oldV, ok := oldSnap[name]
+		if !ok {
+			fmt.Fprintf(out, "  new       %-60s %12.0f ns/op\n", name, newSnap[name])
+			continue
+		}
+		if oldV <= 0 {
+			continue
+		}
+		delta := (newSnap[name] - oldV) / oldV * 100
+		gated := filter == nil || filter.MatchString(name)
+		mark := "ok"
+		if !gated {
+			mark = "ungated"
+		} else {
+			compared++
+			if delta > threshold {
+				mark = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
+						name, oldV, newSnap[name], delta, threshold))
+			}
+		}
+		fmt.Fprintf(out, "  %-9s %-60s %12.0f -> %12.0f ns/op  %+.1f%%\n", mark, name, oldV, newSnap[name], delta)
+	}
+	for name := range oldSnap {
+		if _, ok := newSnap[name]; !ok {
+			fmt.Fprintf(out, "  missing   %-60s (in baseline, not in current run)\n", name)
+		}
+	}
+	fmt.Fprintf(out, "compared %d gated benchmarks, %d regression(s)\n", compared, len(regressions))
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}

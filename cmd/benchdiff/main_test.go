@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: haspmv
+BenchmarkSpMVCompute/rma10-8         	     100	   1000000 ns/op
+BenchmarkSpMVCompute/rma10-8         	     120	    900000 ns/op	 12 B/op	 0 allocs/op
+BenchmarkSpMVCompute/rma10-8         	     110	    950000 ns/op
+BenchmarkComputeBatch/fused-nv8-16   	      50	   4000000 ns/op
+BenchmarkPrepare-8                   	      20	  60000000 ns/op
+PASS
+ok  	haspmv	12.3s
+`
+
+func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSpMVCompute/rma10":      900000, // min of three runs
+		"BenchmarkComputeBatch/fused-nv8": 4000000,
+		"BenchmarkPrepare":                60000000,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("parsed %d benchmarks (%v), want %d", len(snap), snap, len(want))
+	}
+	for name, v := range want {
+		if snap[name] != v {
+			t.Errorf("%s = %v, want %v", name, snap[name], v)
+		}
+	}
+}
+
+func writeSnap(t *testing.T, dir, name string, snap map[string]float64) string {
+	t.Helper()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance check for the CI
+// gate: a 20% ns/op regression against the baseline must fail with a
+// 15% threshold, and pass with a 30% threshold.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]float64{
+		"BenchmarkSpMVCompute/rma10": 1000000,
+		"BenchmarkComputeBatch/nv8":  4000000,
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]float64{
+		"BenchmarkSpMVCompute/rma10": 1200000, // +20%
+		"BenchmarkComputeBatch/nv8":  3900000, // improved
+	})
+
+	var out bytes.Buffer
+	err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "15"}, &out)
+	if err == nil {
+		t.Fatalf("20%% regression passed a 15%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkSpMVCompute/rma10") || !strings.Contains(err.Error(), "+20.0%") {
+		t.Fatalf("gate error does not name the regression: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "30"}, &out); err != nil {
+		t.Fatalf("20%% regression failed a 30%% gate: %v", err)
+	}
+}
+
+// TestGateFilterAndNewBenchmarks: ungated names never fail the gate, and
+// benchmarks with no baseline are reported but tolerated.
+func TestGateFilterAndNewBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]float64{
+		"BenchmarkHot":  1000,
+		"BenchmarkCold": 1000,
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]float64{
+		"BenchmarkHot":   1010,
+		"BenchmarkCold":  9000, // 9x, but filtered out
+		"BenchmarkNovel": 5000, // no baseline
+	})
+
+	var out bytes.Buffer
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "15", "-filter", "Hot"}, &out); err != nil {
+		t.Fatalf("filtered comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ungated") || !strings.Contains(out.String(), "BenchmarkNovel") {
+		t.Fatalf("report missing ungated/new annotations:\n%s", out.String())
+	}
+}
+
+// TestParseRoundTripThroughCLI: -parse/-out writes a snapshot the
+// comparison mode can read back.
+func TestParseRoundTripThroughCLI(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "snap.json")
+	var out bytes.Buffer
+	if err := run([]string{"-parse", benchPath, "-out", snapPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-old", snapPath, "-new", snapPath, "-threshold", "15"}, &out); err != nil {
+		t.Fatalf("self-comparison must pass: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{},
+		{"-parse", "x.txt"},
+		{"-old", "only.json"},
+		{"-old", "a.json", "-new", "b.json", "-filter", "("},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+}

@@ -16,12 +16,14 @@
 //	haspmv-bench -exp breakdown       # per-core time/traffic decomposition
 //	haspmv-bench -exp host            # real host wall-clock (caveats apply)
 //	haspmv-bench -exp batch           # fused multi-vector SpMV vs repeated (host)
+//	haspmv-bench -exp serve           # closed-loop serving: batcher vs solo (host)
 //	haspmv-bench -exp all             # everything, in paper order
 //
 // Scale knobs: -corpus N (matrices standing in for the 2888 SuiteSparse
 // sweep), -maxnnz (largest corpus matrix), -scale S (divisor on the
 // published sizes of the representative matrices), -machines a,b,...,
-// -nvs 1,2,4,8 (batch widths for -exp batch)
+// -nvs 1,2,4,8 (batch widths for -exp batch), -clients/-perclient/-lingers
+// (load shape and coalescing windows for -exp serve)
 //
 // Observability knobs: -telemetry enables instrumentation for the run,
 // -metrics-addr ADDR serves /metrics (Prometheus text), /debug/vars
@@ -41,12 +43,36 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"haspmv/internal/amp"
 	"haspmv/internal/bench"
+	"haspmv/internal/gen"
 	"haspmv/internal/telemetry"
 	"haspmv/internal/verify"
 )
+
+// parseDurations parses a comma-separated list of non-negative Go
+// durations ("0,50us,200us,1ms").
+func parseDurations(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			out = append(out, 0)
+			continue
+		}
+		v, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("window %s must not be negative", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 // parseInts parses a comma-separated list of positive integers.
 func parseInts(s string) ([]int, error) {
@@ -73,7 +99,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("haspmv-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, selfcheck, all)")
+	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, serve, selfcheck, all)")
 	corpus := fs.Int("corpus", 0, "corpus size (default from harness)")
 	maxNNZ := fs.Int("maxnnz", 0, "largest corpus matrix nnz")
 	scale := fs.Int("scale", 0, "representative matrix scale divisor (1 = published size)")
@@ -81,6 +107,9 @@ func run(args []string) error {
 	points := fs.Int("points", 24, "stream sweep points per curve (fig3)")
 	matrix := fs.String("matrix", "rma10", "representative matrix for breakdown/host/batch experiments")
 	nvs := fs.String("nvs", "1,2,4,8,16", "comma-separated batch widths for the batch experiment")
+	clients := fs.Int("clients", 64, "concurrent closed-loop clients for the serve experiment")
+	perClient := fs.Int("perclient", 6, "requests per client for the serve experiment")
+	lingers := fs.String("lingers", "0,50us,200us,1ms", "comma-separated coalescing windows for the serve experiment")
 	seed := fs.Int64("seed", 0, "corpus seed override")
 	csvDir := fs.String("csv", "", "also write one CSV per experiment into this directory")
 	telemetryOn := fs.Bool("telemetry", false, "collect phase timers, per-core spans and partition records")
@@ -294,6 +323,21 @@ func run(args []string) error {
 			}
 			bench.PrintBatch(out, m, *matrix, rows)
 			if err := writeCSV("batch", func(w io.Writer) error { return bench.BatchCSV(w, m.Name, *matrix, rows) }); err != nil {
+				return err
+			}
+		case "serve":
+			windows, err := parseDurations(*lingers)
+			if err != nil {
+				return fmt.Errorf("-lingers: %w", err)
+			}
+			m := cfg.Machines[0]
+			rows, err := bench.ServeSweep(cfg, m, *matrix, *clients, *perClient, windows)
+			if err != nil {
+				return err
+			}
+			a := gen.Representative(*matrix, cfg.RepScale)
+			bench.PrintServe(out, m, *matrix, a.NNZ(), rows)
+			if err := writeCSV("serve", func(w io.Writer) error { return bench.ServeCSV(w, m.Name, *matrix, rows) }); err != nil {
 				return err
 			}
 		case "selfcheck":

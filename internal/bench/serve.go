@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/gen"
+	"haspmv/internal/server"
+
+	haspmvcore "haspmv/internal/core"
+)
+
+// ServeRow is one closed-loop serving measurement: a fixed population of
+// clients, each issuing its next request as soon as the previous answer
+// arrives, against either uncoordinated per-request Computes ("solo") or
+// the dynamic batcher ("coalesced", one row per linger setting).
+type ServeRow struct {
+	Mode     string // "solo" or "coalesced"
+	LingerUs float64
+	Clients  int
+	Requests int
+	WallMs   float64
+	// RPS is completed requests per second of wall time.
+	RPS float64
+	// P50Us/P99Us are client-observed request latencies.
+	P50Us float64
+	P99Us float64
+	// MeanBatch is the average flush width (1 for solo serving).
+	MeanBatch float64
+}
+
+// ServeSweep prepares one representative matrix, precomputes serial
+// Multiply references, and measures solo serving plus coalesced serving
+// at each linger. Every response is compared bit-for-bit against the
+// serial reference — a mismatch is an error, since the serving layer
+// promises coalescing never changes a result.
+func ServeSweep(cfg Config, m *amp.Machine, matrix string, clients, perClient int, lingers []time.Duration) ([]ServeRow, error) {
+	if clients < 1 {
+		clients = 64
+	}
+	if perClient < 1 {
+		perClient = 6
+	}
+	if len(lingers) == 0 {
+		lingers = []time.Duration{200 * time.Microsecond}
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+	prep, err := haspmvcore.New(haspmvcore.Options{}).Prepare(m, a)
+	if err != nil {
+		return nil, err
+	}
+
+	const patterns = 8
+	X := make([][]float64, patterns)
+	refs := make([][]float64, patterns)
+	for p := 0; p < patterns; p++ {
+		X[p] = make([]float64, a.Cols)
+		for i := range X[p] {
+			X[p][i] = 1 + float64((i+3*p)%11)/11
+		}
+		refs[p] = make([]float64, a.Rows)
+		prep.Compute(refs[p], X[p])
+	}
+
+	// run drives the closed loop: clients goroutines, each submitting
+	// perClient requests back to back through submit and checking every
+	// answer against the serial reference.
+	run := func(submit func(y, x []float64) error) (wall time.Duration, lat []time.Duration, err error) {
+		lat = make([]time.Duration, clients*perClient)
+		errCh := make(chan error, clients)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				y := make([]float64, a.Rows)
+				<-start
+				for j := 0; j < perClient; j++ {
+					p := (g + j) % patterns
+					t0 := time.Now()
+					if err := submit(y, X[p]); err != nil {
+						errCh <- err
+						return
+					}
+					lat[g*perClient+j] = time.Since(t0)
+					for i := range y {
+						if y[i] != refs[p][i] {
+							errCh <- fmt.Errorf("client %d request %d: y[%d] = %x, serial Multiply gives %x",
+								g, j, i, y[i], refs[p][i])
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		wall = time.Since(t0)
+		select {
+		case err = <-errCh:
+		default:
+		}
+		return wall, lat, err
+	}
+
+	row := func(mode string, lingerUs float64, wall time.Duration, lat []time.Duration, meanBatch float64) ServeRow {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		n := len(lat)
+		r := ServeRow{
+			Mode: mode, LingerUs: lingerUs, Clients: clients, Requests: n,
+			WallMs:    float64(wall.Nanoseconds()) / 1e6,
+			P50Us:     float64(lat[n/2].Nanoseconds()) / 1e3,
+			P99Us:     float64(lat[n*99/100].Nanoseconds()) / 1e3,
+			MeanBatch: meanBatch,
+		}
+		if s := wall.Seconds(); s > 0 {
+			r.RPS = float64(n) / s
+		}
+		return r
+	}
+
+	// Solo baseline: each client calls Compute directly, no coordination
+	// — what serving looks like without the batcher.
+	wall, lat, err := run(func(y, x []float64) error {
+		prep.Compute(y, x)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []ServeRow{row("solo", 0, wall, lat, 1)}
+
+	for _, linger := range lingers {
+		l := linger
+		if l <= 0 {
+			l = server.ExplicitZeroLinger
+		}
+		b := server.NewBatcher(prep, server.BatcherOptions{Linger: l})
+		wall, lat, err := run(func(y, x []float64) error {
+			_, err := b.Submit(context.Background(), y, x)
+			return err
+		})
+		st := b.Stats()
+		b.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row("coalesced", float64(linger.Nanoseconds())/1e3, wall, lat, st.MeanOccupancy()))
+	}
+	return rows, nil
+}
+
+// ServeSpeedup returns coalesced-over-solo throughput for the best
+// coalesced row of a sweep (0 if the sweep lacks either mode).
+func ServeSpeedup(rows []ServeRow) float64 {
+	solo, best := 0.0, 0.0
+	for _, r := range rows {
+		switch r.Mode {
+		case "solo":
+			solo = r.RPS
+		case "coalesced":
+			if r.RPS > best {
+				best = r.RPS
+			}
+		}
+	}
+	if solo == 0 {
+		return 0
+	}
+	return best / solo
+}
+
+// PrintServe renders a serving sweep.
+func PrintServe(w io.Writer, m *amp.Machine, matrix string, nnz int, rows []ServeRow) {
+	fmt.Fprintf(w, "\n# Closed-loop serving on %s (%d nnz, machine model %s used for partitioning only)\n", matrix, nnz, m.Name)
+	fmt.Fprintln(w, "note: solo = concurrent uncoordinated Computes; coalesced = dynamic batcher (bit-identical responses)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mode\tlinger(us)\tclients\treq/s\tp50(us)\tp99(us)\tmean batch")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%.0f\t%.0f\t%.0f\t%.2f\n",
+			r.Mode, r.LingerUs, r.Clients, r.RPS, r.P50Us, r.P99Us, r.MeanBatch)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "coalesced/solo throughput: %.2fx\n", ServeSpeedup(rows))
+}
+
+// ServeCSV emits machine,matrix,mode,linger_us,clients,requests,wall_ms,
+// rps,p50_us,p99_us,mean_batch rows.
+func ServeCSV(w io.Writer, machine, matrix string, rowsIn []ServeRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "mode", "linger_us", "clients", "requests", "wall_ms", "rps", "p50_us", "p99_us", "mean_batch"}}
+	for _, r := range rowsIn {
+		rows = append(rows, []string{
+			machine, matrix, r.Mode, f(r.LingerUs), d(r.Clients), d(r.Requests),
+			f(r.WallMs), f(r.RPS), f(r.P50Us), f(r.P99Us), f(r.MeanBatch),
+		})
+	}
+	return writeAll(cw, rows)
+}

@@ -78,24 +78,19 @@ func (s *batchScratch) run(id int) {
 			hi := o + (fragEnd - rowStart)
 			orig := h.Perm[r]
 			first := pos == rowStart
-			// Tile the vector block: widest kernel first, then the
-			// narrower ones for the remainder, so every nv costs at most
-			// one pass per kernel.MaxBlock vectors over the fragment.
+			// Tile the vector block into MaxBlock-wide pieces, each
+			// served by one bit-exact fused pass over the fragment's
+			// value and column streams (sums[j] carries exactly the bits
+			// a single-vector Compute would produce).
 			for v0 := 0; v0 < nv; {
-				var w int
-				switch rem := nv - v0; {
-				case rem >= 8:
-					w = 8
-					kernel.DotRangeBlock8(mat.Val, mat.ColIdx, X[v0:], sums[:8], lo, hi, un)
-				case rem >= 4:
-					w = 4
-					kernel.DotRangeBlock4(mat.Val, mat.ColIdx, X[v0:], sums[:4], lo, hi, un)
-				case rem >= 2:
-					w = 2
-					kernel.DotRangeBlock2(mat.Val, mat.ColIdx, X[v0:], sums[:2], lo, hi, un)
-				default:
-					w = 1
+				w := nv - v0
+				if w > kernel.MaxBlock {
+					w = kernel.MaxBlock
+				}
+				if w == 1 {
 					sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], lo, hi, un)
+				} else {
+					kernel.DotRangeBlock(mat.Val, mat.ColIdx, X[v0:], sums[:w], lo, hi, un)
 				}
 				if first {
 					for j := 0; j < w; j++ {
@@ -133,12 +128,20 @@ func (s *batchScratch) run(id int) {
 // ComputeBatch performs Y[v] = A * X[v] for a block of vectors with one
 // sweep over the matrix structure: each row fragment's value and column
 // streams are walked once per block of kernel.MaxBlock vectors by the
-// register-blocked kernels (DotRangeBlock8/4/2), amortizing the index
-// stream the way block Krylov solvers and multi-source graph traversals
-// expect. The partition, reorder and extraY conflict handling are
-// identical to Compute (Algorithm 5), generalized to a vector block, and
-// the steady-state path performs zero heap allocations for any nv (the
+// register-blocked kernel (DotRangeBlock), amortizing the index stream
+// the way block Krylov solvers and multi-source graph traversals expect.
+// The partition, reorder and extraY conflict handling are identical to
+// Compute (Algorithm 5), generalized to a vector block, and the
+// steady-state path performs zero heap allocations for any nv (the
 // workspace is pooled on Prepared.batch).
+//
+// ComputeBatch is bit-exact with respect to Compute: Y[v] carries exactly
+// the float64 bits that Compute(Y[v], X[v]) would have produced, for any
+// nv. The fused kernel keeps per-vector accumulator chains identical to
+// the single-vector dispatch, and the empty-row zeroing, direct stores
+// and serial extraY epilogue run in the same order. The serving layer's
+// dynamic batcher relies on this to coalesce concurrent requests without
+// changing any response.
 func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 	nv := len(X)
 	if len(Y) != nv {

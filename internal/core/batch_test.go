@@ -39,8 +39,8 @@ func TestComputeBatchMatchesCompute(t *testing.T) {
 			want := make([]float64, a.Rows)
 			p.Compute(want, X[v])
 			for i := range want {
-				if math.Abs(Y[v][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
-					t.Fatalf("%s: batch[%d][%d] = %v, want %v", name, v, i, Y[v][i], want[i])
+				if Y[v][i] != want[i] {
+					t.Fatalf("%s: batch[%d][%d] = %v, want %v (bitwise)", name, v, i, Y[v][i], want[i])
 				}
 			}
 		}
@@ -91,8 +91,8 @@ func TestComputeBatchMatchesComputeAcrossNV(t *testing.T) {
 				want := make([]float64, a.Rows)
 				p.Compute(want, X[v])
 				for i := range want {
-					if math.Abs(Y[v][i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
-						t.Fatalf("%s nv=%d: batch[%d][%d] = %v, want %v", name, nv, v, i, Y[v][i], want[i])
+					if Y[v][i] != want[i] {
+						t.Fatalf("%s nv=%d: batch[%d][%d] = %v, want %v (bitwise)", name, nv, v, i, Y[v][i], want[i])
 					}
 				}
 			}

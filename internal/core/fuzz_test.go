@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/sparse"
+)
+
+// fuzzMatrix decodes a byte string into a small CSR matrix: the first
+// two bytes pick the shape (1..32 rows and columns), then each (row,
+// col, value) triple adds one entry. Duplicates are summed by ToCSR, a
+// value byte of 0 stays an explicit stored zero, and leftover bytes are
+// ignored — every input decodes to *some* valid matrix, so the fuzzer
+// explores structure (empty rows, hub rows, diagonals) rather than
+// fighting a parser. The second return drives algorithm options.
+func fuzzMatrix(data []byte) (*sparse.CSR, byte) {
+	if len(data) < 2 {
+		return nil, 0
+	}
+	rows := 1 + int(data[0])%32
+	cols := 1 + int(data[1])%32
+	var optByte byte
+	if len(data) > 2 {
+		optByte = data[2]
+	}
+	c := &sparse.COO{Rows: rows, Cols: cols}
+	for k := 3; k+2 < len(data); k += 3 {
+		i := int(data[k]) % rows
+		j := int(data[k+1]) % cols
+		v := float64(int8(data[k+2])) / 4
+		c.Add(i, j, v)
+	}
+	return c.ToCSR(), optByte
+}
+
+// fuzzOptions maps the option byte onto the ablation space: reorder
+// on/off, one- vs two-level partition, and a handful of explicit base
+// thresholds around the short/long boundary.
+func fuzzOptions(b byte) Options {
+	return Options{
+		DisableReorder: b&1 != 0,
+		OneLevel:       b&2 != 0,
+		Base:           int(b>>2) % 8 * 4, // 0 (auto), 4, 8, ..., 28
+	}
+}
+
+// FuzzPrepareCompute feeds random small matrices through the full
+// HASpMV pipeline — HACSR reorder, cost partition, conflict-resolving
+// executor — and checks the result against the naive reference multiply
+// plus the nonzero-coverage invariant. Seed corpus under
+// testdata/fuzz/FuzzPrepareCompute covers the structural extremes:
+// all-empty rows, a single dense row, all-short rows, all-long rows.
+func FuzzPrepareCompute(f *testing.F) {
+	f.Add([]byte{7, 7, 0})                                                                                                                 // 8x8, all rows empty
+	f.Add([]byte{0, 15, 1, 0, 0, 8, 0, 5, 16, 0, 11, 200})                                                                                 // single row, reorder off
+	f.Add([]byte{31, 31, 2, 1, 1, 4, 9, 9, 8, 30, 2, 252})                                                                                 // sparse diagonal-ish, one-level
+	f.Add([]byte{3, 3, 12, 0, 0, 1, 0, 1, 2, 0, 2, 3, 1, 0, 4, 1, 1, 5, 1, 2, 6, 2, 0, 7, 2, 1, 8, 2, 2, 9, 3, 0, 10, 3, 1, 11, 3, 2, 12}) // dense 4x3
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			return // keep Prepare cost bounded
+		}
+		a, optByte := fuzzMatrix(data)
+		if a == nil {
+			return
+		}
+		opts := fuzzOptions(optByte)
+		prep, err := New(opts).Prepare(amp.IntelI912900KF(), a)
+		if err != nil {
+			t.Fatalf("Prepare failed on a valid %dx%d matrix (%d nnz, opts %+v): %v",
+				a.Rows, a.Cols, a.NNZ(), opts, err)
+		}
+		if err := exec.CheckAssignments(a, prep.Assignments()); err != nil {
+			t.Fatalf("assignment coverage broken (opts %+v): %v", opts, err)
+		}
+
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1 + float64(i%5)/4
+		}
+		y := make([]float64, a.Rows)
+		prep.Compute(y, x)
+		want := make([]float64, a.Rows)
+		a.MulVec(want, x)
+		for i := range y {
+			diff := math.Abs(y[i] - want[i])
+			if diff > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("y[%d] = %v, naive reference %v (matrix %dx%d nnz %d, opts %+v)",
+					i, y[i], want[i], a.Rows, a.Cols, a.NNZ(), opts)
+			}
+		}
+	})
+}
+
+// FuzzComputeBatch checks the serving-layer contract at its root: for
+// any matrix and any batch width, the fused ComputeBatch must produce
+// exactly — bit for bit — what nv independent Computes produce. Seed
+// corpus under testdata/fuzz/FuzzComputeBatch mirrors the structural
+// extremes with varying widths.
+func FuzzComputeBatch(f *testing.F) {
+	f.Add([]byte{7, 7, 0}, byte(8))                                                                                                                                                                            // empty rows, full block
+	f.Add([]byte{0, 15, 0, 0, 0, 8, 0, 5, 16, 0, 11, 200}, byte(3))                                                                                                                                            // single row
+	f.Add([]byte{31, 31, 0, 1, 1, 4, 9, 9, 8, 30, 2, 252}, byte(9))                                                                                                                                            // short rows, two blocks
+	f.Add([]byte{2, 30, 0, 0, 0, 1, 0, 3, 2, 0, 6, 3, 0, 9, 4, 0, 12, 5, 0, 15, 6, 0, 18, 7, 0, 21, 8, 1, 1, 9, 1, 4, 10, 1, 7, 11, 1, 10, 12, 1, 13, 13, 1, 16, 14, 1, 19, 15, 1, 22, 16, 2, 2, 17}, byte(5)) // long rows
+	f.Fuzz(func(t *testing.T, data []byte, nvByte byte) {
+		if len(data) > 1<<12 {
+			return
+		}
+		a, optByte := fuzzMatrix(data)
+		if a == nil {
+			return
+		}
+		nv := 1 + int(nvByte)%10
+		prep, err := New(fuzzOptions(optByte)).Prepare(amp.IntelI912900KF(), a)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		bp, ok := prep.(exec.BatchPrepared)
+		if !ok {
+			t.Fatal("core.Prepared lost its ComputeBatch implementation")
+		}
+		X := make([][]float64, nv)
+		Y := make([][]float64, nv)
+		want := make([][]float64, nv)
+		for v := 0; v < nv; v++ {
+			X[v] = make([]float64, a.Cols)
+			for i := range X[v] {
+				X[v][i] = float64((i+2*v)%7) - 3 + float64(v)/8
+			}
+			Y[v] = make([]float64, a.Rows)
+			want[v] = make([]float64, a.Rows)
+			prep.Compute(want[v], X[v])
+		}
+		bp.ComputeBatch(Y, X)
+		for v := 0; v < nv; v++ {
+			for i := range Y[v] {
+				if Y[v][i] != want[v][i] {
+					t.Fatalf("batch nv=%d: Y[%d][%d] = %x, solo Compute gives %x (matrix %dx%d nnz %d)",
+						nv, v, i, Y[v][i], want[v][i], a.Rows, a.Cols, a.NNZ())
+				}
+			}
+		}
+	})
+}

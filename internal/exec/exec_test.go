@@ -138,9 +138,9 @@ func TestRangeChunks(t *testing.T) {
 		{100, 8, 50, 2},
 		{100, 8, 100, 1},
 		{100, 8, 1000, 1},
-		{100, 0, 1, 1},  // parts floored at 1
-		{100, 8, 0, 8},  // grain floored at 1
-		{7, 16, 1, 7},   // never more chunks than elements
+		{100, 0, 1, 1}, // parts floored at 1
+		{100, 8, 0, 8}, // grain floored at 1
+		{7, 16, 1, 7},  // never more chunks than elements
 	}
 	for _, c := range cases {
 		if got := RangeChunks(c.n, c.parts, c.grain); got != c.want {

@@ -1,165 +1,142 @@
 package kernel
 
-// Register-blocked batch kernels: one pass over the val/colIdx index
-// stream feeding several x vectors at once. Batch SpMV is bound by the
-// same streams as the single-vector kernel (Algorithm 6), so reusing each
-// loaded (value, column) pair across a block of vectors divides the index
-// traffic by the block width — the lever block Krylov solvers and
-// multi-query workloads rely on. Each kernel keeps its partial sums in a
-// fixed set of scalar accumulators (register-resident on amd64/arm64) and
-// dispatches on row length exactly like DotRange: a plain loop below
-// ScalarThreshold, a 4-FMA-per-step mid path, and an 8-FMA-per-step path
-// once the fragment passes the per-core unroll threshold, with a strided
-// remainder loop picking up the tail nonzeros for every vector.
+// Register-blocked batch kernel: the val/colIdx index stream is walked in
+// L1-resident tiles, each tile feeding every x vector of the block before
+// the next tile is touched. Batch SpMV is bound by the same streams as
+// the single-vector kernel (Algorithm 6), so re-reading each tile from L1
+// for the other vectors of the block divides the stream's DRAM traffic by
+// the block width — the lever block Krylov solvers and multi-query
+// workloads rely on — while the inner loops keep their partial sums in
+// the same register accumulator chains as DotRange.
+//
+// That makes the kernel *bit-exact*: for every vector j the chains are
+// assigned, carried across tiles, reduced and finished by the sequential
+// remainder exactly as DotRange's scalar/4-wide/8-wide dispatch, so
+//
+//	DotRangeBlock(val, col, X, sums, lo, hi, un)
+//
+// stores exactly DotRange(val, col, X[j], lo, hi, un) into sums[j],
+// bit-for-bit. The serving layer's dynamic batcher depends on this: a
+// request must produce the same float64 bits whether it was computed
+// alone or coalesced with up to MaxBlock-1 neighbours.
 
-// MaxBlock is the widest vector block the batch kernels process in one
-// call; ComputeBatch tiles larger batches into MaxBlock/4/2/1 pieces.
+// MaxBlock is the widest vector block the batch kernel processes in one
+// call; ComputeBatch tiles larger batches into MaxBlock-wide pieces.
 const MaxBlock = 8
 
-// DotRangeBlock2 computes sums[j] = sum(val[k]*X[j][col[k]]) for k in
-// [lo, hi) and j in {0, 1}, walking the index stream once.
-func DotRangeBlock2(val []float64, col []int, X [][]float64, sums []float64, lo, hi, unrollLen int) {
-	x0, x1 := X[0], X[1]
-	length := hi - lo
-	if length <= 0 {
-		sums[0], sums[1] = 0, 0
-		return
-	}
-	if length < ScalarThreshold {
-		var s0, s1 float64
-		for k := lo; k < hi; k++ {
-			a, c := val[k], col[k]
-			s0 += a * x0[c]
-			s1 += a * x1[c]
-		}
-		sums[0], sums[1] = s0, s1
-		return
-	}
-	k := lo
-	var s0, s1 float64
-	if length < unrollLen {
-		// Mid path: two k-steps per iteration, 4 independent chains.
-		var a0, a1, b0, b1 float64
-		for ; k+2 <= hi; k += 2 {
-			v0, c0 := val[k], col[k]
-			v1, c1 := val[k+1], col[k+1]
-			a0 += v0 * x0[c0]
-			a1 += v1 * x0[c1]
-			b0 += v0 * x1[c0]
-			b1 += v1 * x1[c1]
-		}
-		s0, s1 = a0+a1, b0+b1
-	} else {
-		// Long path: four k-steps per iteration, 8 independent chains.
-		var a0, a1, a2, a3, b0, b1, b2, b3 float64
-		for ; k+4 <= hi; k += 4 {
-			v0, c0 := val[k], col[k]
-			v1, c1 := val[k+1], col[k+1]
-			v2, c2 := val[k+2], col[k+2]
-			v3, c3 := val[k+3], col[k+3]
-			a0 += v0 * x0[c0]
-			a1 += v1 * x0[c1]
-			a2 += v2 * x0[c2]
-			a3 += v3 * x0[c3]
-			b0 += v0 * x1[c0]
-			b1 += v1 * x1[c1]
-			b2 += v2 * x1[c2]
-			b3 += v3 * x1[c3]
-		}
-		s0, s1 = (a0+a2)+(a1+a3), (b0+b2)+(b1+b3)
-	}
-	// Strided remainder: one k at a time, still serving both vectors.
-	for ; k < hi; k++ {
-		a, c := val[k], col[k]
-		s0 += a * x0[c]
-		s1 += a * x1[c]
-	}
-	sums[0], sums[1] = s0, s1
-}
+// blockTile is the index-stream tile the block kernel revisits once per
+// vector: 1024 nonzeros = 16KB of values + indices, comfortably inside a
+// 32KB L1D alongside the gathered x lines. It is a multiple of 8 so tile
+// boundaries never disturb the accumulator-chain assignment.
+const blockTile = 1024
 
-// DotRangeBlock4 computes sums[j] = sum(val[k]*X[j][col[k]]) for k in
-// [lo, hi) and j in 0..3, walking the index stream once. The vector block
-// itself supplies four independent FMA chains per k-step; fragments past
-// the unroll threshold additionally take two k-steps per iteration.
-func DotRangeBlock4(val []float64, col []int, X [][]float64, sums []float64, lo, hi, unrollLen int) {
-	x0, x1, x2, x3 := X[0], X[1], X[2], X[3]
+// DotRangeBlock computes sums[j] = DotRange(val, col, X[j], lo, hi,
+// unrollLen) for j in [0, len(sums)), reading the index stream from cache
+// for all but the first vector of the block. len(X) must be at least
+// len(sums), and len(sums) must be between 1 and MaxBlock. Every result
+// is bit-identical to the corresponding single-vector DotRange call.
+func DotRangeBlock(val []float64, col []int, X [][]float64, sums []float64, lo, hi, unrollLen int) {
+	w := len(sums)
 	length := hi - lo
 	if length <= 0 {
-		sums[0], sums[1], sums[2], sums[3] = 0, 0, 0, 0
-		return
-	}
-	var s0, s1, s2, s3 float64
-	k := lo
-	if length >= ScalarThreshold && length >= unrollLen {
-		// Long path: two k-steps per iteration, 8 independent chains.
-		var a0, a1, a2, a3, b0, b1, b2, b3 float64
-		for ; k+2 <= hi; k += 2 {
-			v0, c0 := val[k], col[k]
-			v1, c1 := val[k+1], col[k+1]
-			a0 += v0 * x0[c0]
-			a1 += v0 * x1[c0]
-			a2 += v0 * x2[c0]
-			a3 += v0 * x3[c0]
-			b0 += v1 * x0[c1]
-			b1 += v1 * x1[c1]
-			b2 += v1 * x2[c1]
-			b3 += v1 * x3[c1]
-		}
-		s0, s1, s2, s3 = a0+b0, a1+b1, a2+b2, a3+b3
-	}
-	for ; k < hi; k++ {
-		a, c := val[k], col[k]
-		s0 += a * x0[c]
-		s1 += a * x1[c]
-		s2 += a * x2[c]
-		s3 += a * x3[c]
-	}
-	sums[0], sums[1], sums[2], sums[3] = s0, s1, s2, s3
-}
-
-// DotRangeBlock8 computes sums[j] = sum(val[k]*X[j][col[k]]) for k in
-// [lo, hi) and j in 0..7, walking the index stream once. Eight vectors
-// already saturate the FMA ports of one k-step (the 8-wide shape DotRange
-// reaches by unrolling k); fragments past the unroll threshold share each
-// pair of loaded (value, column) operands across two k-steps to halve the
-// loop overhead.
-func DotRangeBlock8(val []float64, col []int, X [][]float64, sums []float64, lo, hi, unrollLen int) {
-	x0, x1, x2, x3 := X[0], X[1], X[2], X[3]
-	x4, x5, x6, x7 := X[4], X[5], X[6], X[7]
-	length := hi - lo
-	if length <= 0 {
-		for j := 0; j < 8; j++ {
+		for j := 0; j < w; j++ {
 			sums[j] = 0
 		}
 		return
 	}
-	var s0, s1, s2, s3, s4, s5, s6, s7 float64
-	k := lo
-	if length >= ScalarThreshold && length >= unrollLen {
-		for ; k+2 <= hi; k += 2 {
-			v0, c0 := val[k], col[k]
-			v1, c1 := val[k+1], col[k+1]
-			s0 += v0*x0[c0] + v1*x0[c1]
-			s1 += v0*x1[c0] + v1*x1[c1]
-			s2 += v0*x2[c0] + v1*x2[c1]
-			s3 += v0*x3[c0] + v1*x3[c1]
-			s4 += v0*x4[c0] + v1*x4[c1]
-			s5 += v0*x5[c0] + v1*x5[c1]
-			s6 += v0*x6[c0] + v1*x6[c1]
-			s7 += v0*x7[c0] + v1*x7[c1]
+	if length < ScalarThreshold {
+		// Scalar path: a single sequential chain per vector, exactly
+		// DotRange's short-row loop.
+		for j := 0; j < w; j++ {
+			x := X[j]
+			sum := 0.0
+			for k := lo; k < hi; k++ {
+				sum += val[k] * x[col[k]]
+			}
+			sums[j] = sum
+		}
+		return
+	}
+	if length < unrollLen {
+		dotBlock4(val, col, X, sums, lo, hi, w)
+		return
+	}
+	dotBlock8(val, col, X, sums, lo, hi, w)
+}
+
+// dotBlock4 mirrors dot4: four accumulator chains per vector (chain i
+// takes the nonzeros at positions lo+i, lo+i+4, ...), the (a0+a2)+(a1+a3)
+// reduction, then the sequential remainder. Chain values are carried
+// across tiles in acc, which preserves each chain's strictly sequential
+// accumulation order.
+func dotBlock4(val []float64, col []int, X [][]float64, sums []float64, lo, hi, w int) {
+	var acc [MaxBlock][4]float64
+	k4 := lo + (hi-lo)&^3
+	for kt := lo; kt < k4; kt += blockTile {
+		kend := kt + blockTile
+		if kend > k4 {
+			kend = k4
+		}
+		for j := 0; j < w; j++ {
+			x := X[j]
+			a0, a1, a2, a3 := acc[j][0], acc[j][1], acc[j][2], acc[j][3]
+			for k := kt; k < kend; k += 4 {
+				a0 += val[k] * x[col[k]]
+				a1 += val[k+1] * x[col[k+1]]
+				a2 += val[k+2] * x[col[k+2]]
+				a3 += val[k+3] * x[col[k+3]]
+			}
+			acc[j][0], acc[j][1], acc[j][2], acc[j][3] = a0, a1, a2, a3
 		}
 	}
-	for ; k < hi; k++ {
-		a, c := val[k], col[k]
-		s0 += a * x0[c]
-		s1 += a * x1[c]
-		s2 += a * x2[c]
-		s3 += a * x3[c]
-		s4 += a * x4[c]
-		s5 += a * x5[c]
-		s6 += a * x6[c]
-		s7 += a * x7[c]
+	for j := 0; j < w; j++ {
+		a := &acc[j]
+		x := X[j]
+		sum := (a[0] + a[2]) + (a[1] + a[3])
+		for k := k4; k < hi; k++ {
+			sum += val[k] * x[col[k]]
+		}
+		sums[j] = sum
 	}
-	sums[0], sums[1], sums[2], sums[3] = s0, s1, s2, s3
-	sums[4], sums[5], sums[6], sums[7] = s4, s5, s6, s7
+}
+
+// dotBlock8 mirrors dot8: eight accumulator chains per vector, the
+// ((a0+a2)+(a1+a3))+((b0+b2)+(b1+b3)) reduction, then the sequential
+// remainder, with chain values carried across tiles as in dotBlock4.
+func dotBlock8(val []float64, col []int, X [][]float64, sums []float64, lo, hi, w int) {
+	var acc [MaxBlock][8]float64
+	k8 := lo + (hi-lo)&^7
+	for kt := lo; kt < k8; kt += blockTile {
+		kend := kt + blockTile
+		if kend > k8 {
+			kend = k8
+		}
+		for j := 0; j < w; j++ {
+			x := X[j]
+			a := &acc[j]
+			a0, a1, a2, a3 := a[0], a[1], a[2], a[3]
+			b0, b1, b2, b3 := a[4], a[5], a[6], a[7]
+			for k := kt; k < kend; k += 8 {
+				a0 += val[k] * x[col[k]]
+				a1 += val[k+1] * x[col[k+1]]
+				a2 += val[k+2] * x[col[k+2]]
+				a3 += val[k+3] * x[col[k+3]]
+				b0 += val[k+4] * x[col[k+4]]
+				b1 += val[k+5] * x[col[k+5]]
+				b2 += val[k+6] * x[col[k+6]]
+				b3 += val[k+7] * x[col[k+7]]
+			}
+			a[0], a[1], a[2], a[3] = a0, a1, a2, a3
+			a[4], a[5], a[6], a[7] = b0, b1, b2, b3
+		}
+	}
+	for j := 0; j < w; j++ {
+		a := &acc[j]
+		x := X[j]
+		sum := ((a[0] + a[2]) + (a[1] + a[3])) + ((a[4] + a[6]) + (a[5] + a[7]))
+		for k := k8; k < hi; k++ {
+			sum += val[k] * x[col[k]]
+		}
+		sums[j] = sum
+	}
 }

@@ -1,0 +1,317 @@
+// Package server is the HASpMV serving subsystem: an HTTP/JSON SpMV
+// service whose core is a per-matrix dynamic batcher. Concurrent
+// Multiply requests against the same prepared matrix are coalesced into
+// one fused ComputeBatch call using a size/time window — flush as soon
+// as kernel.MaxBlock requests are waiting, or after a short configurable
+// linger otherwise — so the matrix's value and column streams are walked
+// once for the whole batch instead of once per request.
+//
+// Coalescing is transparent: ComputeBatch is bit-exact with respect to
+// Compute (see internal/core/batch.go), so a response carries exactly
+// the float64 bits a solo Multiply would have produced regardless of how
+// many neighbours it shared a batch with.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"haspmv/internal/exec"
+	"haspmv/internal/kernel"
+	"haspmv/internal/telemetry"
+)
+
+// Serving telemetry. All metrics self-gate on the telemetry enabled
+// flag, so the disabled cost is one atomic load per event.
+var (
+	cServeRequests  = telemetry.NewCounter("serve_requests")
+	cServeCoalesced = telemetry.NewCounter("serve_coalesced_requests")
+	cServeSolo      = telemetry.NewCounter("serve_solo_requests")
+	cServeFlushes   = telemetry.NewCounter("serve_flushes")
+	cServeShed      = telemetry.NewCounter("serve_shed")
+	cServeExpired   = telemetry.NewCounter("serve_expired")
+	gServeQueue     = telemetry.NewGauge("serve_queue_depth")
+	hServeOccupancy = telemetry.NewValueHistogram("serve_batch_occupancy")
+	hServeLatency   = telemetry.NewHistogram("serve_request")
+)
+
+// Batcher errors surfaced to callers of Submit. The HTTP layer maps
+// ErrQueueFull to 429 (with Retry-After) and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("server: request queue full")
+	ErrDraining  = errors.New("server: batcher draining")
+)
+
+// BatcherOptions tunes one matrix's coalescing window.
+type BatcherOptions struct {
+	// MaxBatch is the flush size: a batch is dispatched as soon as this
+	// many requests are waiting. Defaults to kernel.MaxBlock, the widest
+	// block the fused kernel serves in one pass over the index stream.
+	MaxBatch int
+	// Linger is how long the dispatcher holds an under-full batch open
+	// for more arrivals before flushing what it has. Zero flushes
+	// immediately (no coalescing window). Default 200µs.
+	Linger time.Duration
+	// QueueCap bounds the number of queued requests; Submit sheds with
+	// ErrQueueFull beyond it. Default 256.
+	QueueCap int
+}
+
+func (o BatcherOptions) withDefaults() BatcherOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = kernel.MaxBlock
+	}
+	if o.Linger < 0 {
+		o.Linger = 0
+	} else if o.Linger == 0 {
+		o.Linger = 200 * time.Microsecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	return o
+}
+
+// ExplicitZeroLinger is the sentinel for "no coalescing window at all":
+// BatcherOptions.Linger values below one nanosecond are impossible to
+// request through withDefaults (0 means "default"), so callers that want
+// a pure size-window batcher pass this.
+const ExplicitZeroLinger = -1 * time.Nanosecond
+
+// call is one queued Multiply request.
+type call struct {
+	ctx  context.Context
+	x, y []float64
+	enq  time.Time
+	nv   int   // batch width the call was served in, set before done closes
+	err  error // terminal error (context error), set before done closes
+	done chan struct{}
+}
+
+// BatcherStats is a snapshot of one batcher's lifetime counters, used by
+// the /v1/matrices endpoint and the closed-loop load generator.
+type BatcherStats struct {
+	Requests  int64 // calls accepted into the queue
+	Flushes   int64 // batches dispatched (including width-1)
+	Coalesced int64 // requests served in a batch of width >= 2
+	Solo      int64 // requests served alone
+	Shed      int64 // calls rejected with ErrQueueFull
+	Expired   int64 // calls dropped because their context ended in queue
+}
+
+// MeanOccupancy is the average batch width over all flushes.
+func (s BatcherStats) MeanOccupancy() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Coalesced+s.Solo) / float64(s.Flushes)
+}
+
+// Batcher coalesces concurrent requests against one prepared matrix.
+// Submit blocks until the request's batch has been computed; a single
+// dispatcher goroutine owns the flush loop, so the executor only ever
+// sees one Compute/ComputeBatch call per matrix at a time.
+type Batcher struct {
+	prep exec.Prepared
+	opts BatcherOptions
+
+	mu       sync.Mutex
+	queue    []*call
+	draining bool
+
+	// wake carries at most one pending token; Submit and Close send
+	// without blocking, the dispatcher drains it when idle.
+	wake chan struct{}
+	done chan struct{}
+
+	// Lifetime counters, independent of the gated telemetry registry so
+	// the load generator can read occupancy with telemetry disabled.
+	requests, flushes, coalesced, solo, shed, expired atomic.Int64
+
+	// Dispatcher-owned scratch for gathering batch views.
+	xs, ys [][]float64
+}
+
+// NewBatcher starts the dispatcher goroutine for one prepared matrix.
+// Callers must Close the batcher to stop it.
+func NewBatcher(prep exec.Prepared, opts BatcherOptions) *Batcher {
+	b := &Batcher{
+		prep: prep,
+		opts: opts.withDefaults(),
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Stats snapshots the lifetime counters.
+func (b *Batcher) Stats() BatcherStats {
+	return BatcherStats{
+		Requests:  b.requests.Load(),
+		Flushes:   b.flushes.Load(),
+		Coalesced: b.coalesced.Load(),
+		Solo:      b.solo.Load(),
+		Shed:      b.shed.Load(),
+		Expired:   b.expired.Load(),
+	}
+}
+
+// Submit enqueues y = A*x and blocks until the dispatcher has served the
+// request (or dropped it because ctx ended while it was still queued).
+// On success it returns the width of the batch the request was computed
+// in; y then holds exactly the bits a solo Compute would have produced.
+// Submit never returns while the dispatcher might still write to y, so
+// callers may reuse their buffers immediately.
+func (b *Batcher) Submit(ctx context.Context, y, x []float64) (nv int, err error) {
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		return 0, ErrDraining
+	}
+	if len(b.queue) >= b.opts.QueueCap {
+		b.mu.Unlock()
+		b.shed.Add(1)
+		cServeShed.Add(1)
+		return 0, ErrQueueFull
+	}
+	c := &call{ctx: ctx, x: x, y: y, enq: time.Now(), done: make(chan struct{})}
+	b.queue = append(b.queue, c)
+	depth := len(b.queue)
+	b.mu.Unlock()
+
+	b.requests.Add(1)
+	cServeRequests.Add(1)
+	gServeQueue.Set(int64(depth))
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+
+	// The dispatcher closes done for every call it dequeues, including
+	// expired ones, and Close drains the queue before the dispatcher
+	// exits — so this wait always terminates, bounded by the time to
+	// flush everything ahead of the call.
+	<-c.done
+	return c.nv, c.err
+}
+
+// Close stops accepting new requests, lets the dispatcher flush
+// everything already queued, and blocks until it has exited. Safe to
+// call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+	<-b.done
+}
+
+// loop is the dispatcher: wait for work, hold the linger window open
+// while the batch is under-full, then flush up to MaxBatch requests in
+// one fused call.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	var batch []*call
+	for {
+		b.mu.Lock()
+		for len(b.queue) == 0 {
+			if b.draining {
+				b.mu.Unlock()
+				return
+			}
+			b.mu.Unlock()
+			<-b.wake
+			b.mu.Lock()
+		}
+		if len(b.queue) < b.opts.MaxBatch && !b.draining && b.opts.Linger > 0 {
+			b.mu.Unlock()
+			b.linger()
+			b.mu.Lock()
+		}
+		n := len(b.queue)
+		if n > b.opts.MaxBatch {
+			n = b.opts.MaxBatch
+		}
+		batch = append(batch[:0], b.queue[:n]...)
+		rest := copy(b.queue, b.queue[n:])
+		for i := rest; i < len(b.queue); i++ {
+			b.queue[i] = nil
+		}
+		b.queue = b.queue[:rest]
+		gServeQueue.Set(int64(rest))
+		b.mu.Unlock()
+		b.execute(batch)
+	}
+}
+
+// linger holds the coalescing window open: it returns when the window
+// expires, the batch fills, or the batcher starts draining.
+func (b *Batcher) linger() {
+	t := time.NewTimer(b.opts.Linger)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			return
+		case <-b.wake:
+			b.mu.Lock()
+			full := len(b.queue) >= b.opts.MaxBatch || b.draining
+			b.mu.Unlock()
+			if full {
+				return
+			}
+		}
+	}
+}
+
+// execute drops expired calls, serves the survivors with one fused call
+// (or a plain Compute for a lone request), and releases every waiter.
+func (b *Batcher) execute(batch []*call) {
+	live := batch[:0]
+	for _, c := range batch {
+		if err := c.ctx.Err(); err != nil {
+			c.err = err
+			b.expired.Add(1)
+			cServeExpired.Add(1)
+			close(c.done)
+			continue
+		}
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+	nv := len(live)
+	b.flushes.Add(1)
+	cServeFlushes.Add(1)
+	hServeOccupancy.Observe(int64(nv))
+	if nv == 1 {
+		b.solo.Add(1)
+		cServeSolo.Add(1)
+		b.prep.Compute(live[0].y, live[0].x)
+	} else {
+		b.coalesced.Add(int64(nv))
+		cServeCoalesced.Add(int64(nv))
+		X := b.xs[:0]
+		Y := b.ys[:0]
+		for _, c := range live {
+			X = append(X, c.x)
+			Y = append(Y, c.y)
+		}
+		b.xs, b.ys = X[:0], Y[:0]
+		exec.ComputeBatch(b.prep, Y, X)
+	}
+	now := time.Now()
+	for _, c := range live {
+		c.nv = nv
+		hServeLatency.Observe(now.Sub(c.enq))
+		close(c.done)
+	}
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
+)
+
+var (
+	cServePrepares  = telemetry.NewCounter("serve_prepares")
+	cServeEvictions = telemetry.NewCounter("serve_cache_evictions")
+	gServeCached    = telemetry.NewGauge("serve_cached_matrices")
+)
+
+// Registry errors. The HTTP layer maps ErrUnknownMatrix to 404 and
+// ErrMatrixTooLarge to 413.
+var (
+	ErrUnknownMatrix  = errors.New("server: unknown matrix")
+	ErrMatrixTooLarge = errors.New("server: matrix too large")
+)
+
+// MatrixSource materializes a matrix for a registry key. The default
+// source generates one of the Table II representative matrices at the
+// requested scale divisor.
+type MatrixSource func(name string, scale int) (*sparse.CSR, error)
+
+// DefaultSource builds the representative-matrix source with an nnz
+// budget: requests whose published size divided by scale exceeds maxNNZ
+// are rejected with ErrMatrixTooLarge before any generation work.
+func DefaultSource(maxNNZ int) MatrixSource {
+	return func(name string, scale int) (*sparse.CSR, error) {
+		ri, ok := gen.RepresentativeInfo(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownMatrix, name)
+		}
+		if maxNNZ > 0 && ri.PaperNNZ/scale > maxNNZ {
+			return nil, fmt.Errorf("%w: %s@%d has ~%d nonzeros, limit %d",
+				ErrMatrixTooLarge, name, scale, ri.PaperNNZ/scale, maxNNZ)
+		}
+		return gen.Representative(name, scale), nil
+	}
+}
+
+// RegistryOptions configures the prepared-matrix cache.
+type RegistryOptions struct {
+	// MaxEntries bounds how many prepared matrices stay resident; the
+	// least recently used entry is evicted beyond it. Default 8.
+	MaxEntries int
+	// Batcher is applied to every entry's dynamic batcher.
+	Batcher BatcherOptions
+	// Source materializes matrices; defaults to DefaultSource(64M nnz).
+	Source MatrixSource
+}
+
+func (o RegistryOptions) withDefaults() RegistryOptions {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = 8
+	}
+	if o.Source == nil {
+		o.Source = DefaultSource(64 << 20)
+	}
+	return o
+}
+
+// Entry is one resident matrix: the prepared handle, its dynamic
+// batcher, and enough shape information for the HTTP layer.
+type Entry struct {
+	Key        string
+	Name       string
+	Scale      int
+	Rows, Cols int
+	NNZ        int
+	PrepareMs  float64
+	Batcher    *Batcher
+	Prep       exec.Prepared
+
+	ready    chan struct{}
+	err      error
+	lastUsed int64
+}
+
+// Registry caches prepared matrices behind an LRU with single-flight
+// deduplication: concurrent requests for the same key share one
+// generate+Prepare, and a failed build is forgotten so the next request
+// retries instead of serving a cached error.
+type Registry struct {
+	machine *amp.Machine
+	alg     exec.Algorithm
+	opts    RegistryOptions
+
+	mu      sync.Mutex
+	seq     int64
+	closed  bool
+	entries map[string]*Entry
+}
+
+// NewRegistry builds an empty registry serving matrices prepared by alg
+// for the given machine model.
+func NewRegistry(m *amp.Machine, alg exec.Algorithm, opts RegistryOptions) *Registry {
+	return &Registry{
+		machine: m,
+		alg:     alg,
+		opts:    opts.withDefaults(),
+		entries: make(map[string]*Entry),
+	}
+}
+
+// Key is the registry's cache key format.
+func Key(name string, scale int) string { return fmt.Sprintf("%s@%d", name, scale) }
+
+// Get returns the resident entry for (name, scale), building it if
+// necessary. Exactly one caller runs the build; the rest wait on it (or
+// give up when ctx ends — the build itself continues and is cached).
+func (r *Registry) Get(ctx context.Context, name string, scale int) (*Entry, error) {
+	key := Key(name, scale)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if e, ok := r.entries[key]; ok {
+		r.seq++
+		e.lastUsed = r.seq
+		r.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e, nil
+	}
+	e := &Entry{Key: key, Name: name, Scale: scale, ready: make(chan struct{})}
+	r.seq++
+	e.lastUsed = r.seq
+	r.entries[key] = e
+	evict := r.evictLockedOver(r.opts.MaxEntries)
+	gServeCached.Set(int64(len(r.entries)))
+	r.mu.Unlock()
+	for _, old := range evict {
+		// Drain evicted batchers off the request path; in-flight Submits
+		// finish, later ones see ErrDraining and retry via a fresh Get.
+		go old.Batcher.Close()
+		cServeEvictions.Add(1)
+	}
+
+	mat, err := r.opts.Source(name, scale)
+	var prep exec.Prepared
+	var prepMs float64
+	if err == nil {
+		t0 := time.Now()
+		prep, err = r.alg.Prepare(r.machine, mat)
+		prepMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	}
+	if err != nil {
+		e.err = err
+		r.mu.Lock()
+		delete(r.entries, key)
+		gServeCached.Set(int64(len(r.entries)))
+		r.mu.Unlock()
+		close(e.ready)
+		return nil, err
+	}
+	e.Rows, e.Cols, e.NNZ = mat.Rows, mat.Cols, mat.NNZ()
+	e.PrepareMs = prepMs
+	e.Prep = prep
+	r.mu.Lock()
+	if r.closed {
+		// The registry shut down while we were building: don't start a
+		// batcher nobody will drain.
+		delete(r.entries, key)
+		r.mu.Unlock()
+		e.err = ErrDraining
+		close(e.ready)
+		return nil, ErrDraining
+	}
+	e.Batcher = NewBatcher(prep, r.opts.Batcher)
+	r.mu.Unlock()
+	cServePrepares.Add(1)
+	close(e.ready)
+	return e, nil
+}
+
+// evictLockedOver removes least-recently-used *ready* entries until at
+// most limit remain, returning the removed entries for the caller to
+// drain outside the lock. Entries still being built are never evicted.
+func (r *Registry) evictLockedOver(limit int) []*Entry {
+	var out []*Entry
+	for len(r.entries) > limit {
+		var victim *Entry
+		for _, e := range r.entries {
+			select {
+			case <-e.ready:
+			default:
+				continue // still building
+			}
+			if e.err != nil || e.Batcher == nil {
+				continue
+			}
+			if victim == nil || e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return out
+		}
+		delete(r.entries, victim.Key)
+		out = append(out, victim)
+	}
+	return out
+}
+
+// Entries snapshots the resident entries (ready ones only), sorted by
+// key for deterministic listings.
+func (r *Registry) Entries() []*Entry {
+	r.mu.Lock()
+	var out []*Entry
+	for _, e := range r.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, e)
+			}
+		default:
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Close drains every resident batcher, blocking until all dispatchers
+// have exited. The registry must not be used afterwards.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	var all []*Entry
+	for _, e := range r.entries {
+		all = append(all, e)
+	}
+	r.entries = make(map[string]*Entry)
+	gServeCached.Set(0)
+	r.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, e := range all {
+		select {
+		case <-e.ready:
+		default:
+			continue // build in flight; its Get sees closed and never starts a batcher
+		}
+		if e.Batcher == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(b *Batcher) {
+			defer wg.Done()
+			b.Close()
+		}(e.Batcher)
+	}
+	wg.Wait()
+}

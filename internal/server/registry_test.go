@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/core"
+	"haspmv/internal/sparse"
+)
+
+// diagCSR builds an n-by-n diagonal matrix, the cheapest possible
+// registry payload.
+func diagCSR(t testing.TB, n int) *sparse.CSR {
+	t.Helper()
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, n)
+	val := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] = i + 1
+		colIdx[i] = i
+		val[i] = float64(i + 1)
+	}
+	a, err := sparse.NewCSR(n, n, rowPtr, colIdx, val)
+	if err != nil {
+		t.Fatalf("NewCSR: %v", err)
+	}
+	return a
+}
+
+// countingSource counts how many times each key is materialized and can
+// fail the first N builds of a key.
+type countingSource struct {
+	mu       sync.Mutex
+	builds   map[string]int
+	failures map[string]int
+	size     int
+}
+
+func (s *countingSource) source(t testing.TB) MatrixSource {
+	return func(name string, scale int) (*sparse.CSR, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.builds == nil {
+			s.builds = make(map[string]int)
+		}
+		key := Key(name, scale)
+		s.builds[key]++
+		if s.failures[key] > 0 {
+			s.failures[key]--
+			return nil, errors.New("injected build failure")
+		}
+		return diagCSR(t, s.size), nil
+	}
+}
+
+func (s *countingSource) count(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builds[key]
+}
+
+func newTestRegistry(t testing.TB, src MatrixSource, maxEntries int) *Registry {
+	t.Helper()
+	r := NewRegistry(amp.IntelI912900KF(), core.New(core.Options{}), RegistryOptions{
+		MaxEntries: maxEntries,
+		Source:     src,
+		Batcher:    BatcherOptions{Linger: ExplicitZeroLinger},
+	})
+	t.Cleanup(r.Close)
+	return r
+}
+
+// TestRegistrySingleFlight: concurrent Gets for one key share a single
+// generate+Prepare.
+func TestRegistrySingleFlight(t *testing.T) {
+	src := &countingSource{size: 64}
+	r := newTestRegistry(t, src.source(t), 8)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var failed atomic.Int32
+	entries := make([]*Entry, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := r.Get(context.Background(), "consph", 16)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d concurrent Gets failed", failed.Load())
+	}
+	if n := src.count(Key("consph", 16)); n != 1 {
+		t.Fatalf("matrix built %d times under concurrent Get, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("caller %d got a different entry", i)
+		}
+	}
+}
+
+// TestRegistryErrorNotCached: a failed build is forgotten, so the next
+// Get retries and can succeed.
+func TestRegistryErrorNotCached(t *testing.T) {
+	src := &countingSource{size: 64, failures: map[string]int{Key("cant", 16): 1}}
+	r := newTestRegistry(t, src.source(t), 8)
+
+	if _, err := r.Get(context.Background(), "cant", 16); err == nil {
+		t.Fatal("first Get: expected injected failure")
+	}
+	e, err := r.Get(context.Background(), "cant", 16)
+	if err != nil {
+		t.Fatalf("second Get should retry and succeed: %v", err)
+	}
+	if e.Rows != 64 {
+		t.Fatalf("entry rows = %d, want 64", e.Rows)
+	}
+	if n := src.count(Key("cant", 16)); n != 2 {
+		t.Fatalf("build count = %d, want 2 (one failure, one retry)", n)
+	}
+}
+
+// TestRegistryLRUEviction: beyond MaxEntries the least recently used
+// entry is evicted and its batcher drained; re-requesting it rebuilds.
+func TestRegistryLRUEviction(t *testing.T) {
+	src := &countingSource{size: 64}
+	r := newTestRegistry(t, src.source(t), 2)
+	ctx := context.Background()
+
+	a, err := r.Get(ctx, "consph", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(ctx, "cant", 16); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "consph" so "cant" is the LRU victim when a third key
+	// arrives, and check the cache hit returns the same entry.
+	a2, err := r.Get(ctx, "consph", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Fatal("cache hit rebuilt the entry")
+	}
+	if _, err := r.Get(ctx, "rma10", 16); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := map[string]bool{}
+	for _, e := range r.Entries() {
+		keys[e.Key] = true
+	}
+	if len(keys) != 2 || !keys[Key("consph", 16)] || !keys[Key("rma10", 16)] {
+		t.Fatalf("resident after eviction: %v, want {consph@16, rma10@16}", keys)
+	}
+
+	// The evicted key rebuilds on demand (evicting the now-LRU consph).
+	if _, err := r.Get(ctx, "cant", 16); err != nil {
+		t.Fatalf("re-Get of evicted key: %v", err)
+	}
+	if n := src.count(Key("cant", 16)); n != 2 {
+		t.Fatalf("evicted key built %d times, want 2", n)
+	}
+	keys = map[string]bool{}
+	for _, e := range r.Entries() {
+		keys[e.Key] = true
+	}
+	if len(keys) != 2 || !keys[Key("cant", 16)] || !keys[Key("rma10", 16)] {
+		t.Fatalf("resident after re-Get: %v, want {cant@16, rma10@16}", keys)
+	}
+}
+
+// TestRegistryUnknownAndTooLarge covers the default source's rejection
+// paths.
+func TestRegistryUnknownAndTooLarge(t *testing.T) {
+	r := NewRegistry(amp.IntelI912900KF(), core.New(core.Options{}), RegistryOptions{
+		Source: DefaultSource(1000),
+	})
+	t.Cleanup(r.Close)
+
+	if _, err := r.Get(context.Background(), "no-such-matrix", 16); !errors.Is(err, ErrUnknownMatrix) {
+		t.Fatalf("unknown name: err = %v, want ErrUnknownMatrix", err)
+	}
+	if _, err := r.Get(context.Background(), "circuit5M", 1); !errors.Is(err, ErrMatrixTooLarge) {
+		t.Fatalf("oversized matrix: err = %v, want ErrMatrixTooLarge", err)
+	}
+}

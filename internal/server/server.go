@@ -1,0 +1,309 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+)
+
+// Config assembles a serving stack.
+type Config struct {
+	// Machine is the AMP model matrices are prepared for. Required.
+	Machine *amp.Machine
+	// Algorithm prepares matrices; required (cmd/haspmv-serve passes
+	// core.New, the HASpMV algorithm).
+	Algorithm exec.Algorithm
+	// Registry tunes the prepared-matrix cache and per-matrix batchers.
+	Registry RegistryOptions
+	// DefaultScale is used when a request omits "scale". Default 16, the
+	// test-friendly divisor used across the harness.
+	DefaultScale int
+	// DefaultTimeout bounds requests that carry no timeout_ms. Default 2s.
+	DefaultTimeout time.Duration
+	// RetryAfter is the hint returned with 429/503 responses, in seconds.
+	// Default 1.
+	RetryAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultScale <= 0 {
+		c.DefaultScale = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 1
+	}
+	return c
+}
+
+// Server is the HTTP/JSON SpMV service:
+//
+//	POST /v1/multiply   {"matrix","scale","x","timeout_ms"} -> {"y",...}
+//	GET  /v1/matrices   resident prepared matrices and batcher stats
+//	GET  /healthz       200 serving / 503 draining
+//
+// Requests for the same matrix are coalesced by the per-matrix Batcher;
+// overload is shed with 429 + Retry-After, and Drain stops intake before
+// flushing in-flight work for a graceful shutdown.
+type Server struct {
+	cfg Config
+	reg *Registry
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Server. It panics if Machine or Algorithm is missing
+// (wiring bug, not a runtime condition).
+func New(cfg Config) *Server {
+	if cfg.Machine == nil || cfg.Algorithm == nil {
+		panic("server: Config.Machine and Config.Algorithm are required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		reg: NewRegistry(cfg.Machine, cfg.Algorithm, cfg.Registry),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("/v1/matrices", s.handleMatrices)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Mux returns the server's mux so callers can mount extra handlers
+// (cmd/haspmv-serve adds telemetry.RegisterHandlers) before listening.
+func (s *Server) Mux() *http.ServeMux { return s.mux }
+
+// ServeHTTP implements http.Handler, tracking in-flight requests so
+// Drain can wait for them.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		// /healthz stays reachable so load balancers see the drain.
+		if r.URL.Path == "/healthz" {
+			s.handleHealthz(w, r)
+			return
+		}
+		s.reject(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Preload builds registry entries ahead of traffic (the -preload flag).
+func (s *Server) Preload(ctx context.Context, name string, scale int) error {
+	if scale <= 0 {
+		scale = s.cfg.DefaultScale
+	}
+	_, err := s.reg.Get(ctx, name, scale)
+	return err
+}
+
+// Drain performs a graceful shutdown: stop accepting requests, wait for
+// in-flight handlers, then flush and stop every batcher. It returns
+// ctx's error if the deadline expires first (batcher queues are bounded,
+// so the flush itself terminates).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		s.reg.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+type multiplyRequest struct {
+	Matrix    string    `json:"matrix"`
+	Scale     int       `json:"scale"`
+	X         []float64 `json:"x"`
+	TimeoutMs int       `json:"timeout_ms"`
+}
+
+type multiplyResponse struct {
+	Matrix  string    `json:"matrix"`
+	Scale   int       `json:"scale"`
+	Rows    int       `json:"rows"`
+	Cols    int       `json:"cols"`
+	BatchNV int       `json:"batch_nv"`
+	Y       []float64 `json:"y"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type matrixInfo struct {
+	Key       string  `json:"key"`
+	Matrix    string  `json:"matrix"`
+	Scale     int     `json:"scale"`
+	Rows      int     `json:"rows"`
+	Cols      int     `json:"cols"`
+	NNZ       int     `json:"nnz"`
+	PrepareMs float64 `json:"prepare_ms"`
+	Requests  int64   `json:"requests"`
+	Flushes   int64   `json:"flushes"`
+	Coalesced int64   `json:"coalesced"`
+	Solo      int64   `json:"solo"`
+	Shed      int64   `json:"shed"`
+	Expired   int64   `json:"expired"`
+}
+
+type matricesResponse struct {
+	Known    []string     `json:"known"`
+	Resident []matrixInfo `json:"resident"`
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	// A scale-1 circuit5M x vector is ~45MB of JSON floats; 256MB leaves
+	// headroom while still bounding a hostile body.
+	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
+	var req multiplyRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.reject(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Matrix == "" {
+		s.reject(w, http.StatusBadRequest, `missing "matrix"`)
+		return
+	}
+	if req.Scale < 0 {
+		s.reject(w, http.StatusBadRequest, `"scale" must be >= 1`)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = s.cfg.DefaultScale
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	e, err := s.reg.Get(ctx, req.Matrix, req.Scale)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownMatrix):
+			s.reject(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrMatrixTooLarge):
+			s.reject(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, ErrDraining):
+			s.reject(w, http.StatusServiceUnavailable, "draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reject(w, http.StatusGatewayTimeout, "deadline expired while preparing matrix")
+		case errors.Is(err, context.Canceled):
+			// Client went away; nothing useful to write.
+		default:
+			s.reject(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	if len(req.X) != e.Cols {
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("x has length %d, %s needs %d", len(req.X), e.Key, e.Cols))
+		return
+	}
+
+	y := make([]float64, e.Rows)
+	nv, err := e.Batcher.Submit(ctx, y, req.X)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.reject(w, http.StatusTooManyRequests, "queue full, retry later")
+		case errors.Is(err, ErrDraining):
+			s.reject(w, http.StatusServiceUnavailable, "draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.reject(w, http.StatusGatewayTimeout, "deadline expired in queue")
+		case errors.Is(err, context.Canceled):
+			// Client went away.
+		default:
+			s.reject(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(multiplyResponse{
+		Matrix: req.Matrix, Scale: req.Scale,
+		Rows: e.Rows, Cols: e.Cols, BatchNV: nv, Y: y,
+	})
+}
+
+func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := matricesResponse{Known: gen.RepresentativeNames(), Resident: []matrixInfo{}}
+	for _, e := range s.reg.Entries() {
+		st := e.Batcher.Stats()
+		resp.Resident = append(resp.Resident, matrixInfo{
+			Key: e.Key, Matrix: e.Name, Scale: e.Scale,
+			Rows: e.Rows, Cols: e.Cols, NNZ: e.NNZ, PrepareMs: e.PrepareMs,
+			Requests: st.Requests, Flushes: st.Flushes,
+			Coalesced: st.Coalesced, Solo: st.Solo,
+			Shed: st.Shed, Expired: st.Expired,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}

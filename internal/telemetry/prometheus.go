@@ -28,7 +28,7 @@ const namespace = "haspmv_"
 // the /metrics endpoint and is deterministic: metrics appear in sorted
 // name order.
 func WritePrometheus(w io.Writer) error {
-	counters, gauges, hists := registryLists()
+	counters, gauges, hists, valueHists := registryLists()
 
 	for _, c := range counters {
 		name := namespace + c.Name() + "_total"
@@ -44,6 +44,11 @@ func WritePrometheus(w io.Writer) error {
 	}
 	for _, h := range hists {
 		if err := writeHistogram(w, h); err != nil {
+			return err
+		}
+	}
+	for _, h := range valueHists {
+		if err := writeValueHistogram(w, h); err != nil {
 			return err
 		}
 	}
@@ -125,6 +130,30 @@ func writeHistogram(w io.Writer, h *Histogram) error {
 		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
 	}
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.SumSeconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return nil
+}
+
+func writeValueHistogram(w io.Writer, h *ValueHistogram) error {
+	name := namespace + h.Name()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for b := 0; b <= valueHistBuckets; b++ {
+		cnt := h.buckets[b].Load()
+		cum += cnt
+		if cnt == 0 && b < valueHistBuckets {
+			continue
+		}
+		le := "+Inf"
+		if b < valueHistBuckets {
+			// bucket b holds values with bit-length b: upper bound 2^b - 1.
+			le = strconv.FormatInt(int64(1)<<uint(b)-1, 10)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum())
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 	return nil
 }

@@ -22,16 +22,11 @@ type Server struct {
 	ln  net.Listener
 }
 
-// Serve starts a telemetry server on addr (":0" picks an ephemeral port).
-// The listener is bound synchronously — a non-nil return means /metrics
-// is live — and requests are served on a background goroutine until
-// Close.
-func Serve(addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
+// RegisterHandlers mounts the telemetry endpoints (/metrics, /debug/vars
+// and /debug/pprof) on an existing mux, so servers that already own an
+// HTTP listener — cmd/haspmv-serve — expose observability next to their
+// API without a second port.
+func RegisterHandlers(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w)
@@ -42,6 +37,19 @@ func Serve(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Serve starts a telemetry server on addr (":0" picks an ephemeral port).
+// The listener is bound synchronously — a non-nil return means /metrics
+// is live — and requests are served on a background goroutine until
+// Close.
+func Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	RegisterHandlers(mux)
 	s := &Server{
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:  ln,

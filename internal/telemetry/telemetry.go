@@ -165,11 +165,66 @@ func (h *Histogram) SumSeconds() float64 { return float64(h.sumNs.Load()) / 1e9 
 // Name returns the registered name.
 func (h *Histogram) Name() string { return h.name }
 
+// valueHistBuckets is the number of power-of-two value buckets; bucket k
+// holds observations with bit-length k (≈ [2^(k-1), 2^k)), covering 0 to
+// ~4 billion and a +Inf tail — plenty for batch occupancies, queue depths
+// and byte sizes.
+const valueHistBuckets = 32
+
+// ValueHistogram accumulates unitless integer observations (batch
+// occupancy, queue depth at enqueue, payload sizes) into power-of-two
+// buckets. Observe is lock-free and a no-op while telemetry is disabled.
+type ValueHistogram struct {
+	name    string
+	buckets [valueHistBuckets + 1]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value when telemetry is enabled.
+func (h *ValueHistogram) Observe(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	for w := v; w > 0; w >>= 1 {
+		b++
+	}
+	if b > valueHistBuckets {
+		b = valueHistBuckets
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *ValueHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *ValueHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 before any observation).
+func (h *ValueHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Name returns the registered name.
+func (h *ValueHistogram) Name() string { return h.name }
+
 var registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	valueHists map[string]*ValueHistogram
 }
 
 // NewCounter registers (or returns the existing) counter with the given
@@ -220,6 +275,22 @@ func NewHistogram(name string) *Histogram {
 	return h
 }
 
+// NewValueHistogram registers (or returns the existing) unitless integer
+// histogram with the given name.
+func NewValueHistogram(name string) *ValueHistogram {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.valueHists == nil {
+		registry.valueHists = make(map[string]*ValueHistogram)
+	}
+	if h, ok := registry.valueHists[name]; ok {
+		return h
+	}
+	h := &ValueHistogram{name: name}
+	registry.valueHists[name] = h
+	return h
+}
+
 func counterSnapshot() map[string]int64 {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
@@ -240,7 +311,7 @@ func gaugeSnapshot() map[string]int64 {
 	return out
 }
 
-func registryLists() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
+func registryLists() (cs []*Counter, gs []*Gauge, hs []*Histogram, vs []*ValueHistogram) {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
 	for _, c := range registry.counters {
@@ -252,10 +323,14 @@ func registryLists() (cs []*Counter, gs []*Gauge, hs []*Histogram) {
 	for _, h := range registry.histograms {
 		hs = append(hs, h)
 	}
+	for _, v := range registry.valueHists {
+		vs = append(vs, v)
+	}
 	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
 	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
 	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
-	return cs, gs, hs
+	sort.Slice(vs, func(i, j int) bool { return vs[i].name < vs[j].name })
+	return cs, gs, hs, vs
 }
 
 // ---------------------------------------------------------------- collector

@@ -275,3 +275,80 @@ func TestConcurrentUpdatesRace(t *testing.T) {
 		}
 	})
 }
+
+// ValueHistogram gates on the enabled flag like every other registry
+// metric, buckets by bit-length, and renders as a Prometheus histogram
+// with integer le bounds.
+func TestValueHistogram(t *testing.T) {
+	h1 := telemetry.NewValueHistogram("test_value_hist")
+	if h1 != telemetry.NewValueHistogram("test_value_hist") {
+		t.Fatal("NewValueHistogram returned distinct histograms for one name")
+	}
+	prev := telemetry.Activate(nil)
+	defer telemetry.Activate(prev)
+	h1.Observe(8)
+	if h1.Count() != 0 {
+		t.Fatal("disabled value histogram observed")
+	}
+	withCollector(t, func(*telemetry.Collector) {
+		for _, v := range []int64{0, 1, 2, 8, 8, 8, -3} {
+			h1.Observe(v)
+		}
+		if h1.Count() != 7 {
+			t.Fatalf("count %d, want 7", h1.Count())
+		}
+		if h1.Sum() != 27 { // -3 clamps to 0
+			t.Fatalf("sum %d, want 27", h1.Sum())
+		}
+		if m := h1.Mean(); m < 3.85 || m > 3.86 {
+			t.Fatalf("mean %v, want 27/7", m)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{
+			"# TYPE haspmv_test_value_hist histogram",
+			`haspmv_test_value_hist_bucket{le="+Inf"} 7`,
+			"haspmv_test_value_hist_sum 27",
+			"haspmv_test_value_hist_count 7",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("prometheus output missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+// RegisterHandlers mounts the same endpoints Serve binds, on a caller mux.
+func TestRegisterHandlersOnCallerMux(t *testing.T) {
+	withCollector(t, func(*telemetry.Collector) {
+		mux := http.NewServeMux()
+		telemetry.RegisterHandlers(mux)
+		for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/cmdline"} {
+			req, err := http.NewRequest("GET", "http://host"+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rw := &recordingWriter{header: make(http.Header)}
+			mux.ServeHTTP(rw, req)
+			if rw.status != 0 && rw.status != http.StatusOK {
+				t.Fatalf("%s: status %d", path, rw.status)
+			}
+			if rw.body.Len() == 0 {
+				t.Fatalf("%s: empty body", path)
+			}
+		}
+	})
+}
+
+type recordingWriter struct {
+	header http.Header
+	body   bytes.Buffer
+	status int
+}
+
+func (w *recordingWriter) Header() http.Header         { return w.header }
+func (w *recordingWriter) Write(p []byte) (int, error) { return w.body.Write(p) }
+func (w *recordingWriter) WriteHeader(code int)        { w.status = code }
