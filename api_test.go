@@ -3,6 +3,7 @@ package haspmv
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -314,6 +315,84 @@ func TestMultiplyBatchZeroAllocsWhenTelemetryDisabled(t *testing.T) {
 		if n := testing.AllocsPerRun(100, func() { h.MultiplyBatch(Y[:nv], X[:nv]) }); n != 0 {
 			t.Fatalf("MultiplyBatch nv=%d allocates %v times per op with telemetry disabled, want 0", nv, n)
 		}
+	}
+}
+
+// TestMultiplyZeroAllocsWithAdaptation extends the overhead guard to the
+// adaptive path: with a feedback loop attached, the between-epoch
+// Multiply cost is the always-on span accumulators (atomic adds inside
+// Compute) plus one mutex and counter in AfterMultiply — still zero heap
+// allocations. Only the epoch-boundary rebalance itself allocates (the
+// fresh regions slice), which a huge Every keeps out of the window.
+func TestMultiplyZeroAllocsWithAdaptation(t *testing.T) {
+	if TelemetryEnabled() {
+		t.Fatal("telemetry unexpectedly enabled at test start")
+	}
+	m := IntelI912900KF()
+	a := Representative("rma10", 32)
+	h, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.EnableAdaptation(AdapterOptions{Every: 1 << 30}); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	h.Multiply(y, x) // warm the scratch and the worker pool
+	if n := testing.AllocsPerRun(100, func() { h.Multiply(y, x) }); n != 0 {
+		t.Fatalf("Multiply allocates %v times per op with adaptation enabled, want 0", n)
+	}
+	st, ok := h.AdaptationStats()
+	if !ok {
+		t.Fatal("AdaptationStats: adapter missing after EnableAdaptation")
+	}
+	if st.Multiplies < 100 {
+		t.Fatalf("adapter observed %d multiplies, want >= 100", st.Multiplies)
+	}
+}
+
+// TestAdaptationRequiresHASpMV: baseline algorithms have no two-level
+// partition to move, so the adaptive surface must refuse them with
+// ErrNotAdaptive, and AdaptationStats must report no adapter.
+func TestAdaptationRequiresHASpMV(t *testing.T) {
+	m := IntelI912900KF()
+	a := Representative("rma10", 32)
+	h, err := AnalyzeBaseline("csr", PAndE, m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notAdaptive *ErrNotAdaptive
+	if err := h.EnableAdaptation(AdapterOptions{}); !errors.As(err, &notAdaptive) {
+		t.Fatalf("EnableAdaptation on csr: got %v, want ErrNotAdaptive", err)
+	}
+	if err := h.Repartition(RepartitionPlan{PProportion: 0.5}); !errors.As(err, &notAdaptive) {
+		t.Fatalf("Repartition on csr: got %v, want ErrNotAdaptive", err)
+	}
+	if _, ok := h.AdaptationStats(); ok {
+		t.Fatal("AdaptationStats reported an adapter on a baseline handle")
+	}
+
+	// The HASpMV handle accepts both, and DisableAdaptation detaches.
+	ha, err := Analyze(m, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ha.Repartition(RepartitionPlan{PProportion: 0.4}); err != nil {
+		t.Fatalf("Repartition on HASpMV: %v", err)
+	}
+	if err := ha.EnableAdaptation(AdapterOptions{}); err != nil {
+		t.Fatalf("EnableAdaptation on HASpMV: %v", err)
+	}
+	if _, ok := ha.AdaptationStats(); !ok {
+		t.Fatal("AdaptationStats missing after EnableAdaptation")
+	}
+	ha.DisableAdaptation()
+	if _, ok := ha.AdaptationStats(); ok {
+		t.Fatal("AdaptationStats still reports an adapter after DisableAdaptation")
 	}
 }
 

@@ -244,6 +244,55 @@ func BenchmarkPrepare(b *testing.B) {
 	}
 }
 
+// BenchmarkRepartition measures the boundary-only partition move that
+// online adaptation leans on: against BenchmarkPrepare/HASpMV-1M (the
+// full pipeline on the same matrix) it must stay orders of magnitude
+// cheaper — the committed bench baseline holds the ratio above 50x, and
+// cmd/benchdiff gates regressions on it.
+func BenchmarkRepartition(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	b.Run("webbase-1M", func(b *testing.B) {
+		big := haspmv.Representative("webbase-1M", 2)
+		prep, err := haspmvcore.New(haspmvcore.Options{}).Prepare(m, big)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hp := prep.(*haspmvcore.Prepared)
+		props := [2]float64{0.6, 0.75} // alternate so every call moves boundaries
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := hp.Repartition(haspmvcore.Plan{PProportion: props[i%2]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAdaptSweep runs the full miscalibration-recovery loop (static
+// plan from a wrong machine description, adapter fed by the simulator's
+// per-core times on the true machine) for benchstat comparisons; the
+// recovered fraction of the oracle throughput is reported as a metric.
+func BenchmarkAdaptSweep(b *testing.B) {
+	cfg := benchConfig()
+	m := amp.IntelI912900KF()
+	for _, tc := range []struct {
+		name    string
+		perturb float64
+	}{{"p05", 0.5}, {"p2", 2}, {"p4", 4}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var rec float64
+			for i := 0; i < b.N; i++ {
+				r, err := bench.AdaptSweep(cfg, m, "rma10", tc.perturb, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rec = r.Recovered
+			}
+			b.ReportMetric(100*rec, "%oracle")
+		})
+	}
+}
+
 // BenchmarkHostTriad measures the host's real triad bandwidth (the native
 // counterpart of Figure 3's model curves).
 func BenchmarkHostTriad(b *testing.B) {

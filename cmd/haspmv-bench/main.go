@@ -17,6 +17,7 @@
 //	haspmv-bench -exp host            # real host wall-clock (caveats apply)
 //	haspmv-bench -exp batch           # fused multi-vector SpMV vs repeated (host)
 //	haspmv-bench -exp serve           # closed-loop serving: batcher vs solo (host)
+//	haspmv-bench -exp adapt           # online repartitioning recovery from miscalibration
 //	haspmv-bench -exp all             # everything, in paper order
 //
 // Scale knobs: -corpus N (matrices standing in for the 2888 SuiteSparse
@@ -99,7 +100,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("haspmv-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, serve, selfcheck, all)")
+	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, serve, adapt, selfcheck, all)")
 	corpus := fs.Int("corpus", 0, "corpus size (default from harness)")
 	maxNNZ := fs.Int("maxnnz", 0, "largest corpus matrix nnz")
 	scale := fs.Int("scale", 0, "representative matrix scale divisor (1 = published size)")
@@ -110,6 +111,8 @@ func run(args []string) error {
 	clients := fs.Int("clients", 64, "concurrent closed-loop clients for the serve experiment")
 	perClient := fs.Int("perclient", 6, "requests per client for the serve experiment")
 	lingers := fs.String("lingers", "0,50us,200us,1ms", "comma-separated coalescing windows for the serve experiment")
+	perturbs := fs.String("perturb", "0.5,2,4", "comma-separated P-group miscalibration factors for the adapt experiment")
+	adaptSteps := fs.Int("adapt-steps", 10, "multiplies the adapt experiment lets the feedback loop observe")
 	seed := fs.Int64("seed", 0, "corpus seed override")
 	csvDir := fs.String("csv", "", "also write one CSV per experiment into this directory")
 	telemetryOn := fs.Bool("telemetry", false, "collect phase timers, per-core spans and partition records")
@@ -338,6 +341,32 @@ func run(args []string) error {
 			a := gen.Representative(*matrix, cfg.RepScale)
 			bench.PrintServe(out, m, *matrix, a.NNZ(), rows)
 			if err := writeCSV("serve", func(w io.Writer) error { return bench.ServeCSV(w, m.Name, *matrix, rows) }); err != nil {
+				return err
+			}
+		case "adapt":
+			var factors []float64
+			for _, part := range strings.Split(*perturbs, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil {
+					return fmt.Errorf("-perturb: %w", err)
+				}
+				if v <= 0 {
+					return fmt.Errorf("-perturb: factor %v must be positive", v)
+				}
+				factors = append(factors, v)
+			}
+			var results []*bench.AdaptResult
+			for _, m := range cfg.Machines {
+				for _, factor := range factors {
+					r, err := bench.AdaptSweep(cfg, m, *matrix, factor, *adaptSteps)
+					if err != nil {
+						return err
+					}
+					bench.PrintAdapt(out, r)
+					results = append(results, r)
+				}
+			}
+			if err := writeCSV("adapt", func(w io.Writer) error { return bench.AdaptCSV(w, results) }); err != nil {
 				return err
 			}
 		case "selfcheck":

@@ -61,6 +61,8 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	preload := fs.String("preload", "", "comma-separated name[@scale] matrices to prepare before listening")
 	telemetryOn := fs.Bool("telemetry", true, "collect and serve /metrics alongside the API")
+	adapt := fs.Bool("adapt", false, "online adaptive repartitioning: rebalance each matrix's partition from measured per-core spans")
+	adaptEvery := fs.Int("adapt-every", 0, "flushed batches between rebalance decisions (default 4)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -81,6 +83,10 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 	if lingerOpt == 0 {
 		lingerOpt = server.ExplicitZeroLinger
 	}
+	var adaptOpts *core.AdapterOptions
+	if *adapt {
+		adaptOpts = &core.AdapterOptions{Every: *adaptEvery}
+	}
 	srv := server.New(server.Config{
 		Machine:        m,
 		Algorithm:      core.New(core.Options{}),
@@ -93,6 +99,7 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 				Linger:   lingerOpt,
 				QueueCap: *queueCap,
 			},
+			Adapt: adaptOpts,
 		},
 	})
 

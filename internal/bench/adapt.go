@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+
+	haspmvcore "haspmv/internal/core"
+)
+
+// Miscalibrate returns a copy of m whose Performance group the planner
+// believes is slower (factor > 1) or faster (factor < 1) than it really
+// is: frequency and every bandwidth figure are divided by factor. The
+// true machine stays untouched — the copy stands in for a stale or wrong
+// calibration driving the static partition, the scenario the online
+// adapter exists to recover from.
+func Miscalibrate(m *amp.Machine, factor float64) *amp.Machine {
+	mis := *m
+	g := &mis.Groups[0]
+	g.FreqGHz /= factor
+	g.MemBWGBps /= factor
+	g.GroupMemBWGBps /= factor
+	g.L1BPC /= factor
+	g.L2BPC /= factor
+	g.L3BPC /= factor
+	return &mis
+}
+
+// AdaptRow is one multiply of an adaptation trajectory, priced on the
+// true machine model.
+type AdaptRow struct {
+	Step       int
+	Proportion float64
+	GFlops     float64
+	Imbalance  float64
+	Rebalances int64
+	Rollbacks  int64
+}
+
+// AdaptResult is one matrix's recovery story: the static plan built from
+// a miscalibrated machine description, the oracle (exhaustively tuned
+// proportion on the true machine), and the adapter's trajectory between
+// them.
+type AdaptResult struct {
+	Machine string
+	Matrix  string
+	Perturb float64
+	// StaticGFlops prices the miscalibrated static plan, OracleGFlops the
+	// tuned proportion, FinalGFlops the plan the adapter settled on.
+	StaticGFlops float64
+	OracleGFlops float64
+	FinalGFlops  float64
+	// Recovered is FinalGFlops / OracleGFlops.
+	Recovered float64
+	Rows      []AdaptRow
+}
+
+// AdaptSweep runs the closed loop for one matrix: partition with a
+// proportion derived from a machine description whose P-group speed is
+// wrong by perturb, then let an Adapter observe the simulator's per-core
+// times on the TRUE machine for steps multiplies, repartitioning as it
+// goes. Deterministic end to end — the cost model plays the asymmetric
+// hardware — so trajectories are reproducible and benchstat-able.
+func AdaptSweep(cfg Config, m *amp.Machine, matrix string, perturb float64, steps int) (*AdaptResult, error) {
+	if steps <= 0 {
+		steps = 10
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+	misProp := haspmvcore.ProportionFor(Miscalibrate(m, perturb), a)
+	prep, err := haspmvcore.New(haspmvcore.Options{PProportion: misProp}).Prepare(m, a)
+	if err != nil {
+		return nil, err
+	}
+	hp := prep.(*haspmvcore.Prepared)
+
+	flops := 2 * float64(a.NNZ())
+	res := &AdaptResult{
+		Machine: m.Name, Matrix: matrix, Perturb: perturb,
+		StaticGFlops: exec.Simulate(m, cfg.Params, a, hp).GFlops,
+	}
+	_, oracleSec, err := haspmvcore.TuneProportion(m, cfg.Params, a, haspmvcore.Options{}, 0.005)
+	if err != nil {
+		return nil, err
+	}
+	res.OracleGFlops = flops / oracleSec / 1e9
+
+	ad := haspmvcore.NewAdapter(hp, haspmvcore.AdapterOptions{Every: 1})
+	res.Rows = append(res.Rows, AdaptRow{Step: 0, Proportion: misProp, GFlops: res.StaticGFlops})
+	var ns []int64
+	for step := 1; step <= steps; step++ {
+		ns = exec.SimulateSpans(m, cfg.Params, a, hp, ns)
+		ad.ObserveSpans(ns)
+		st := ad.Stats()
+		res.Rows = append(res.Rows, AdaptRow{
+			Step:       step,
+			Proportion: st.Proportion,
+			GFlops:     exec.Simulate(m, cfg.Params, a, hp).GFlops,
+			Imbalance:  st.Imbalance,
+			Rebalances: st.Rebalances,
+			Rollbacks:  st.Rollbacks,
+		})
+	}
+	res.FinalGFlops = res.Rows[len(res.Rows)-1].GFlops
+	if res.OracleGFlops > 0 {
+		res.Recovered = res.FinalGFlops / res.OracleGFlops
+	}
+	return res, nil
+}
+
+// PrintAdapt renders one recovery trajectory.
+func PrintAdapt(w io.Writer, r *AdaptResult) {
+	fmt.Fprintf(w, "\n# Adaptive repartitioning on %s / %s (P-group calibration off by %.2gx)\n",
+		r.Machine, r.Matrix, r.Perturb)
+	fmt.Fprintf(w, "static %.2f GFlops -> adapted %.2f GFlops (oracle %.2f, %.1f%% recovered)\n",
+		r.StaticGFlops, r.FinalGFlops, r.OracleGFlops, 100*r.Recovered)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "step\tproportion\tGFlops\timbalance\trebalances\trollbacks")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%d\t%.3f\t%.2f\t%.3f\t%d\t%d\n",
+			row.Step, row.Proportion, row.GFlops, row.Imbalance, row.Rebalances, row.Rollbacks)
+	}
+	tw.Flush()
+}
+
+// AdaptCSV emits machine,matrix,perturb,step,proportion,gflops,imbalance,
+// rebalances,rollbacks rows plus a summary row per sweep.
+func AdaptCSV(w io.Writer, results []*AdaptResult) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "perturb", "step", "proportion", "gflops", "imbalance", "rebalances", "rollbacks"}}
+	for _, r := range results {
+		for _, row := range r.Rows {
+			rows = append(rows, []string{
+				r.Machine, r.Matrix, f(r.Perturb), d(row.Step), f(row.Proportion),
+				f(row.GFlops), f(row.Imbalance), d(int(row.Rebalances)), d(int(row.Rollbacks)),
+			})
+		}
+	}
+	return writeAll(cw, rows)
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"haspmv/internal/amp"
+)
+
+// TestAdaptSweepRecovers enforces the ISSUE's acceptance bound through
+// the benchmark harness itself: with the P-group calibration off by 2x
+// and 4x, the closed loop must recover at least 90% of the oracle
+// throughput within 10 simulated multiplies and never end below the
+// static plan it started from.
+func TestAdaptSweepRecovers(t *testing.T) {
+	cfg := TestConfig()
+	m := amp.IntelI912900KF()
+	for _, perturb := range []float64{2, 4} {
+		r, err := AdaptSweep(cfg, m, "rma10", perturb, 10)
+		if err != nil {
+			t.Fatalf("perturb %g: %v", perturb, err)
+		}
+		if len(r.Rows) != 11 {
+			t.Fatalf("perturb %g: %d trajectory rows, want 11 (step 0 + 10 multiplies)", perturb, len(r.Rows))
+		}
+		if r.Recovered < 0.9 {
+			t.Errorf("perturb %g: recovered %.1f%% of oracle, want >= 90%%", perturb, 100*r.Recovered)
+		}
+		if r.FinalGFlops < r.StaticGFlops {
+			t.Errorf("perturb %g: final %.2f GFlops below static %.2f", perturb, r.FinalGFlops, r.StaticGFlops)
+		}
+		if last := r.Rows[len(r.Rows)-1]; last.Rebalances == 0 {
+			t.Errorf("perturb %g: no rebalances recorded in the trajectory", perturb)
+		}
+	}
+}
+
+// TestMiscalibrateOnlyPerturbsPGroup: the copy is independent of the
+// original and only the Performance group moves.
+func TestMiscalibrateOnlyPerturbsPGroup(t *testing.T) {
+	m := amp.IntelI912900KF()
+	origFreq := m.Groups[0].FreqGHz
+	mis := Miscalibrate(m, 2)
+	if m.Groups[0].FreqGHz != origFreq {
+		t.Fatal("Miscalibrate mutated the original machine")
+	}
+	if mis.Groups[0].FreqGHz != origFreq/2 {
+		t.Fatalf("P-group FreqGHz = %v, want %v", mis.Groups[0].FreqGHz, origFreq/2)
+	}
+	if mis.Groups[1] != m.Groups[1] {
+		t.Fatal("Miscalibrate touched the E group")
+	}
+}
+
+// TestAdaptCSV: one header plus one row per trajectory step.
+func TestAdaptCSV(t *testing.T) {
+	cfg := TestConfig()
+	r, err := AdaptSweep(cfg, amp.IntelI912900KF(), "rma10", 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := AdaptCSV(&buf, []*AdaptResult{r}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(r.Rows) {
+		t.Fatalf("%d CSV lines, want %d", len(lines), 1+len(r.Rows))
+	}
+	if !strings.HasPrefix(lines[0], "machine,matrix,perturb,step,") {
+		t.Fatalf("header: %q", lines[0])
+	}
+
+	var print bytes.Buffer
+	PrintAdapt(&print, r)
+	if !strings.Contains(print.String(), "recovered") {
+		t.Fatalf("PrintAdapt output missing summary: %q", print.String())
+	}
+}

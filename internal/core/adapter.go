@@ -1,0 +1,421 @@
+package core
+
+import (
+	"sync"
+
+	"haspmv/internal/telemetry"
+)
+
+// Adapter telemetry (gated; the adapter itself works with telemetry off).
+var (
+	cAdaptRebalances = telemetry.NewCounter("core_adapt_rebalances")
+	cAdaptRollbacks  = telemetry.NewCounter("core_adapt_rollbacks")
+	gAdaptImbalance  = telemetry.NewGauge("core_adapt_imbalance_milli")
+	gAdaptProportion = telemetry.NewGauge("core_adapt_proportion_milli")
+)
+
+// AdapterOptions tune the feedback loop. The zero value selects the
+// defaults noted on each field.
+type AdapterOptions struct {
+	// Every is the evaluation epoch: how many multiplies between
+	// rebalance decisions. Default 4.
+	Every int
+	// Hysteresis is the relative per-core imbalance (max/mean - 1) below
+	// which the partition is left alone. Default 0.05.
+	Hysteresis float64
+	// Gain is the step fraction toward the measured-rate plan per
+	// rebalance, in (0, 1]. 1 jumps straight to the measured rates;
+	// smaller values damp noisy signals. Default 1.
+	Gain float64
+	// RollbackMargin is the relative throughput regression versus the
+	// best-seen plan that triggers a rollback. Default 0.10.
+	RollbackMargin float64
+	// StaleLimit freezes the loop after this many consecutive epochs
+	// without a new best plan (it wakes again if the measured imbalance
+	// drifts well past where it froze). Default 6.
+	StaleLimit int
+}
+
+func (o AdapterOptions) withDefaults() AdapterOptions {
+	if o.Every <= 0 {
+		o.Every = 4
+	}
+	if o.Hysteresis <= 0 {
+		o.Hysteresis = 0.05
+	}
+	if o.Gain <= 0 || o.Gain > 1 {
+		o.Gain = 1
+	}
+	if o.RollbackMargin <= 0 {
+		o.RollbackMargin = 0.10
+	}
+	if o.StaleLimit <= 0 {
+		o.StaleLimit = 6
+	}
+	return o
+}
+
+// AdapterStats snapshot the feedback loop.
+type AdapterStats struct {
+	// Multiplies counts observed multiplications, Epochs completed
+	// evaluation windows.
+	Multiplies, Epochs int64
+	// Rebalances counts applied Repartition moves, Rollbacks reversions
+	// to the best-seen plan after a measured regression.
+	Rebalances, Rollbacks int64
+	// Imbalance is the last measured max/mean - 1 across core slots.
+	Imbalance float64
+	// Proportion is the currently installed level-1 P share.
+	Proportion float64
+	// Converged reports that the last epoch's imbalance was inside the
+	// hysteresis band. Frozen reports the staleness cutoff engaged.
+	Converged, Frozen bool
+}
+
+// Adapter closes the static-model/measured gap at runtime: it ingests
+// per-core span durations (the always-on accumulators via AfterMultiply,
+// or injected signals via ObserveSpans), estimates each core's effective
+// rate from the cost it was assigned versus the time it took, and moves
+// the two-level partition toward the measured rates with Repartition —
+// cheap boundary moves, never a re-analysis.
+//
+// Safety over aggression: the best-seen plan (by measured throughput per
+// epoch) is kept, a plan that regresses past RollbackMargin is rolled
+// back, and imbalance inside the hysteresis band leaves the partition
+// untouched, so the loop can never end up below the static plan it
+// started from.
+type Adapter struct {
+	p    *Prepared
+	opts AdapterOptions
+
+	mu         sync.Mutex
+	sinceCheck int
+	epochNs    []int64
+	rates      []float64
+	weights    []float64 // current level-2 weights, group-mean 1
+	prop       float64
+
+	bestScore   float64
+	bestProp    float64
+	bestWeights []float64
+	atBest      bool
+	stale       int
+	frozen      bool
+	frozenImb   float64
+	// gain is the live step size. Measured rates shift with the plan
+	// (group bandwidth ceilings saturate), so a full-gain move can
+	// overshoot the optimum and oscillate between two bad plans; each
+	// rollback halves the step (and each new best partially restores it),
+	// turning the oscillation into a damped approach.
+	gain float64
+
+	stats AdapterStats
+}
+
+// NewAdapter attaches a feedback loop to a prepared HASpMV instance.
+// The instance's span accumulators are reset so the first epoch measures
+// only multiplies observed through this adapter.
+func NewAdapter(p *Prepared, opts AdapterOptions) *Adapter {
+	n := len(p.Regions())
+	a := &Adapter{
+		p:           p,
+		opts:        opts.withDefaults(),
+		epochNs:     make([]int64, n),
+		rates:       make([]float64, n),
+		weights:     make([]float64, n),
+		bestWeights: make([]float64, n),
+	}
+	pl := p.Plan()
+	a.prop = pl.PProportion
+	for i := range a.weights {
+		a.weights[i] = 1
+	}
+	if pl.Weights != nil {
+		copy(a.weights, pl.Weights)
+	}
+	a.bestProp = a.prop
+	copy(a.bestWeights, a.weights)
+	a.atBest = true
+	a.gain = a.opts.Gain
+	a.stats.Proportion = a.prop
+	p.drainSpanNs(a.epochNs)
+	for i := range a.epochNs {
+		a.epochNs[i] = 0
+	}
+	return a
+}
+
+// Stats snapshots the loop state.
+func (a *Adapter) Stats() AdapterStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// AfterMultiply records one completed Multiply/MultiplyBatch against the
+// prepared instance's always-on accumulators; every Every calls it drains
+// them and runs one evaluation epoch. Between epochs the cost is a mutex
+// and one integer, and no path allocates (the rebalance itself allocates
+// only Repartition's fresh regions slice).
+func (a *Adapter) AfterMultiply() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Multiplies++
+	a.sinceCheck++
+	if a.sinceCheck < a.opts.Every {
+		return
+	}
+	a.p.drainSpanNs(a.epochNs)
+	a.evaluate(a.sinceCheck)
+	a.sinceCheck = 0
+}
+
+// ObserveSpans ingests one multiply's per-core durations in nanoseconds
+// (region order) from an external source — a simulator's modeled per-core
+// times, or replayed telemetry — instead of the built-in accumulators.
+func (a *Adapter) ObserveSpans(ns []int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.stats.Multiplies++
+	a.sinceCheck++
+	for i := 0; i < len(a.epochNs) && i < len(ns); i++ {
+		a.epochNs[i] += ns[i]
+	}
+	if a.sinceCheck < a.opts.Every {
+		return
+	}
+	a.evaluate(a.sinceCheck)
+	for i := range a.epochNs {
+		a.epochNs[i] = 0
+	}
+	a.sinceCheck = 0
+}
+
+// evaluate runs one epoch: score the live plan, keep/restore the best,
+// and when the measured imbalance exceeds the hysteresis band, move the
+// partition toward the measured per-core rates. Called with a.mu held;
+// calls counts the multiplies the epoch signal covers.
+func (a *Adapter) evaluate(calls int) {
+	p := a.p
+	regions := p.Regions()
+	n := len(regions)
+	if n == 0 {
+		return
+	}
+	var maxNs, sumNs int64
+	for i := 0; i < n; i++ {
+		ns := a.epochNs[i]
+		sumNs += ns
+		if ns > maxNs {
+			maxNs = ns
+		}
+	}
+	if maxNs == 0 {
+		return // no signal this epoch
+	}
+	a.stats.Epochs++
+	mean := float64(sumNs) / float64(n)
+	imb := float64(maxNs)/mean - 1
+	a.stats.Imbalance = imb
+	gAdaptImbalance.Set(int64(imb * 1000))
+
+	totalCost := float64(p.cs[p.h.Rows])
+	// Score: epoch work over the critical-path time — proportional to
+	// GFlop/s for a steady stream of same-shape multiplies.
+	score := totalCost * float64(calls) / float64(maxNs)
+	switch {
+	case a.bestScore == 0:
+		// First measured epoch: the incumbent (static) plan is the
+		// baseline the loop must never end below.
+		a.bestScore = score
+		a.bestProp = a.prop
+		copy(a.bestWeights, a.weights)
+		a.atBest = true
+	case score > a.bestScore:
+		a.bestScore = score
+		a.bestProp = a.prop
+		copy(a.bestWeights, a.weights)
+		a.atBest = true
+		a.stale = 0
+		if a.gain < a.opts.Gain {
+			a.gain *= 1.5
+			if a.gain > a.opts.Gain {
+				a.gain = a.opts.Gain
+			}
+		}
+	case !a.atBest && score < a.bestScore*(1-a.opts.RollbackMargin):
+		// Measured regression: restore the best-seen plan and halve the
+		// step so the retry lands between the two plans instead of
+		// re-proposing the one that just failed.
+		if err := p.Repartition(Plan{PProportion: a.bestProp, Weights: a.bestWeights}); err == nil {
+			a.prop = a.bestProp
+			copy(a.weights, a.bestWeights)
+			a.atBest = true
+			a.stats.Rollbacks++
+			cAdaptRollbacks.Add(1)
+			a.stats.Proportion = a.prop
+		}
+		a.gain *= 0.5
+		if a.gain < 0.05 {
+			a.gain = 0.05
+		}
+		a.stale++
+		if a.stale >= a.opts.StaleLimit {
+			a.freeze(imb)
+		}
+		return
+	default:
+		a.stale++
+	}
+
+	if a.frozen {
+		// Wake only when the signal drifts well past where it froze.
+		if imb > a.frozenImb*1.5+a.opts.Hysteresis {
+			a.frozen = false
+			a.stats.Frozen = false
+			a.stale = 0
+		} else {
+			return
+		}
+	}
+	if imb <= a.opts.Hysteresis {
+		a.stats.Converged = true
+		return
+	}
+	a.stats.Converged = false
+	if a.stale >= a.opts.StaleLimit {
+		a.freeze(imb)
+		return
+	}
+	a.rebalance(regions, calls)
+}
+
+// freeze stops rebalancing until the imbalance drifts; called with a.mu
+// held.
+func (a *Adapter) freeze(imb float64) {
+	a.frozen = true
+	a.frozenImb = imb
+	a.stats.Frozen = true
+}
+
+// rebalance moves the plan toward the measured per-core rates; called
+// with a.mu held.
+func (a *Adapter) rebalance(regions []Region, calls int) {
+	p := a.p
+	// Effective rate of each core slot: assigned cost over measured time.
+	// Slots without a signal (starved or empty regions) inherit their
+	// group's mean rate so they can earn work back.
+	var sumP, sumE float64
+	var cntP, cntE int
+	for i, reg := range regions {
+		cost := p.costAt(reg.Hi) - p.costAt(reg.Lo)
+		if cost > 0 && a.epochNs[i] > 0 {
+			a.rates[i] = float64(cost) * float64(calls) / float64(a.epochNs[i])
+			if a.inPGroup(i) {
+				sumP += a.rates[i]
+				cntP++
+			} else {
+				sumE += a.rates[i]
+				cntE++
+			}
+		} else {
+			a.rates[i] = 0
+		}
+	}
+	if cntP+cntE == 0 {
+		return
+	}
+	meanAll := (sumP + sumE) / float64(cntP+cntE)
+	meanP, meanE := meanAll, meanAll
+	if cntP > 0 {
+		meanP = sumP / float64(cntP)
+	}
+	if cntE > 0 {
+		meanE = sumE / float64(cntE)
+	}
+	for i := range a.rates {
+		if a.rates[i] == 0 {
+			if a.inPGroup(i) {
+				a.rates[i] = meanP
+				sumP += meanP
+			} else {
+				a.rates[i] = meanE
+				sumE += meanE
+			}
+		}
+	}
+
+	g := a.gain
+	prop := a.prop
+	if p.grouped() {
+		target := sumP / (sumP + sumE)
+		prop += g * (target - prop)
+		if prop < 0.02 {
+			prop = 0.02
+		} else if prop > 0.98 {
+			prop = 0.98
+		}
+	}
+	// Blend the level-2 weights toward the rates, both normalized to
+	// group-mean 1 so the level-1 share stays in PProportion's hands.
+	a.normalizeGroups(a.rates)
+	for i := range a.weights {
+		w := a.weights[i] + g*(a.rates[i]-a.weights[i])
+		if w < 0.05 {
+			w = 0.05 // never starve a core slot completely
+		}
+		a.weights[i] = w
+	}
+	if err := p.Repartition(Plan{PProportion: prop, Weights: a.weights}); err != nil {
+		return
+	}
+	a.prop = prop
+	a.atBest = false
+	a.stats.Rebalances++
+	a.stats.Proportion = prop
+	cAdaptRebalances.Add(1)
+	gAdaptProportion.Set(int64(prop * 1000))
+	if tel := telemetry.Active(); tel != nil {
+		// Proportion trajectory in the trace: one partition record per
+		// applied rebalance.
+		opts := p.opts
+		opts.PProportion = prop
+		rec := partitionRecord(p.machine, p.mat, p.h, p.cs, opts, p.Regions())
+		rec.Algorithm = "HASpMV-rebalance"
+		tel.RecordPartition(rec)
+	}
+}
+
+// inPGroup reports whether core slot i belongs to the level-1 P budget.
+func (a *Adapter) inPGroup(i int) bool {
+	return a.p.grouped() && i < a.p.pCount
+}
+
+// normalizeGroups scales xs to mean 1 within the P slots and within the
+// E slots (or across all slots when ungrouped).
+func (a *Adapter) normalizeGroups(xs []float64) {
+	p := a.p
+	n := len(xs)
+	norm := func(lo, hi int) {
+		sum := 0.0
+		for i := lo; i < hi; i++ {
+			sum += xs[i]
+		}
+		if sum <= 0 {
+			for i := lo; i < hi; i++ {
+				xs[i] = 1
+			}
+			return
+		}
+		mean := sum / float64(hi-lo)
+		for i := lo; i < hi; i++ {
+			xs[i] /= mean
+		}
+	}
+	if p.grouped() {
+		norm(0, p.pCount)
+		norm(p.pCount, n)
+	} else {
+		norm(0, n)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/costmodel"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+)
+
+// miscalibrated returns a copy of m whose Performance group the planner
+// believes is slower/faster by factor — the local mirror of
+// bench.Miscalibrate (bench imports core, so core cannot import bench).
+func miscalibrated(m *amp.Machine, factor float64) *amp.Machine {
+	mis := *m
+	g := &mis.Groups[0]
+	g.FreqGHz /= factor
+	g.MemBWGBps /= factor
+	g.GroupMemBWGBps /= factor
+	g.L1BPC /= factor
+	g.L2BPC /= factor
+	g.L3BPC /= factor
+	return &mis
+}
+
+// TestAdapterRecoversFromMiscalibration is the ISSUE's acceptance bound:
+// starting from a static plan whose calibration is wrong by >= 2x against
+// one group, the adapter fed the true machine's simulated per-core spans
+// must recover >= 90% of the oracle (exhaustively tuned) throughput
+// within 10 multiplies, and must never end below the static plan.
+func TestAdapterRecoversFromMiscalibration(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := costmodel.DefaultParams()
+	a := gen.Representative("rma10", 64)
+	for _, perturb := range []float64{0.5, 2, 4} {
+		misProp := ProportionFor(miscalibrated(m, perturb), a)
+		prep, err := New(Options{PProportion: misProp}).Prepare(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp := prep.(*Prepared)
+		staticSec := exec.Simulate(m, p, a, hp).Seconds
+		_, oracleSec, err := TuneProportion(m, p, a, Options{}, 0.005)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ad := NewAdapter(hp, AdapterOptions{Every: 1})
+		var ns []int64
+		for step := 0; step < 10; step++ {
+			ns = exec.SimulateSpans(m, p, a, hp, ns)
+			ad.ObserveSpans(ns)
+		}
+		finalSec := exec.Simulate(m, p, a, hp).Seconds
+		st := ad.Stats()
+		t.Logf("perturb %.2gx: static %.3gs -> final %.3gs (oracle %.3gs), %d rebalances %d rollbacks",
+			perturb, staticSec, finalSec, oracleSec, st.Rebalances, st.Rollbacks)
+		if finalSec > oracleSec/0.9 {
+			t.Errorf("perturb %.2gx: recovered only %.1f%% of oracle throughput, want >= 90%%",
+				perturb, 100*oracleSec/finalSec)
+		}
+		if finalSec > staticSec {
+			t.Errorf("perturb %.2gx: adapter ended below the static plan (%.3gs > %.3gs)",
+				perturb, finalSec, staticSec)
+		}
+		if st.Rebalances == 0 {
+			t.Errorf("perturb %.2gx: adapter never rebalanced a miscalibrated plan", perturb)
+		}
+	}
+}
+
+// TestAdapterHysteresisHoldsStill: when the measured spans are already
+// balanced, the partition must be left alone — no rebalances, Converged.
+func TestAdapterHysteresisHoldsStill(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := gen.Representative("rma10", 64)
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := prep.(*Prepared)
+	ad := NewAdapter(hp, AdapterOptions{Every: 1})
+	n := len(hp.Regions())
+	ns := make([]int64, n)
+	for i := range ns {
+		ns[i] = 1_000_000 // perfectly balanced signal
+	}
+	before := hp.Repartitions()
+	for step := 0; step < 8; step++ {
+		ad.ObserveSpans(ns)
+	}
+	st := ad.Stats()
+	if st.Epochs != 8 || st.Multiplies != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Rebalances != 0 {
+		t.Fatalf("balanced signal triggered %d rebalances", st.Rebalances)
+	}
+	if !st.Converged {
+		t.Fatalf("balanced signal did not report convergence: %+v", st)
+	}
+	if got := hp.Repartitions(); got != before {
+		t.Fatalf("partition moved under a balanced signal: %d -> %d", before, got)
+	}
+}
+
+// TestAdapterZeroSignalSkipsEpoch: all-zero spans (nothing measured) must
+// not count as an epoch or move anything.
+func TestAdapterZeroSignalSkipsEpoch(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := gen.Representative("rma10", 64)
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := prep.(*Prepared)
+	ad := NewAdapter(hp, AdapterOptions{Every: 1})
+	ns := make([]int64, len(hp.Regions()))
+	for step := 0; step < 5; step++ {
+		ad.ObserveSpans(ns)
+	}
+	st := ad.Stats()
+	if st.Multiplies != 5 {
+		t.Fatalf("Multiplies = %d, want 5", st.Multiplies)
+	}
+	if st.Epochs != 0 || st.Rebalances != 0 {
+		t.Fatalf("zero signal produced epochs/rebalances: %+v", st)
+	}
+}
+
+// TestAdapterRollsBackRegression: a plan whose measured throughput drops
+// past RollbackMargin must be reverted to the best-seen plan.
+func TestAdapterRollsBackRegression(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := gen.Representative("rma10", 64)
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := prep.(*Prepared)
+	startProp := hp.Plan().PProportion
+	ad := NewAdapter(hp, AdapterOptions{Every: 1})
+	n := len(hp.Regions())
+
+	// Epoch 1: an imbalanced signal — baseline score recorded, rebalance
+	// applied (the plan leaves the best-seen point).
+	ns := make([]int64, n)
+	for i := range ns {
+		ns[i] = int64(500_000 * (1 + i%3))
+	}
+	ad.ObserveSpans(ns)
+	if st := ad.Stats(); st.Rebalances != 1 {
+		t.Fatalf("imbalanced epoch did not rebalance: %+v", st)
+	}
+
+	// Epoch 2: the new plan measures far slower (max span 10x) — the
+	// adapter must roll back to the plan it started from.
+	for i := range ns {
+		ns[i] = int64(5_000_000 * (1 + i%3))
+	}
+	ad.ObserveSpans(ns)
+	st := ad.Stats()
+	if st.Rollbacks != 1 {
+		t.Fatalf("regression not rolled back: %+v", st)
+	}
+	if got := hp.Plan().PProportion; got != startProp {
+		t.Fatalf("rollback installed proportion %v, want the initial %v", got, startProp)
+	}
+	if st.Proportion != startProp {
+		t.Fatalf("stats proportion %v after rollback, want %v", st.Proportion, startProp)
+	}
+}
+
+// TestAdapterFreezesWhenStale: epochs that keep failing to improve must
+// eventually freeze the loop instead of thrashing forever.
+func TestAdapterFreezesWhenStale(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := gen.Representative("rma10", 64)
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := prep.(*Prepared)
+	ad := NewAdapter(hp, AdapterOptions{Every: 1, StaleLimit: 3})
+	n := len(hp.Regions())
+
+	// A good first epoch sets the baseline, then every later plan measures
+	// much worse, so the loop rolls back repeatedly until it freezes.
+	ns := make([]int64, n)
+	for step := 0; step < 10; step++ {
+		scale := int64(500_000)
+		if step > 0 {
+			scale = 5_000_000
+		}
+		for i := range ns {
+			ns[i] = scale * int64(1+i%3)
+		}
+		ad.ObserveSpans(ns)
+		if ad.Stats().Frozen {
+			break
+		}
+	}
+	st := ad.Stats()
+	if !st.Frozen {
+		t.Fatalf("loop never froze under persistent regressions: %+v", st)
+	}
+	frozenRebalances := st.Rebalances
+	// While frozen, further imbalanced-but-similar signals must not move
+	// the partition.
+	for i := range ns {
+		ns[i] = 5_000_000 * int64(1+i%3)
+	}
+	ad.ObserveSpans(ns)
+	if got := ad.Stats().Rebalances; got != frozenRebalances {
+		t.Fatalf("frozen loop rebalanced: %d -> %d", frozenRebalances, got)
+	}
+}
+
+// TestAdapterAfterMultiplyUsesAccumulators: the always-on span
+// accumulators must feed real epochs through AfterMultiply, with no
+// telemetry enabled.
+func TestAdapterAfterMultiplyUsesAccumulators(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := gen.Representative("rma10", 64)
+	prep, err := New(Options{}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := prep.(*Prepared)
+	ad := NewAdapter(hp, AdapterOptions{Every: 2})
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, a.Rows)
+	for step := 0; step < 6; step++ {
+		hp.Compute(y, x)
+		ad.AfterMultiply()
+	}
+	st := ad.Stats()
+	if st.Multiplies != 6 {
+		t.Fatalf("Multiplies = %d, want 6", st.Multiplies)
+	}
+	if st.Epochs != 3 {
+		t.Fatalf("Epochs = %d, want 3 (Every=2): %+v", st.Epochs, st)
+	}
+	if st.Imbalance <= 0 {
+		t.Fatalf("real computes produced no measured imbalance: %+v", st)
+	}
+}

@@ -23,6 +23,7 @@ type batchScratch struct {
 	p        *Prepared
 	Y, X     [][]float64
 	tel      *telemetry.Collector
+	regs     []Region
 	nv       int
 	nvCap    int
 	extraRow []int
@@ -34,11 +35,12 @@ func (p *Prepared) newBatchScratch(nv int) *batchScratch {
 	// Round the capacity up to a whole number of register blocks so
 	// growing a batch by one vector does not immediately reallocate.
 	cap := (nv + kernel.MaxBlock - 1) / kernel.MaxBlock * kernel.MaxBlock
+	n := len(*p.regions.Load())
 	s := &batchScratch{
 		p:        p,
 		nvCap:    cap,
-		extraRow: make([]int, len(p.regions)),
-		extraVal: make([]float64, len(p.regions)*cap),
+		extraRow: make([]int, n),
+		extraVal: make([]float64, n*cap),
 	}
 	s.body = s.run
 	return s
@@ -50,15 +52,12 @@ func (p *Prepared) newBatchScratch(nv int) *batchScratch {
 func (s *batchScratch) run(id int) {
 	p := s.p
 	s.extraRow[id] = -1
-	reg := p.regions[id]
+	reg := s.regs[id]
 	if reg.Lo >= reg.Hi {
 		return
 	}
 	tel := s.tel
-	var t0 time.Time
-	if tel != nil {
-		t0 = time.Now()
-	}
+	t0 := time.Now()
 	h, mat, Y, X, nv := p.h, p.mat, s.Y, s.X, s.nv
 	un := p.unroll[id]
 	extra := s.extraVal[id*s.nvCap : id*s.nvCap+nv]
@@ -112,6 +111,9 @@ func (s *batchScratch) run(id int) {
 		}
 		r++
 	}
+	dur := time.Since(t0)
+	p.accum[id].ns.Add(int64(dur))
+	p.accum[id].nnz.Add(int64(nnzDone))
 	if tel != nil {
 		ex := 0
 		if s.extraRow[id] >= 0 {
@@ -119,7 +121,7 @@ func (s *batchScratch) run(id int) {
 		}
 		tel.RecordSpan(telemetry.Span{
 			Name: "batch-core", Core: reg.Core,
-			Start: t0.Sub(tel.Start()), Dur: time.Since(t0),
+			Start: t0.Sub(tel.Start()), Dur: dur,
 			NNZ: nnzDone, Fragments: frags, ExtraY: ex,
 		})
 	}
@@ -169,13 +171,13 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 	if s == nil || s.nvCap < nv {
 		s = p.newBatchScratch(nv)
 	}
-	s.Y, s.X, s.tel, s.nv = Y, X, tel, nv
+	s.Y, s.X, s.tel, s.nv, s.regs = Y, X, tel, nv, *p.regions.Load()
 	for _, r := range p.emptyRows {
 		for v := 0; v < nv; v++ {
 			Y[v][r] = 0
 		}
 	}
-	n := len(p.regions)
+	n := len(s.regs)
 	exec.Parallel(n, s.body)
 	// Serial epilogue (Algorithm 5 lines 15-17) across the vector block.
 	for id := 0; id < n; id++ {
@@ -186,7 +188,7 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 			}
 		}
 	}
-	s.Y, s.X, s.tel = nil, nil, nil
+	s.Y, s.X, s.tel, s.regs = nil, nil, nil, nil
 	p.batch.Store(s)
 	cBatchComputes.Add(1)
 	cBatchVectors.Add(int64(nv))

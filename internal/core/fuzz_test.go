@@ -49,15 +49,18 @@ func fuzzOptions(b byte) Options {
 
 // FuzzPrepareCompute feeds random small matrices through the full
 // HASpMV pipeline — HACSR reorder, cost partition, conflict-resolving
-// executor — and checks the result against the naive reference multiply
-// plus the nonzero-coverage invariant. Seed corpus under
+// executor — checks the result against the naive reference multiply plus
+// the nonzero-coverage invariant, then repartitions with an input-derived
+// plan and re-checks both. Seed corpus under
 // testdata/fuzz/FuzzPrepareCompute covers the structural extremes:
-// all-empty rows, a single dense row, all-short rows, all-long rows.
+// all-empty rows, a single dense row, all-short rows, all-long rows, and
+// a weighted repartition after reorder on a mostly-empty matrix.
 func FuzzPrepareCompute(f *testing.F) {
 	f.Add([]byte{7, 7, 0})                                                                                                                 // 8x8, all rows empty
 	f.Add([]byte{0, 15, 1, 0, 0, 8, 0, 5, 16, 0, 11, 200})                                                                                 // single row, reorder off
 	f.Add([]byte{31, 31, 2, 1, 1, 4, 9, 9, 8, 30, 2, 252})                                                                                 // sparse diagonal-ish, one-level
 	f.Add([]byte{3, 3, 12, 0, 0, 1, 0, 1, 2, 0, 2, 3, 1, 0, 4, 1, 1, 5, 1, 2, 6, 2, 0, 7, 2, 1, 8, 2, 2, 9, 3, 0, 10, 3, 1, 11, 3, 2, 12}) // dense 4x3
+	f.Add([]byte{15, 7, 0, 201, 0, 0, 8, 0, 5, 200, 1, 40, 5, 3, 12})                                                                      // empty rows + weighted repartition
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			return // keep Prepare cost bounded
@@ -89,6 +92,39 @@ func FuzzPrepareCompute(f *testing.F) {
 			if diff > 1e-9*(1+math.Abs(want[i])) {
 				t.Fatalf("y[%d] = %v, naive reference %v (matrix %dx%d nnz %d, opts %+v)",
 					i, y[i], want[i], a.Rows, a.Cols, a.NNZ(), opts)
+			}
+		}
+
+		// Repartition with an input-derived plan and re-check everything:
+		// boundary moves must preserve coverage and the computed product for
+		// any valid proportion/weight combination, including on matrices
+		// with empty rows after a reorder.
+		hp := prep.(*Prepared)
+		var pb byte
+		if len(data) > 3 {
+			pb = data[3]
+		}
+		plan := Plan{PProportion: 0.05 + 0.9*float64(pb)/255}
+		if pb&1 != 0 {
+			plan.Weights = make([]float64, len(hp.Regions()))
+			for i := range plan.Weights {
+				plan.Weights[i] = 0.1 + float64((int(pb)+7*i)%16)/4
+			}
+		}
+		if err := hp.Repartition(plan); err != nil {
+			t.Fatalf("Repartition(%+v) failed on a valid plan (matrix %dx%d nnz %d, opts %+v): %v",
+				plan, a.Rows, a.Cols, a.NNZ(), opts, err)
+		}
+		if err := exec.CheckAssignments(a, hp.Assignments()); err != nil {
+			t.Fatalf("assignment coverage broken after repartition (plan %+v, opts %+v): %v",
+				plan, opts, err)
+		}
+		hp.Compute(y, x)
+		for i := range y {
+			diff := math.Abs(y[i] - want[i])
+			if diff > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("after repartition: y[%d] = %v, reference %v (plan %+v, opts %+v)",
+					i, y[i], want[i], plan, opts)
 			}
 		}
 	})

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -111,8 +112,16 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 
 	p := &Prepared{
 		mat: mat, h: h, machine: m,
-		opts: opts, regions: regions, emptyRows: empty, unroll: unroll,
+		opts: opts, emptyRows: empty, unroll: unroll,
+		cs: cs, cores: cores,
+		accum: make([]coreAccum, len(regions)),
 	}
+	for _, c := range cores {
+		if g, _ := m.GroupOf(c); g.Kind == amp.Performance {
+			p.pCount++
+		}
+	}
+	p.regions.Store(&regions)
 	p.scratch.Store(p.newScratch())
 	cPrepares.Add(1)
 	gRegions.Set(int64(len(regions)))
@@ -164,9 +173,33 @@ type Prepared struct {
 	h         *HACSR
 	machine   *amp.Machine
 	opts      Options
-	regions   []Region
 	emptyRows []int
 	unroll    []int
+	// cs is the per-reordered-row cost prefix sum the partition was cut
+	// from; Repartition reuses it to move boundaries in O(cores·log nnz).
+	cs []int
+	// cores are the participating core ids (P slots first), and pCount
+	// how many of them belong to the Performance group.
+	cores  []int
+	pCount int
+	// regions is the live partition. Compute and ComputeBatch snapshot the
+	// pointer once per call so Repartition can swap in a new tiling under
+	// concurrent multiplies without ever exposing a half-moved partition.
+	regions atomic.Pointer[[]Region]
+	// accum is the always-on per-region execution signal (one nanosecond
+	// and nonzero accumulator per core slot, cache-line padded). It costs
+	// two time.Now calls per core per multiply and no allocation, so the
+	// Adapter works with telemetry gated off.
+	accum []coreAccum
+	// plan is the last installed Repartition target (nil until the first
+	// Repartition; Plan() falls back to the Prepare-time proportion).
+	plan atomic.Pointer[Plan]
+	// repMu serializes Repartition calls and protects its reusable
+	// boundary scratch.
+	repMu      sync.Mutex
+	repBounds  []float64
+	repCuts    []int
+	rebalances atomic.Int64
 	// scratch is the reusable per-call workspace. Compute claims it with
 	// an atomic swap and puts it back, so serial repeated multiplication
 	// is allocation-free; concurrent calls on the same Prepared fall back
@@ -174,6 +207,23 @@ type Prepared struct {
 	scratch atomic.Pointer[computeScratch]
 	// batch is ComputeBatch's workspace under the same swap discipline.
 	batch atomic.Pointer[batchScratch]
+}
+
+// coreAccum is one core slot's always-on span accumulator, padded so
+// neighbouring cores do not false-share a cache line in the hot path.
+type coreAccum struct {
+	ns  atomic.Int64
+	nnz atomic.Int64
+	_   [48]byte
+}
+
+// drainSpanNs moves the accumulated per-slot nanoseconds into ns
+// (len >= region count) and resets the accumulators.
+func (p *Prepared) drainSpanNs(ns []int64) {
+	for i := range p.accum {
+		ns[i] = p.accum[i].ns.Swap(0)
+		p.accum[i].nnz.Store(0)
+	}
 }
 
 // computeScratch is Compute's per-call workspace: the extraY conflict
@@ -184,16 +234,18 @@ type computeScratch struct {
 	p        *Prepared
 	y, x     []float64
 	tel      *telemetry.Collector
+	regs     []Region
 	extraRow []int
 	extraVal []float64
 	body     func(id int)
 }
 
 func (p *Prepared) newScratch() *computeScratch {
+	n := len(*p.regions.Load())
 	s := &computeScratch{
 		p:        p,
-		extraRow: make([]int, len(p.regions)),
-		extraVal: make([]float64, len(p.regions)),
+		extraRow: make([]int, n),
+		extraVal: make([]float64, n),
 	}
 	s.body = s.run
 	return s
@@ -205,15 +257,12 @@ func (p *Prepared) newScratch() *computeScratch {
 func (s *computeScratch) run(id int) {
 	p := s.p
 	s.extraRow[id] = -1
-	reg := p.regions[id]
+	reg := s.regs[id]
 	if reg.Lo >= reg.Hi {
 		return
 	}
 	tel := s.tel
-	var t0 time.Time
-	if tel != nil {
-		t0 = time.Now()
-	}
+	t0 := time.Now()
 	h, mat, y, x := p.h, p.mat, s.y, s.x
 	un := p.unroll[id]
 	nnzDone, frags := 0, 0
@@ -245,20 +294,34 @@ func (s *computeScratch) run(id int) {
 		}
 		r++
 	}
+	dur := time.Since(t0)
+	// Always-on signal for the adapter: per-slot busy nanoseconds and
+	// nonzeros, independent of the gated telemetry collector.
+	p.accum[id].ns.Add(int64(dur))
+	p.accum[id].nnz.Add(int64(nnzDone))
 	if tel != nil {
 		extra := 0
 		if s.extraRow[id] >= 0 {
 			extra = 1
 		}
-		tel.RecordCoreSpan(reg.Core, t0, nnzDone, frags, extra)
+		tel.RecordSpan(telemetry.Span{
+			Name: "core", Core: reg.Core,
+			Start: t0.Sub(tel.Start()), Dur: dur,
+			NNZ: nnzDone, Fragments: frags, ExtraY: extra,
+		})
 	}
 }
 
 // Format exposes the HACSR view.
 func (p *Prepared) Format() *HACSR { return p.h }
 
-// Regions exposes the per-core partition in reordered-nnz space.
-func (p *Prepared) Regions() []Region { return p.regions }
+// Regions exposes the per-core partition in reordered-nnz space (the
+// live tiling; Repartition swaps in a new slice, so callers holding the
+// returned value keep a consistent snapshot).
+func (p *Prepared) Regions() []Region { return *p.regions.Load() }
+
+// Repartitions counts successful Repartition calls on this instance.
+func (p *Prepared) Repartitions() int64 { return p.rebalances.Load() }
 
 // Compute implements Algorithm 5: per-core fragment kernels with the
 // extraY epilogue resolving rows that are cut across cores. The
@@ -276,11 +339,13 @@ func (p *Prepared) Compute(y, x []float64) {
 	if s == nil {
 		s = p.newScratch()
 	}
-	s.y, s.x, s.tel = y, x, tel
+	// One regions snapshot per call: every worker of this multiply walks
+	// the same tiling even if Repartition swaps the partition mid-flight.
+	s.y, s.x, s.tel, s.regs = y, x, tel, *p.regions.Load()
 	for _, r := range p.emptyRows {
 		y[r] = 0
 	}
-	n := len(p.regions)
+	n := len(s.regs)
 	exec.Parallel(n, s.body)
 	// Serial epilogue (Algorithm 5 lines 15-17): add the tail conflicts.
 	for id := 0; id < n; id++ {
@@ -288,7 +353,7 @@ func (p *Prepared) Compute(y, x []float64) {
 			y[s.extraRow[id]] += s.extraVal[id]
 		}
 	}
-	s.y, s.x, s.tel = nil, nil, nil
+	s.y, s.x, s.tel, s.regs = nil, nil, nil, nil
 	p.scratch.Store(s)
 	cComputes.Add(1)
 	if tel != nil {
@@ -304,13 +369,23 @@ func rowOfPosition(h *HACSR, pos int) int {
 	return sort.Search(h.Rows, func(i int) bool { return h.RowPtr[i+1] > pos })
 }
 
+// costAt returns the row-granular cost prefix at reordered-nnz position
+// pos, so a region's assigned cost is costAt(Hi) - costAt(Lo).
+func (p *Prepared) costAt(pos int) int {
+	if pos >= p.h.NNZ() {
+		return p.cs[p.h.Rows]
+	}
+	return p.cs[rowOfPosition(p.h, pos)]
+}
+
 // Assignments maps each region to spans in the original matrix's nnz
 // space for the performance model, merging fragments of consecutive
 // original rows into single spans.
 func (p *Prepared) Assignments() []costmodel.Assignment {
 	h := p.h
-	asgs := make([]costmodel.Assignment, len(p.regions))
-	for i, reg := range p.regions {
+	regions := *p.regions.Load()
+	asgs := make([]costmodel.Assignment, len(regions))
+	for i, reg := range regions {
 		asg := costmodel.Assignment{Core: reg.Core}
 		if reg.Lo < reg.Hi {
 			r := reg.StartRow

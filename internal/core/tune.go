@@ -16,18 +16,25 @@ import (
 // else (shifting work to a group monotonically loads it), so a
 // golden-section search over [0.05, 0.95] converges quickly; tol is the
 // result resolution (e.g. 0.01).
+//
+// The matrix is analyzed once: every probe is a boundary-only
+// Repartition of the same prepared instance (the reorder and cost prefix
+// sums do not depend on the proportion), so tuning costs one Prepare
+// plus O(probes · cores · log nnz) instead of a full pipeline per probe.
 func TuneProportion(m *amp.Machine, p costmodel.Params, a *sparse.CSR, opts Options, tol float64) (best float64, bestSeconds float64, err error) {
 	if tol <= 0 {
 		tol = 0.01
 	}
+	prep, err := New(opts).Prepare(m, a)
+	if err != nil {
+		return 0, 0, err
+	}
+	hp := prep.(*Prepared)
 	eval := func(prop float64) (float64, error) {
-		o := opts
-		o.PProportion = prop
-		prep, err := New(o).Prepare(m, a)
-		if err != nil {
+		if err := hp.Repartition(Plan{PProportion: prop}); err != nil {
 			return 0, err
 		}
-		return exec.Simulate(m, p, a, prep).Seconds, nil
+		return exec.Simulate(m, p, a, hp).Seconds, nil
 	}
 
 	const invPhi = 0.6180339887498949

@@ -54,6 +54,37 @@ func TestTuneProportionAMDNearHalf(t *testing.T) {
 	}
 }
 
+// TestTuneProportionMatchesExhaustive pins the Repartition-probe rewrite:
+// the golden-section tuner, now running every probe as a boundary move on
+// one prepared instance, must land within tolerance of a fine exhaustive
+// sweep over full Prepare calls (the old per-probe pipeline).
+func TestTuneProportionMatchesExhaustive(t *testing.T) {
+	m := amp.IntelI912900KF()
+	p := costmodel.DefaultParams()
+	a := gen.Representative("shipsec1", 32)
+	const tol = 0.01
+	best, bestSec, err := TuneProportion(m, p, a, Options{}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exBest, exSec := 0.0, math.Inf(1)
+	for prop := 0.05; prop < 0.951; prop += tol {
+		prep, err := New(Options{PProportion: prop}).Prepare(m, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sec := exec.Simulate(m, p, a, prep).Seconds; sec < exSec {
+			exBest, exSec = prop, sec
+		}
+	}
+	if math.Abs(best-exBest) > 2*tol {
+		t.Fatalf("tuned %v vs exhaustive %v (beyond 2*tol)", best, exBest)
+	}
+	if bestSec > exSec*1.02 {
+		t.Fatalf("tuned time %.4g worse than exhaustive %.4g", bestSec, exSec)
+	}
+}
+
 func TestTuneProportionDefaultTolAndErrors(t *testing.T) {
 	m := amp.IntelI913900KF()
 	p := costmodel.DefaultParams()

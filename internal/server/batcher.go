@@ -58,6 +58,11 @@ type BatcherOptions struct {
 	// QueueCap bounds the number of queued requests; Submit sheds with
 	// ErrQueueFull beyond it. Default 256.
 	QueueCap int
+	// AfterFlush, when set, runs on the dispatcher goroutine after every
+	// dispatched batch has been computed and its waiters released — the
+	// serving hook for the online repartitioning adapter (one fused batch
+	// counts as one observed multiply).
+	AfterFlush func()
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -313,5 +318,8 @@ func (b *Batcher) execute(batch []*call) {
 		c.nv = nv
 		hServeLatency.Observe(now.Sub(c.enq))
 		close(c.done)
+	}
+	if b.opts.AfterFlush != nil {
+		b.opts.AfterFlush()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"haspmv/internal/amp"
+	haspmvcore "haspmv/internal/core"
 	"haspmv/internal/exec"
 	"haspmv/internal/gen"
 	"haspmv/internal/sparse"
@@ -59,6 +60,11 @@ type RegistryOptions struct {
 	Batcher BatcherOptions
 	// Source materializes matrices; defaults to DefaultSource(64M nnz).
 	Source MatrixSource
+	// Adapt, when non-nil, attaches an online repartitioning adapter to
+	// every HASpMV entry: each flushed batch feeds the entry's adapter,
+	// which rebalances the matrix's partition from measured per-core
+	// spans. Baseline algorithms are served unchanged.
+	Adapt *haspmvcore.AdapterOptions
 }
 
 func (o RegistryOptions) withDefaults() RegistryOptions {
@@ -82,6 +88,9 @@ type Entry struct {
 	PrepareMs  float64
 	Batcher    *Batcher
 	Prep       exec.Prepared
+	// Adapter is the entry's online repartitioning loop (nil unless
+	// RegistryOptions.Adapt is set and the algorithm is HASpMV).
+	Adapter *haspmvcore.Adapter
 
 	ready    chan struct{}
 	err      error
@@ -185,7 +194,21 @@ func (r *Registry) Get(ctx context.Context, name string, scale int) (*Entry, err
 		close(e.ready)
 		return nil, ErrDraining
 	}
-	e.Batcher = NewBatcher(prep, r.opts.Batcher)
+	bopts := r.opts.Batcher
+	if r.opts.Adapt != nil {
+		if hp, ok := prep.(*haspmvcore.Prepared); ok {
+			ad := haspmvcore.NewAdapter(hp, *r.opts.Adapt)
+			e.Adapter = ad
+			after := bopts.AfterFlush
+			bopts.AfterFlush = func() {
+				ad.AfterMultiply()
+				if after != nil {
+					after()
+				}
+			}
+		}
+	}
+	e.Batcher = NewBatcher(prep, bopts)
 	r.mu.Unlock()
 	cServePrepares.Add(1)
 	close(e.ready)

@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"haspmv/internal/amp"
+	"haspmv/internal/baselines/csrsimple"
 	"haspmv/internal/core"
+	"haspmv/internal/gen"
 	"haspmv/internal/sparse"
 )
 
@@ -195,5 +197,65 @@ func TestRegistryUnknownAndTooLarge(t *testing.T) {
 	}
 	if _, err := r.Get(context.Background(), "circuit5M", 1); !errors.Is(err, ErrMatrixTooLarge) {
 		t.Fatalf("oversized matrix: err = %v, want ErrMatrixTooLarge", err)
+	}
+}
+
+// TestRegistryAdaptationWiring: with RegistryOptions.Adapt set, every
+// HASpMV entry carries an online repartitioning adapter fed by its
+// batcher — one flushed batch counts as one observed multiply — while
+// baseline algorithms are served unchanged (no adapter).
+func TestRegistryAdaptationWiring(t *testing.T) {
+	src := func(name string, scale int) (*sparse.CSR, error) {
+		return gen.Representative("rma10", 64), nil
+	}
+	r := NewRegistry(amp.IntelI912900KF(), core.New(core.Options{}), RegistryOptions{
+		MaxEntries: 4,
+		Source:     src,
+		Batcher:    BatcherOptions{Linger: ExplicitZeroLinger},
+		Adapt:      &core.AdapterOptions{Every: 1},
+	})
+	defer r.Close()
+
+	e, err := r.Get(context.Background(), "rma10", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Adapter == nil {
+		t.Fatal("HASpMV entry has no adapter despite RegistryOptions.Adapt")
+	}
+	x := make([]float64, e.Cols)
+	for i := range x {
+		x[i] = 1
+	}
+	y := make([]float64, e.Rows)
+	const submits = 5
+	for i := 0; i < submits; i++ {
+		if _, err := e.Batcher.Submit(context.Background(), y, x); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	st := e.Adapter.Stats()
+	if st.Multiplies == 0 || st.Multiplies > submits {
+		t.Fatalf("adapter observed %d multiplies after %d serial submits, want 1..%d",
+			st.Multiplies, submits, submits)
+	}
+	if st.Epochs == 0 {
+		t.Fatalf("adapter completed no epochs with Every=1: %+v", st)
+	}
+
+	// A baseline algorithm through the same options gets no adapter.
+	rb := NewRegistry(amp.IntelI912900KF(), csrsimple.New(amp.PAndE, csrsimple.ByRows), RegistryOptions{
+		MaxEntries: 4,
+		Source:     src,
+		Batcher:    BatcherOptions{Linger: ExplicitZeroLinger},
+		Adapt:      &core.AdapterOptions{Every: 1},
+	})
+	defer rb.Close()
+	eb, err := rb.Get(context.Background(), "rma10", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb.Adapter != nil {
+		t.Fatal("baseline entry unexpectedly carries an adapter")
 	}
 }

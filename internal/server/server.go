@@ -183,6 +183,11 @@ type matrixInfo struct {
 	Solo      int64   `json:"solo"`
 	Shed      int64   `json:"shed"`
 	Expired   int64   `json:"expired"`
+	// Adaptive-execution progress, present when the registry runs with
+	// online repartitioning enabled.
+	Rebalances int64   `json:"rebalances,omitempty"`
+	Imbalance  float64 `json:"imbalance,omitempty"`
+	Proportion float64 `json:"proportion,omitempty"`
 }
 
 type matricesResponse struct {
@@ -286,13 +291,20 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	resp := matricesResponse{Known: gen.RepresentativeNames(), Resident: []matrixInfo{}}
 	for _, e := range s.reg.Entries() {
 		st := e.Batcher.Stats()
-		resp.Resident = append(resp.Resident, matrixInfo{
+		mi := matrixInfo{
 			Key: e.Key, Matrix: e.Name, Scale: e.Scale,
 			Rows: e.Rows, Cols: e.Cols, NNZ: e.NNZ, PrepareMs: e.PrepareMs,
 			Requests: st.Requests, Flushes: st.Flushes,
 			Coalesced: st.Coalesced, Solo: st.Solo,
 			Shed: st.Shed, Expired: st.Expired,
-		})
+		}
+		if e.Adapter != nil {
+			as := e.Adapter.Stats()
+			mi.Rebalances = as.Rebalances
+			mi.Imbalance = as.Imbalance
+			mi.Proportion = as.Proportion
+		}
+		resp.Resident = append(resp.Resident, mi)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)

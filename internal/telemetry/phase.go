@@ -28,6 +28,10 @@ const (
 	PhaseCompute
 	// PhaseBatch is one whole ComputeBatch call.
 	PhaseBatch
+	// PhaseRepartition is one boundary-only Repartition call (the
+	// adaptive-execution rebalance; reuses the HACSR and cost prefix
+	// sums, so it is orders of magnitude cheaper than PhasePrepare).
+	PhaseRepartition
 
 	numPhases
 )
@@ -40,6 +44,7 @@ var phaseNames = [numPhases]string{
 	PhasePrepare:       "prepare",
 	PhaseCompute:       "compute",
 	PhaseBatch:         "batch",
+	PhaseRepartition:   "repartition",
 }
 
 func (p Phase) String() string {
