@@ -161,6 +161,46 @@ func BenchmarkSpMVCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkCompute isolates the compressed-index execution streams on a
+// >1.5M-nnz power-law matrix: the same partition (proportion and base
+// pinned) multiplied through the []int reference, the u32 absolute
+// stream, and the auto u16/u32 mix. SpMV is stream bound, so narrowing
+// the 8-byte []int indices is the whole effect; the committed bench
+// baseline records the u32 win and cmd/benchdiff gates it.
+func BenchmarkCompute(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	a := haspmv.Representative("webbase-1M", 2)
+	prop := haspmvcore.ProportionFor(m, a)
+	base := haspmvcore.AutoBase(a)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, a.Rows)
+	for _, tc := range []struct {
+		name string
+		mode haspmvcore.IndexMode
+	}{
+		{"int", haspmvcore.IndexReference},
+		{"u32", haspmvcore.IndexU32},
+		{"auto", haspmvcore.IndexAuto},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prep, err := haspmvcore.New(haspmvcore.Options{PProportion: prop, Base: base, Index: tc.mode}).Prepare(m, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep.Compute(y, x) // warm the scratch and worker pools
+			b.SetBytes(int64(12 * a.NNZ()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prep.Compute(y, x)
+			}
+			b.ReportMetric(2*float64(a.NNZ())*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
+		})
+	}
+}
+
 // BenchmarkComputeBatch compares the fused multi-vector multiply
 // (register-blocked kernels walking the index stream once per block of
 // vectors) against nv independent Multiply calls on a banded matrix,

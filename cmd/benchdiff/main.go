@@ -179,12 +179,22 @@ func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float
 		}
 		fmt.Fprintf(out, "  %-9s %-60s %12.0f -> %12.0f ns/op  %+.1f%%\n", mark, name, oldV, newSnap[name], delta)
 	}
+	// A baseline entry absent from the current run means the gate silently
+	// stopped covering it (renamed benchmark, dropped sub-benchmark, bench
+	// pattern drift). Warn loudly — but don't fail, so intentional renames
+	// only need a baseline refresh, not a broken CI run.
+	var missing []string
 	for name := range oldSnap {
 		if _, ok := newSnap[name]; !ok {
-			fmt.Fprintf(out, "  missing   %-60s (in baseline, not in current run)\n", name)
+			missing = append(missing, name)
 		}
 	}
-	fmt.Fprintf(out, "compared %d gated benchmarks, %d regression(s)\n", compared, len(regressions))
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(out, "  WARNING   %-60s in baseline but not in current run — gate no longer covers it\n", name)
+	}
+	fmt.Fprintf(out, "compared %d gated benchmarks, %d regression(s), %d baseline entr(ies) missing from current run\n",
+		compared, len(regressions), len(missing))
 	if len(regressions) > 0 {
 		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(regressions, "\n  "))
 	}

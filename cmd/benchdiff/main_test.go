@@ -106,6 +106,35 @@ func TestGateFilterAndNewBenchmarks(t *testing.T) {
 	}
 }
 
+// TestGateWarnsOnMissingBaselineEntries: a baseline entry absent from
+// the current run must surface as a WARNING and be counted in the
+// summary, but never fail the gate on its own.
+func TestGateWarnsOnMissingBaselineEntries(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]float64{
+		"BenchmarkKept":    1000,
+		"BenchmarkDropped": 2000,
+		"BenchmarkRenamed": 3000,
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]float64{
+		"BenchmarkKept": 1005,
+	})
+
+	var out bytes.Buffer
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "15"}, &out); err != nil {
+		t.Fatalf("missing baseline entries must warn, not fail: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"WARNING", "BenchmarkDropped", "BenchmarkRenamed",
+		"2 baseline entr(ies) missing from current run",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
 // TestParseRoundTripThroughCLI: -parse/-out writes a snapshot the
 // comparison mode can read back.
 func TestParseRoundTripThroughCLI(t *testing.T) {

@@ -1,6 +1,7 @@
 package csr5
 
 import (
+	"math"
 	"testing"
 
 	"haspmv/internal/algtest"
@@ -84,7 +85,7 @@ func TestTileBalance(t *testing.T) {
 	}
 	p := prep.(*prepared)
 	asgs := prep.Assignments()
-	min, max := 1<<60, 0
+	min, max := math.MaxInt, 0
 	for i, asg := range asgs {
 		n := asg.NNZ()
 		if i == len(asgs)-1 {

@@ -1,6 +1,7 @@
 package csrsimple
 
 import (
+	"math"
 	"testing"
 
 	"haspmv/internal/algtest"
@@ -59,7 +60,7 @@ func TestByNNZBalance(t *testing.T) {
 		t.Fatal(err)
 	}
 	asgs := prep.Assignments()
-	min, max := 1<<60, 0
+	min, max := math.MaxInt, 0
 	for _, asg := range asgs {
 		n := asg.NNZ()
 		if n < min {

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/gen"
+
+	haspmvcore "haspmv/internal/core"
+)
+
+// IndexRow is the host wall-clock of one index-stream mode executing the
+// identical partition: []int reference, u32 absolute, and auto (u16
+// deltas where the rows permit, u32 elsewhere).
+type IndexRow struct {
+	Mode   string
+	TimeUs float64
+	GFlops float64
+	// Speedup is the []int reference time over this mode's time.
+	Speedup float64
+	// IdxBytesPerNNZ is the average index bytes one multiply streams per
+	// nonzero under this mode's region formats.
+	IdxBytesPerNNZ float64
+	// U16NNZShare is the fraction of assigned nonzeros executed from the
+	// u16-delta stream.
+	U16NNZShare float64
+}
+
+// IndexSweep measures real host wall-clock of the compressed-index
+// execution streams on one representative matrix. The P-proportion and
+// row-length base are pinned across modes so every mode executes the
+// exact same partition — the sweep isolates index-stream width, which is
+// the point: SpMV is stream bound, and narrowing the 8-byte []int
+// indices to 4 or 2 bytes cuts the dominant traffic term. The same host
+// caveat as HostCompare applies: symmetric host cores show the traffic
+// effect, not AMP behaviour.
+func IndexSweep(cfg Config, m *amp.Machine, matrix string, reps int) ([]IndexRow, error) {
+	if reps < 1 {
+		reps = 5
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+	prop := haspmvcore.ProportionFor(m, a)
+	base := haspmvcore.AutoBase(a)
+	modes := []struct {
+		name string
+		mode haspmvcore.IndexMode
+	}{
+		{"int", haspmvcore.IndexReference},
+		{"u32", haspmvcore.IndexU32},
+		{"auto", haspmvcore.IndexAuto},
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, a.Rows)
+	flops := 2 * float64(a.NNZ())
+	var rows []IndexRow
+	refSec := 0.0
+	for _, md := range modes {
+		alg := haspmvcore.New(haspmvcore.Options{PProportion: prop, Base: base, Index: md.mode})
+		prep, err := alg.Prepare(m, a)
+		if err != nil {
+			return nil, fmt.Errorf("mode %s: %w", md.name, err)
+		}
+		prep.Compute(y, x) // warm up (scratch pools, worker pool)
+		best := time.Duration(1 << 62)
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			prep.Compute(y, x)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		st := prep.(*haspmvcore.Prepared).IndexStats()
+		row := IndexRow{Mode: md.name, TimeUs: float64(best.Nanoseconds()) / 1e3}
+		if nnz := a.NNZ(); nnz > 0 {
+			row.IdxBytesPerNNZ = float64(st.StreamIndexBytes) / float64(nnz)
+			row.U16NNZShare = float64(st.NNZByFormat[haspmvcore.Index16]) / float64(nnz)
+		}
+		if s := best.Seconds(); s > 0 {
+			row.GFlops = flops / s / 1e9
+			if md.name == "int" {
+				refSec = s
+			}
+			row.Speedup = refSec / s
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintIndex renders the index-stream mode sweep.
+func PrintIndex(w io.Writer, m *amp.Machine, matrix string, rows []IndexRow) {
+	fmt.Fprintf(w, "\n# Index-stream SpMV on %s (machine model %s used for partitioning only)\n", matrix, m.Name)
+	fmt.Fprintln(w, "note: host cores are symmetric; these numbers show index-traffic reduction, not AMP behaviour")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mode\ttime(us)\tGFlops\tspeedup vs int\tidx B/nnz\tu16 nnz share")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%.2fx\t%.2f\t%.1f%%\n",
+			r.Mode, r.TimeUs, r.GFlops, r.Speedup, r.IdxBytesPerNNZ, 100*r.U16NNZShare)
+	}
+	tw.Flush()
+}
+
+// IndexCSV emits machine,matrix,mode,time_us,gflops,speedup,
+// idx_bytes_per_nnz,u16_nnz_share rows.
+func IndexCSV(w io.Writer, machine, matrix string, rowsIn []IndexRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "mode", "time_us", "gflops", "speedup", "idx_bytes_per_nnz", "u16_nnz_share"}}
+	for _, r := range rowsIn {
+		rows = append(rows, []string{
+			machine, matrix, r.Mode, f(r.TimeUs), f(r.GFlops),
+			f(r.Speedup), f(r.IdxBytesPerNNZ), f(r.U16NNZShare),
+		})
+	}
+	return writeAll(cw, rows)
+}

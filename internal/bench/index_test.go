@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"haspmv/internal/amp"
+)
+
+func TestIndexSweepModesAndBytes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RepScale = 64
+	m := amp.IntelI912900KF()
+	rows, err := IndexSweep(cfg, m, "rma10", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 (int, u32, auto)", len(rows))
+	}
+	byMode := map[string]IndexRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+		if r.TimeUs <= 0 || r.GFlops <= 0 || r.Speedup <= 0 {
+			t.Errorf("mode %s: non-positive measurement %+v", r.Mode, r)
+		}
+		if r.U16NNZShare < 0 || r.U16NNZShare > 1 {
+			t.Errorf("mode %s: u16 share %v outside [0,1]", r.Mode, r.U16NNZShare)
+		}
+	}
+	// The reference walks the matrix's own 8-byte []int indices, u32
+	// streams exactly 4 bytes per index, and auto can only narrow further.
+	if got := byMode["int"].IdxBytesPerNNZ; got != 8 {
+		t.Errorf("int idx bytes/nnz = %v, want 8", got)
+	}
+	if got := byMode["u32"].IdxBytesPerNNZ; got != 4 {
+		t.Errorf("u32 idx bytes/nnz = %v, want 4", got)
+	}
+	if got := byMode["auto"].IdxBytesPerNNZ; got < 2 || got > 4 {
+		t.Errorf("auto idx bytes/nnz = %v, want within [2,4]", got)
+	}
+	if byMode["int"].Speedup != 1 {
+		t.Errorf("reference speedup = %v, want exactly 1", byMode["int"].Speedup)
+	}
+
+	var out bytes.Buffer
+	PrintIndex(&out, m, "rma10", rows)
+	if !strings.Contains(out.String(), "u16 nnz share") {
+		t.Fatalf("report missing header:\n%s", out.String())
+	}
+	out.Reset()
+	if err := IndexCSV(&out, m.Name, "rma10", rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3 rows:\n%s", lines, out.String())
+	}
+}

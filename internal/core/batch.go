@@ -28,7 +28,12 @@ type batchScratch struct {
 	nvCap    int
 	extraRow []int
 	extraVal []float64 // len(regions)*nvCap, core id strided by nvCap
-	body     func(id int)
+	// sums is the per-core kernel output block (len(regions)*MaxBlock,
+	// strided by MaxBlock). It lives in the pooled scratch rather than on
+	// run's stack so that passing it to the generic compressed block
+	// kernels cannot cost a per-call heap allocation.
+	sums []float64
+	body func(id int)
 }
 
 func (p *Prepared) newBatchScratch(nv int) *batchScratch {
@@ -41,6 +46,7 @@ func (p *Prepared) newBatchScratch(nv int) *batchScratch {
 		nvCap:    cap,
 		extraRow: make([]int, n),
 		extraVal: make([]float64, n*cap),
+		sums:     make([]float64, n*kernel.MaxBlock),
 	}
 	s.body = s.run
 	return s
@@ -59,9 +65,10 @@ func (s *batchScratch) run(id int) {
 	tel := s.tel
 	t0 := time.Now()
 	h, mat, Y, X, nv := p.h, p.mat, s.Y, s.X, s.nv
+	st := &p.streams
 	un := p.unroll[id]
 	extra := s.extraVal[id*s.nvCap : id*s.nvCap+nv]
-	var sums [kernel.MaxBlock]float64
+	sums := s.sums[id*kernel.MaxBlock : (id+1)*kernel.MaxBlock]
 	nnzDone, frags := 0, 0
 	r := reg.StartRow
 	pos := reg.Lo
@@ -86,10 +93,26 @@ func (s *batchScratch) run(id int) {
 				if w > kernel.MaxBlock {
 					w = kernel.MaxBlock
 				}
+				// Per-region format dispatch, same arm for every fragment
+				// and block of the region (bit-exact across formats).
 				if w == 1 {
-					sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], lo, hi, un)
+					switch reg.Format {
+					case Index32:
+						sums[0] = kernel.DotRange32(mat.Val, st.col32, X[v0], lo, hi, un)
+					case Index16:
+						sums[0] = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r], X[v0], lo, hi, un)
+					default:
+						sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], lo, hi, un)
+					}
 				} else {
-					kernel.DotRangeBlock(mat.Val, mat.ColIdx, X[v0:], sums[:w], lo, hi, un)
+					switch reg.Format {
+					case Index32:
+						kernel.DotRangeBlock32(mat.Val, st.col32, X[v0:], sums[:w], lo, hi, un)
+					case Index16:
+						kernel.DotRangeBlock16Delta(mat.Val, st.col16, st.rowBase[r], X[v0:], sums[:w], lo, hi, un)
+					default:
+						kernel.DotRangeBlock(mat.Val, mat.ColIdx, X[v0:], sums[:w], lo, hi, un)
+					}
 				}
 				if first {
 					for j := 0; j < w; j++ {
@@ -114,6 +137,7 @@ func (s *batchScratch) run(id int) {
 	dur := time.Since(t0)
 	p.accum[id].ns.Add(int64(dur))
 	p.accum[id].nnz.Add(int64(nnzDone))
+	cNNZFormat[reg.Format].Add(int64(nnzDone))
 	if tel != nil {
 		ex := 0
 		if s.extraRow[id] >= 0 {

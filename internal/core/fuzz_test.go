@@ -16,12 +16,21 @@ import (
 // ignored — every input decodes to *some* valid matrix, so the fuzzer
 // explores structure (empty rows, hub rows, diagonals) rather than
 // fighting a parser. The second return drives algorithm options.
+//
+// A column byte of 200 or more selects the wide shape instead: 66556
+// columns with entries at 261-column strides, so row spans straddle the
+// u16-delta eligibility boundary (span 65535) — column bytes spanning up
+// to 251 give row spans <= 65511 (u16-eligible), 252 or more give
+// >= 65772 (past a 2^16 span, u32 fallback).
 func fuzzMatrix(data []byte) (*sparse.CSR, byte) {
 	if len(data) < 2 {
 		return nil, 0
 	}
 	rows := 1 + int(data[0])%32
-	cols := 1 + int(data[1])%32
+	cols, colStride := 1+int(data[1])%32, 1
+	if data[1] >= 200 {
+		cols, colStride = 255*261+1, 261
+	}
 	var optByte byte
 	if len(data) > 2 {
 		optByte = data[2]
@@ -29,7 +38,7 @@ func fuzzMatrix(data []byte) (*sparse.CSR, byte) {
 	c := &sparse.COO{Rows: rows, Cols: cols}
 	for k := 3; k+2 < len(data); k += 3 {
 		i := int(data[k]) % rows
-		j := int(data[k+1]) % cols
+		j := int(data[k+1]) * colStride % cols
 		v := float64(int8(data[k+2])) / 4
 		c.Add(i, j, v)
 	}
@@ -37,14 +46,38 @@ func fuzzMatrix(data []byte) (*sparse.CSR, byte) {
 }
 
 // fuzzOptions maps the option byte onto the ablation space: reorder
-// on/off, one- vs two-level partition, and a handful of explicit base
-// thresholds around the short/long boundary.
+// on/off, one- vs two-level partition, a handful of explicit base
+// thresholds around the short/long boundary, and the index-stream mode.
 func fuzzOptions(b byte) Options {
+	var mode IndexMode
+	switch (b >> 5) & 3 {
+	case 1:
+		mode = IndexU32
+	case 2:
+		mode = IndexReference
+	}
 	return Options{
 		DisableReorder: b&1 != 0,
 		OneLevel:       b&2 != 0,
 		Base:           int(b>>2) % 8 * 4, // 0 (auto), 4, 8, ..., 28
+		Index:          mode,
 	}
+}
+
+// referencePrepared builds the []int oracle instance for a prepared
+// compressed instance: same options, reference index mode, and the
+// resolved proportion pinned so both cut identical regions (the auto
+// proportion is stream-aware, so leaving it auto could move boundaries).
+func referencePrepared(t *testing.T, hp *Prepared, a *sparse.CSR, opts Options) *Prepared {
+	t.Helper()
+	refOpts := opts
+	refOpts.Index = IndexReference
+	refOpts.PProportion = hp.Plan().PProportion
+	ref, err := New(refOpts).Prepare(amp.IntelI912900KF(), a)
+	if err != nil {
+		t.Fatalf("reference Prepare failed (opts %+v): %v", refOpts, err)
+	}
+	return ref.(*Prepared)
 }
 
 // FuzzPrepareCompute feeds random small matrices through the full
@@ -61,6 +94,8 @@ func FuzzPrepareCompute(f *testing.F) {
 	f.Add([]byte{31, 31, 2, 1, 1, 4, 9, 9, 8, 30, 2, 252})                                                                                 // sparse diagonal-ish, one-level
 	f.Add([]byte{3, 3, 12, 0, 0, 1, 0, 1, 2, 0, 2, 3, 1, 0, 4, 1, 1, 5, 1, 2, 6, 2, 0, 7, 2, 1, 8, 2, 2, 9, 3, 0, 10, 3, 1, 11, 3, 2, 12}) // dense 4x3
 	f.Add([]byte{15, 7, 0, 201, 0, 0, 8, 0, 5, 200, 1, 40, 5, 3, 12})                                                                      // empty rows + weighted repartition
+	f.Add([]byte{7, 200, 0, 0, 10, 40, 0, 20, 41, 1, 0, 42, 1, 252, 43, 2, 0, 44, 2, 251, 45})                                             // wide: u16-delta region boundary (eligible rows around a >2^16-span row)
+	f.Add([]byte{0, 255, 0, 0, 0, 10, 0, 252, 20, 0, 100, 30})                                                                             // wide: single row spanning past 2^16 columns
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			return // keep Prepare cost bounded
@@ -95,11 +130,24 @@ func FuzzPrepareCompute(f *testing.F) {
 			}
 		}
 
+		// Bit-equality against the []int reference streams: index
+		// compression is only legal because on the same partition it
+		// reproduces the reference kernels' float64 bits exactly.
+		hp := prep.(*Prepared)
+		refPrep := referencePrepared(t, hp, a, opts)
+		ref := make([]float64, a.Rows)
+		refPrep.Compute(ref, x)
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("compressed y[%d] = %x, []int reference %x (matrix %dx%d nnz %d, opts %+v)",
+					i, math.Float64bits(y[i]), math.Float64bits(ref[i]), a.Rows, a.Cols, a.NNZ(), opts)
+			}
+		}
+
 		// Repartition with an input-derived plan and re-check everything:
 		// boundary moves must preserve coverage and the computed product for
 		// any valid proportion/weight combination, including on matrices
 		// with empty rows after a reorder.
-		hp := prep.(*Prepared)
 		var pb byte
 		if len(data) > 3 {
 			pb = data[3]
@@ -127,6 +175,21 @@ func FuzzPrepareCompute(f *testing.F) {
 					i, y[i], want[i], plan, opts)
 			}
 		}
+
+		// The same boundary move on the reference instance must keep the two
+		// bit-identical: Repartition re-picks per-region formats without
+		// rebuilding streams, and a region that drifts across a u16-delta
+		// eligibility edge must fall back to a wider format, not drift bits.
+		if err := refPrep.Repartition(plan); err != nil {
+			t.Fatalf("reference Repartition(%+v) failed: %v", plan, err)
+		}
+		refPrep.Compute(ref, x)
+		for i := range y {
+			if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("after repartition: compressed y[%d] = %x, []int reference %x (plan %+v, opts %+v)",
+					i, math.Float64bits(y[i]), math.Float64bits(ref[i]), plan, opts)
+			}
+		}
 	})
 }
 
@@ -140,6 +203,7 @@ func FuzzComputeBatch(f *testing.F) {
 	f.Add([]byte{0, 15, 0, 0, 0, 8, 0, 5, 16, 0, 11, 200}, byte(3))                                                                                                                                            // single row
 	f.Add([]byte{31, 31, 0, 1, 1, 4, 9, 9, 8, 30, 2, 252}, byte(9))                                                                                                                                            // short rows, two blocks
 	f.Add([]byte{2, 30, 0, 0, 0, 1, 0, 3, 2, 0, 6, 3, 0, 9, 4, 0, 12, 5, 0, 15, 6, 0, 18, 7, 0, 21, 8, 1, 1, 9, 1, 4, 10, 1, 7, 11, 1, 10, 12, 1, 13, 13, 1, 16, 14, 1, 19, 15, 1, 22, 16, 2, 2, 17}, byte(5)) // long rows
+	f.Add([]byte{7, 200, 0, 0, 10, 40, 0, 20, 41, 1, 0, 42, 1, 252, 43, 2, 0, 44, 2, 251, 45}, byte(5))                                                                                                        // wide: u16-delta region boundary, block path
 	f.Fuzz(func(t *testing.T, data []byte, nvByte byte) {
 		if len(data) > 1<<12 {
 			return
@@ -149,7 +213,8 @@ func FuzzComputeBatch(f *testing.F) {
 			return
 		}
 		nv := 1 + int(nvByte)%10
-		prep, err := New(fuzzOptions(optByte)).Prepare(amp.IntelI912900KF(), a)
+		opts := fuzzOptions(optByte)
+		prep, err := New(opts).Prepare(amp.IntelI912900KF(), a)
 		if err != nil {
 			t.Fatalf("Prepare: %v", err)
 		}
@@ -175,6 +240,23 @@ func FuzzComputeBatch(f *testing.F) {
 				if Y[v][i] != want[v][i] {
 					t.Fatalf("batch nv=%d: Y[%d][%d] = %x, solo Compute gives %x (matrix %dx%d nnz %d)",
 						nv, v, i, Y[v][i], want[v][i], a.Rows, a.Cols, a.NNZ())
+				}
+			}
+		}
+
+		// The compressed block kernels must also match the []int reference
+		// block kernels bit for bit on the same partition.
+		refPrep := referencePrepared(t, prep.(*Prepared), a, opts)
+		refY := make([][]float64, nv)
+		for v := range refY {
+			refY[v] = make([]float64, a.Rows)
+		}
+		refPrep.ComputeBatch(refY, X)
+		for v := 0; v < nv; v++ {
+			for i := range Y[v] {
+				if math.Float64bits(Y[v][i]) != math.Float64bits(refY[v][i]) {
+					t.Fatalf("batch nv=%d: compressed Y[%d][%d] = %x, []int reference %x (matrix %dx%d nnz %d, opts %+v)",
+						nv, v, i, math.Float64bits(Y[v][i]), math.Float64bits(refY[v][i]), a.Rows, a.Cols, a.NNZ(), opts)
 				}
 			}
 		}

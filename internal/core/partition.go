@@ -22,6 +22,10 @@ type Region struct {
 	// walks without a per-call binary search. For an empty region
 	// (Lo == Hi == nnz) it is the row count.
 	StartRow int
+	// Format is the column-index stream this region executes with,
+	// stamped by assignFormats after every partition or repartition. The
+	// zero value dispatches to the []int reference kernels.
+	Format IndexFormat
 }
 
 // DefaultProportion derives the level-1 split (P_proportion in Algorithm
@@ -48,7 +52,16 @@ func DefaultProportion(m *amp.Machine) float64 {
 // between 32MB and 96MB, the paper's bandwidth-test-driven calibration.
 // SpMV is memory bound, so memory capability dominates the weighting.
 func ProportionFor(m *amp.Machine, a *sparse.CSR) float64 {
-	footprint := float64(a.NNZ()*12 + a.Cols*8 + a.Rows*12)
+	return proportionForBytes(m, a, 4)
+}
+
+// proportionForBytes is ProportionFor with the index-stream width as a
+// parameter: Prepare passes the effective bytes per nonzero index of the
+// streams it actually built (4 for u32, 2 for u16, a blend for mixed
+// partitions, 8 for the []int reference), so the level-1 split prices
+// the working set the kernels will really move.
+func proportionForBytes(m *amp.Machine, a *sparse.CSR, idxBytes float64) float64 {
+	footprint := float64(a.NNZ())*(8+idxBytes) + float64(a.Cols*8+a.Rows*12)
 	capability := func(g *amp.CoreGroup) float64 {
 		compute := g.FreqGHz * float64(g.SIMDLanes)
 		r3 := 1.0

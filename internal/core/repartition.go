@@ -91,6 +91,9 @@ func (p *Prepared) Repartition(plan Plan) error {
 	if err := checkRegions(h, regions); err != nil {
 		return err
 	}
+	// Streams are never rebuilt on a boundary move: each moved region
+	// just re-picks the narrowest format all its rows still support.
+	p.assignFormats(regions)
 	planCopy := plan
 	if plan.Weights != nil {
 		planCopy.Weights = append([]float64(nil), plan.Weights...)

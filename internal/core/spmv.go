@@ -44,6 +44,9 @@ type Options struct {
 	// OneLevel disables the heterogeneity-aware level-1 split, balancing
 	// cost equally across all cores (ablation).
 	OneLevel bool
+	// Index selects the column-index stream policy (default IndexAuto:
+	// compressed u32/u16 streams with per-region dispatch).
+	Index IndexMode
 }
 
 // New builds the HASpMV algorithm. Config defaults to both groups (PAndE).
@@ -63,9 +66,6 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 		return nil, err
 	}
 	opts := a.opts
-	if opts.PProportion <= 0 || opts.PProportion >= 1 {
-		opts.PProportion = ProportionFor(m, mat)
-	}
 	if opts.Base <= 0 {
 		opts.Base = AutoBase(mat)
 	}
@@ -88,6 +88,16 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	if tel != nil {
 		tel.RecordPhase(telemetry.PhaseReorder, time.Since(t0))
 		t0 = time.Now()
+	}
+	streams := buildStreams(mat, h, opts.Index)
+	if tel != nil {
+		tel.RecordPhase(telemetry.PhaseStreams, time.Since(t0))
+		t0 = time.Now()
+	}
+	// The auto level-1 proportion prices the working set the kernels will
+	// actually stream, so it sees the compressed index width.
+	if opts.PProportion <= 0 || opts.PProportion >= 1 {
+		opts.PProportion = proportionForBytes(m, mat, streams.effIdxBytes(mat.NNZ()))
 	}
 	cs := costSum(mat, h, opts.Metric)
 	if tel != nil {
@@ -113,7 +123,7 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	p := &Prepared{
 		mat: mat, h: h, machine: m,
 		opts: opts, emptyRows: empty, unroll: unroll,
-		cs: cs, cores: cores,
+		cs: cs, cores: cores, streams: streams,
 		accum: make([]coreAccum, len(regions)),
 	}
 	for _, c := range cores {
@@ -121,6 +131,7 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 			p.pCount++
 		}
 	}
+	p.assignFormats(regions)
 	p.regions.Store(&regions)
 	p.scratch.Store(p.newScratch())
 	cPrepares.Add(1)
@@ -178,6 +189,9 @@ type Prepared struct {
 	// cs is the per-reordered-row cost prefix sum the partition was cut
 	// from; Repartition reuses it to move boundaries in O(cores·log nnz).
 	cs []int
+	// streams holds the compressed column-index streams built once at
+	// Prepare; Repartition only re-picks per-region formats over them.
+	streams indexStreams
 	// cores are the participating core ids (P slots first), and pCount
 	// how many of them belong to the Performance group.
 	cores  []int
@@ -264,6 +278,7 @@ func (s *computeScratch) run(id int) {
 	tel := s.tel
 	t0 := time.Now()
 	h, mat, y, x := p.h, p.mat, s.y, s.x
+	st := &p.streams
 	un := p.unroll[id]
 	nnzDone, frags := 0, 0
 	r := reg.StartRow
@@ -276,8 +291,18 @@ func (s *computeScratch) run(id int) {
 		}
 		if fragEnd > pos {
 			o := h.RowBeginNNZ[r]
-			sum := kernel.DotRange(mat.Val, mat.ColIdx, x,
-				o+(pos-rowStart), o+(fragEnd-rowStart), un)
+			klo, khi := o+(pos-rowStart), o+(fragEnd-rowStart)
+			// Per-region format dispatch: the branch takes the same arm
+			// for every fragment of the region, so it predicts perfectly.
+			var sum float64
+			switch reg.Format {
+			case Index32:
+				sum = kernel.DotRange32(mat.Val, st.col32, x, klo, khi, un)
+			case Index16:
+				sum = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r], x, klo, khi, un)
+			default:
+				sum = kernel.DotRange(mat.Val, mat.ColIdx, x, klo, khi, un)
+			}
 			if pos == rowStart {
 				// This core owns the row's first fragment: direct
 				// store (Algorithm 5's y[pl[id]] = kernel(...)).
@@ -299,6 +324,7 @@ func (s *computeScratch) run(id int) {
 	// nonzeros, independent of the gated telemetry collector.
 	p.accum[id].ns.Add(int64(dur))
 	p.accum[id].nnz.Add(int64(nnzDone))
+	cNNZFormat[reg.Format].Add(int64(nnzDone))
 	if tel != nil {
 		extra := 0
 		if s.extraRow[id] >= 0 {
@@ -387,6 +413,15 @@ func (p *Prepared) Assignments() []costmodel.Assignment {
 	asgs := make([]costmodel.Assignment, len(regions))
 	for i, reg := range regions {
 		asg := costmodel.Assignment{Core: reg.Core}
+		// Tell the model which index width this region streams; the []int
+		// reference keeps the zero value (the model then prices the
+		// paper's 4-byte baseline, as before this representation existed).
+		switch reg.Format {
+		case Index32:
+			asg.IdxBytes = 4
+		case Index16:
+			asg.IdxBytes = 2
+		}
 		if reg.Lo < reg.Hi {
 			r := reg.StartRow
 			pos := reg.Lo

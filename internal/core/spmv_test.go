@@ -90,7 +90,7 @@ func TestTwoLevelPartitionShares(t *testing.T) {
 	}
 	p := prep.(*Prepared)
 	var pShare, eShare int
-	var pMax, pMin, eMax, eMin = 0, 1 << 60, 0, 1 << 60
+	var pMax, pMin, eMax, eMin = 0, math.MaxInt, 0, math.MaxInt
 	for _, reg := range p.Regions() {
 		n := reg.Hi - reg.Lo
 		g, _ := m.GroupOf(reg.Core)
@@ -147,8 +147,8 @@ func TestCacheLineBalancesCostNotNNZ(t *testing.T) {
 	}
 	p := prep.(*Prepared)
 	cs := costSum(a, p.Format(), CacheLineCost)
-	var costMin, costMax = 1 << 60, 0
-	var nnzMin, nnzMax = 1 << 60, 0
+	var costMin, costMax = math.MaxInt, 0
+	var nnzMin, nnzMax = math.MaxInt, 0
 	for _, reg := range p.Regions() {
 		// Cost of the region, approximated at row granularity.
 		rLo := rowOfPosition(p.Format(), reg.Lo)

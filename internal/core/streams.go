@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"haspmv/internal/exec"
+	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
+)
+
+// Compressed-index execution streams. SpMV is stream bound and []int
+// column indices are 8 of the 16 bytes moved per nonzero, so Prepare
+// derives narrower physical index streams and each region picks the
+// narrowest one its rows permit: u32 absolute whenever the matrix has
+// fewer than 2^32 columns, u16 deltas from a per-row base column for
+// regions whose rows all span at most 65535 columns after the HACSR
+// reorder (short-row reordering clusters exactly the rows where this
+// holds). The []int stream is kept as the fallback and as the reference
+// oracle the fuzz bit-equality stage compares against; results are
+// bit-identical across formats because the compressed kernels reproduce
+// the []int accumulator chains over the same operand values.
+
+// Stream-build telemetry (no-ops while telemetry is disabled).
+var (
+	gStreamBytes = telemetry.NewGauge("core_index_stream_bytes")
+	gNNZFormat   = [3]*telemetry.Gauge{
+		telemetry.NewGauge("core_partition_nnz_int"),
+		telemetry.NewGauge("core_partition_nnz_u32"),
+		telemetry.NewGauge("core_partition_nnz_u16"),
+	}
+	cNNZFormat = [3]*telemetry.Counter{
+		telemetry.NewCounter("core_nnz_int"),
+		telemetry.NewCounter("core_nnz_u32"),
+		telemetry.NewCounter("core_nnz_u16"),
+	}
+)
+
+// IndexFormat is the physical column-index encoding one region executes
+// with. The zero value is the []int reference stream, so a Region built
+// before stream assignment (or by tests) dispatches to the original
+// kernels.
+type IndexFormat uint8
+
+const (
+	// IndexInt walks the matrix's own ColIdx []int (8 bytes per index).
+	IndexInt IndexFormat = iota
+	// Index32 walks the u32 absolute stream (4 bytes per index).
+	Index32
+	// Index16 walks the u16 delta stream with a per-row base column
+	// (2 bytes per index).
+	Index16
+)
+
+func (f IndexFormat) String() string {
+	switch f {
+	case IndexInt:
+		return "int"
+	case Index32:
+		return "u32"
+	case Index16:
+		return "u16"
+	default:
+		return fmt.Sprintf("IndexFormat(%d)", int(f))
+	}
+}
+
+// BytesPerIndex returns the stream width of the format.
+func (f IndexFormat) BytesPerIndex() int {
+	switch f {
+	case Index32:
+		return 4
+	case Index16:
+		return 2
+	default:
+		return 8
+	}
+}
+
+// IndexMode selects which streams Prepare builds. The zero value
+// compresses by default: the public API is unchanged and every caller
+// gets the narrower streams unless it opts out.
+type IndexMode int
+
+const (
+	// IndexAuto builds the u32 stream plus u16 deltas for every eligible
+	// row; each region then executes with the narrowest format all its
+	// rows support.
+	IndexAuto IndexMode = iota
+	// IndexReference skips compression entirely: every region walks the
+	// original []int ColIdx (the oracle the fuzz stage compares against).
+	IndexReference
+	// IndexU32 builds only the u32 stream (no per-row delta analysis);
+	// used by benchmarks to isolate the u32 win from the u16 one.
+	IndexU32
+)
+
+func (m IndexMode) String() string {
+	switch m {
+	case IndexAuto:
+		return "auto"
+	case IndexReference:
+		return "int"
+	case IndexU32:
+		return "u32"
+	default:
+		return fmt.Sprintf("IndexMode(%d)", int(m))
+	}
+}
+
+// maxSpan16 is the widest row column-span (maxCol-minCol) a u16 delta
+// stream can encode.
+const maxSpan16 = math.MaxUint16
+
+// indexStreams holds the compressed column-index streams, all indexed by
+// *original* nnz position (parallel to CSR.ColIdx) so the fragment walk
+// uses the same offsets for every format.
+type indexStreams struct {
+	// col32 is the u32 absolute stream; nil when compression is off
+	// (IndexReference) or impossible (>= 2^32 columns).
+	col32 []uint32
+	// col16 is the u16 delta stream. Entries are valid only inside
+	// u16-eligible rows (others are zero); nil when no row is eligible or
+	// the mode skips delta analysis.
+	col16 []uint16
+	// rowBase[i] is the base column of reordered row i's delta encoding
+	// (the row's minimum column); only present alongside col16.
+	rowBase []int
+	// elig[i] counts u16-eligible reordered rows before row i (len
+	// Rows+1), so a region's rows are all eligible iff the prefix delta
+	// equals its row count. Empty rows are trivially eligible.
+	elig []int
+	// nnz16 is the nonzero count inside eligible rows; maxSpan the
+	// largest row column-span seen (both only computed under IndexAuto).
+	nnz16   int
+	maxSpan int
+}
+
+// effIdxBytes is the footprint-weighted index-stream width the built
+// streams will move per nonzero, used by the auto level-1 proportion.
+// The []int reference is priced at the paper's 4-byte CSR index (the
+// same width costmodel.DefaultParams charges it), not Go's physical 8:
+// the proportion calibration and every figure reproduction were tuned
+// against that model, and reference mode exists to reproduce them.
+func (st *indexStreams) effIdxBytes(nnz int) float64 {
+	if st.col32 == nil || nnz == 0 || st.nnz16 == 0 {
+		return 4
+	}
+	return float64(4*(nnz-st.nnz16)+2*st.nnz16) / float64(nnz)
+}
+
+// buildStreams derives the compressed streams for a under mode. The u32
+// copy is one chunked parallel sweep over the nonzeros; the delta
+// analysis is one chunked sweep over the original rows (min/max column,
+// eligibility, delta fill) followed by a permutation gather of the
+// per-row metadata into reordered order — the same two-pass discipline
+// as the rest of the Prepare pipeline.
+func buildStreams(a *sparse.CSR, h *HACSR, mode IndexMode) indexStreams {
+	var st indexStreams
+	if mode == IndexReference || uint64(a.Cols) > math.MaxUint32 {
+		return st
+	}
+	nnz := a.NNZ()
+	st.col32 = make([]uint32, nnz)
+	if mode == IndexU32 || a.Rows == 0 {
+		exec.ParallelRanges(nnz, prepWidth(), prepGrain, func(_, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				st.col32[k] = uint32(a.ColIdx[k])
+			}
+		})
+		return st
+	}
+
+	// Per-original-row delta analysis, fused with the u32 copy so the
+	// nonzeros stream through once. Each row's span depends only on its
+	// own entries, so the sweep chunks freely; per-chunk nnz16 and
+	// max-span reductions are combined serially afterwards. minCol doubles
+	// as the eligibility flag (-1 = row needs the wide stream).
+	m := a.Rows
+	minCol := make([]int, m)
+	c := exec.RangeChunks(m, prepWidth(), prepGrain)
+	nnz16s := make([]int, c)
+	spans := make([]int, c)
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(ch, lo, hi int) {
+		n16, mspan := 0, 0
+		for i := lo; i < hi; i++ {
+			rlo, rhi := a.RowPtr[i], a.RowPtr[i+1]
+			if rlo == rhi {
+				continue
+			}
+			mn, mx := a.ColIdx[rlo], a.ColIdx[rlo]
+			for k := rlo; k < rhi; k++ {
+				cix := a.ColIdx[k]
+				st.col32[k] = uint32(cix)
+				if cix < mn {
+					mn = cix
+				} else if cix > mx {
+					mx = cix
+				}
+			}
+			minCol[i] = mn
+			if span := mx - mn; span > mspan {
+				mspan = span
+			}
+			if mx-mn <= maxSpan16 {
+				n16 += rhi - rlo
+			} else {
+				minCol[i] = -1
+			}
+		}
+		nnz16s[ch], spans[ch] = n16, mspan
+	})
+	for ch := 0; ch < c; ch++ {
+		st.nnz16 += nnz16s[ch]
+		if spans[ch] > st.maxSpan {
+			st.maxSpan = spans[ch]
+		}
+	}
+	if st.nnz16 == 0 {
+		return st
+	}
+
+	// Only now that some row qualifies is the delta stream worth its
+	// allocation: fill it for eligible rows (their entries are cache-warm
+	// from the fused sweep on all but the largest matrices).
+	st.col16 = make([]uint16, nnz)
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mn := minCol[i]
+			if mn < 0 {
+				continue
+			}
+			for k, rhi := a.RowPtr[i], a.RowPtr[i+1]; k < rhi; k++ {
+				st.col16[k] = uint16(a.ColIdx[k] - mn)
+			}
+		}
+	})
+
+	// Gather the per-row metadata through the reorder permutation and
+	// prefix-sum the eligibility flags.
+	st.rowBase = make([]int, m)
+	st.elig = make([]int, m+1)
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if mn := minCol[h.Perm[i]]; mn >= 0 {
+				st.rowBase[i] = mn
+				st.elig[i+1] = 1
+			}
+		}
+	})
+	prefixSum(st.elig[1:])
+	return st
+}
+
+// regionFormat picks the narrowest stream every row of the region can
+// execute with. A region may start or end mid-row; delta validity is
+// per-row, so a partial fragment of an eligible row still decodes
+// correctly and only the set of *touched* rows matters.
+func (p *Prepared) regionFormat(r Region) IndexFormat {
+	st := &p.streams
+	if st.col32 == nil {
+		return IndexInt
+	}
+	if r.Lo >= r.Hi {
+		return Index32
+	}
+	if st.col16 != nil {
+		last := rowOfPosition(p.h, r.Hi-1)
+		if st.elig[last+1]-st.elig[r.StartRow] == last+1-r.StartRow {
+			return Index16
+		}
+	}
+	return Index32
+}
+
+// assignFormats stamps every region with its execution format and
+// refreshes the partition-level stream gauges. It runs at Prepare and
+// after every Repartition, before the regions slice is published:
+// boundary moves never rebuild streams, they only re-pick formats, and a
+// region that comes to straddle a u16-ineligible row falls back to the
+// widest format present among its rows (u32, or []int when compression
+// is off).
+func (p *Prepared) assignFormats(regions []Region) {
+	var bytes int64
+	var nnzBy [3]int64
+	for i := range regions {
+		f := p.regionFormat(regions[i])
+		regions[i].Format = f
+		n := int64(regions[i].Hi - regions[i].Lo)
+		nnzBy[f] += n
+		bytes += n * int64(f.BytesPerIndex())
+	}
+	gStreamBytes.Set(bytes)
+	for f := range nnzBy {
+		gNNZFormat[f].Set(nnzBy[f])
+	}
+}
+
+// IndexStats summarizes the compressed execution representation of the
+// live partition.
+type IndexStats struct {
+	// NNZByFormat counts assigned nonzeros per execution format, indexed
+	// by IndexFormat (int, u32, u16).
+	NNZByFormat [3]int
+	// StreamIndexBytes is the total index bytes one multiply streams
+	// under the current region formats.
+	StreamIndexBytes int
+	// Eligible16NNZ counts nonzeros in u16-eligible rows (an upper bound
+	// on the u16 assignment; only computed under IndexAuto).
+	Eligible16NNZ int
+	// MaxRowSpan is the largest row column-span observed (only computed
+	// under IndexAuto).
+	MaxRowSpan int
+}
+
+// IndexStats reports the per-format nnz split, index-stream bytes, and
+// row-span profile of the live partition.
+func (p *Prepared) IndexStats() IndexStats {
+	s := IndexStats{
+		Eligible16NNZ: p.streams.nnz16,
+		MaxRowSpan:    p.streams.maxSpan,
+	}
+	for _, r := range *p.regions.Load() {
+		n := r.Hi - r.Lo
+		s.NNZByFormat[r.Format] += n
+		s.StreamIndexBytes += n * r.Format.BytesPerIndex()
+	}
+	return s
+}

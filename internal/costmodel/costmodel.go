@@ -79,6 +79,11 @@ type Span struct{ Lo, Hi int }
 type Assignment struct {
 	Core  int
 	Spans []Span
+	// IdxBytes, when positive, overrides Params.IdxBytes for this
+	// assignment's streaming term: algorithms with compressed per-region
+	// column-index streams (HASpMV's u32/u16 execution streams) price
+	// each region at the width it actually moves.
+	IdxBytes int
 }
 
 // NNZ returns the total nonzeros assigned.
@@ -159,7 +164,11 @@ func EstimateSpMV(m *amp.Machine, p Params, a *sparse.CSR, asgs []Assignment) Re
 		cc.ComputeSeconds = cycles / (g.FreqGHz * 1e9)
 
 		// ---- memory term.
-		streamBytes := float64(cc.NNZ*(p.ValBytes+p.IdxBytes) + rows*(p.PtrBytes+8))
+		idxBytes := p.IdxBytes
+		if asg.IdxBytes > 0 {
+			idxBytes = asg.IdxBytes
+		}
+		streamBytes := float64(cc.NNZ*(p.ValBytes+idxBytes) + rows*(p.PtrBytes+8))
 		caps := effectiveCaches(m, g, activeP, activeE)
 		share := xShare(xBytes, streamBytes, caps)
 

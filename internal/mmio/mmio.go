@@ -36,7 +36,7 @@ var ErrNotMatrixMarket = errors.New("mmio: not a Matrix Market file")
 // SuiteSparse matrices; override for genuinely bigger data.
 var Limits = struct {
 	MaxRows, MaxCols, MaxNNZ int
-}{1 << 28, 1 << 28, 1 << 31}
+}{1 << 28, 1 << 28, 1 << 30}
 
 func checkSize(rows, cols, nnz int) error {
 	if rows > Limits.MaxRows || cols > Limits.MaxCols || nnz > Limits.MaxNNZ {

@@ -75,6 +75,14 @@ func (a *CSR) Validate() error {
 		if a.RowPtr[i+1] < a.RowPtr[i] {
 			return fmt.Errorf("sparse: RowPtr not monotone at row %d (%d > %d)", i, a.RowPtr[i], a.RowPtr[i+1])
 		}
+		// A monotone prefix can still point past the storage when a later
+		// entry decreases again; checking every entry against the array
+		// length names the first offending row instead of failing on the
+		// aggregate nnz count (or not at all, when the final entry happens
+		// to match len(ColIdx)).
+		if a.RowPtr[i+1] > len(a.ColIdx) {
+			return fmt.Errorf("sparse: RowPtr[%d] = %d exceeds ColIdx length %d", i+1, a.RowPtr[i+1], len(a.ColIdx))
+		}
 	}
 	nnz := a.RowPtr[a.Rows]
 	if len(a.ColIdx) != nnz {

@@ -3,6 +3,7 @@ package sparse
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -84,6 +85,28 @@ func TestValidateRejectsBadMatrices(t *testing.T) {
 				t.Fatalf("Validate accepted corrupted matrix (%s)", tc.name)
 			}
 		})
+	}
+}
+
+// A RowPtr entry can exceed len(ColIdx) mid-array while the final entry
+// still matches; Validate must reject it naming the offending row rather
+// than the aggregate length.
+func TestValidateRejectsMidArrayRowPtrOverrun(t *testing.T) {
+	a := fig1Matrix()
+	over := len(a.ColIdx) + 3
+	bad := &CSR{
+		Rows:   3,
+		Cols:   a.Cols,
+		RowPtr: []int{0, over, over, len(a.ColIdx)},
+		ColIdx: a.ColIdx,
+		Val:    a.Val,
+	}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted RowPtr overrunning ColIdx mid-array")
+	}
+	if !strings.Contains(err.Error(), "RowPtr[1]") {
+		t.Fatalf("error does not name the offending entry: %v", err)
 	}
 }
 

@@ -1,0 +1,52 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIndexWidthBits(t *testing.T) {
+	cases := []struct{ cols, want int }{
+		{0, 8}, {1, 8}, {256, 8}, {257, 16},
+		{1 << 16, 16}, {1<<16 + 1, 32}, {1 << 30, 32},
+	}
+	// The 64-bit cases only exist where int can hold them (not GOARCH=386);
+	// the shift is kept non-constant so this file still compiles there.
+	if math.MaxInt > math.MaxUint32 {
+		one := 1
+		cases = append(cases,
+			struct{ cols, want int }{one << 31, 32},
+			struct{ cols, want int }{math.MaxInt, 64})
+	}
+	for _, tc := range cases {
+		if got := IndexWidthBits(tc.cols); got != tc.want {
+			t.Errorf("IndexWidthBits(%d) = %d, want %d", tc.cols, got, tc.want)
+		}
+	}
+}
+
+func TestComputeColSpanStats(t *testing.T) {
+	// Rows: span 3 (eligible), empty (trivially eligible), span 65535
+	// (the u16 boundary, eligible), span 65536 (ineligible).
+	wide := math.MaxUint16 + 1
+	a := &CSR{
+		Rows:   4,
+		Cols:   wide + 10,
+		RowPtr: []int{0, 2, 2, 4, 6},
+		ColIdx: []int{5, 8, 3, 3 + math.MaxUint16, 0, wide},
+		Val:    []float64{1, 1, 1, 1, 1, 1},
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeColSpanStats(a)
+	if s.MaxSpan != wide {
+		t.Errorf("MaxSpan = %d, want %d", s.MaxSpan, wide)
+	}
+	if s.Rows16 != 3 {
+		t.Errorf("Rows16 = %d, want 3", s.Rows16)
+	}
+	if s.NNZ16 != 4 {
+		t.Errorf("NNZ16 = %d, want 4", s.NNZ16)
+	}
+}

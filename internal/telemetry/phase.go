@@ -11,6 +11,9 @@ type Phase int
 const (
 	// PhaseReorder is the HACSR conversion (Algorithm 2).
 	PhaseReorder Phase = iota
+	// PhaseStreams is the compressed column-index stream build (u32 and
+	// u16-delta execution streams derived from the reordered matrix).
+	PhaseStreams
 	// PhaseCacheLineCost is the per-row cost computation and prefix sum
 	// (Algorithm 3), for whichever CostMetric is selected.
 	PhaseCacheLineCost
@@ -38,6 +41,7 @@ const (
 
 var phaseNames = [numPhases]string{
 	PhaseReorder:       "reorder",
+	PhaseStreams:       "streams",
 	PhaseCacheLineCost: "cost",
 	PhasePartitionL1:   "partition_l1",
 	PhasePartitionL2:   "partition_l2",
@@ -67,5 +71,5 @@ func Phases() []Phase {
 // PrepareBreakdown returns the preprocessing phases only — the components
 // of PhasePrepare that the Fig. 7-style overhead reports decompose.
 func PrepareBreakdown() []Phase {
-	return []Phase{PhaseReorder, PhaseCacheLineCost, PhasePartitionL1, PhasePartitionL2}
+	return []Phase{PhaseReorder, PhaseStreams, PhaseCacheLineCost, PhasePartitionL1, PhasePartitionL2}
 }
