@@ -21,6 +21,7 @@ import (
 	"haspmv/internal/exec"
 	"haspmv/internal/gen"
 	"haspmv/internal/stream"
+	"haspmv/internal/telemetry/tracing"
 
 	haspmvcore "haspmv/internal/core"
 )
@@ -199,6 +200,47 @@ func BenchmarkCompute(b *testing.B) {
 			b.ReportMetric(2*float64(a.NNZ())*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
 		})
 	}
+}
+
+// BenchmarkComputeTraced holds the tentpole observability requirement
+// inside the bench gate: the traced multiply is gated against the same
+// baseline family as Compute (tracing must cost nothing measurable) and
+// the benchmark refuses to run at all if the traced hot path allocates.
+// The kernel/merge split is emitted as custom "<stage>-ns/op" metrics,
+// which cmd/benchdiff snapshots as <name>/stage:<stage> entries and uses
+// to attribute a ns/op regression to the stage that moved.
+func BenchmarkComputeTraced(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	a := haspmv.Representative("shipsec1", 16)
+	prep, err := haspmvcore.New(haspmvcore.Options{}).Prepare(m, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, a.Rows)
+	var bd tracing.ComputeBreakdown
+	exec.ComputeTraced(prep, y, x, &bd) // warm the scratch and worker pools
+	if n := testing.AllocsPerRun(20, func() {
+		bd.Reset()
+		exec.ComputeTraced(prep, y, x, &bd)
+	}); n != 0 {
+		b.Fatalf("traced Compute allocates %.1f/op, want 0", n)
+	}
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var kernelNs, mergeNs int64
+	for i := 0; i < b.N; i++ {
+		bd.Reset()
+		exec.ComputeTraced(prep, y, x, &bd)
+		kernelNs += bd.KernelNs
+		mergeNs += bd.MergeNs
+	}
+	b.ReportMetric(float64(kernelNs)/float64(b.N), "compute-ns/op")
+	b.ReportMetric(float64(mergeNs)/float64(b.N), "merge-ns/op")
 }
 
 // BenchmarkComputeBatch compares the fused multi-vector multiply

@@ -104,7 +104,16 @@ func run(args []string, out io.Writer) error {
 // (GOMAXPROCS) is stripped during normalization.
 var procSuffix = regexp.MustCompile(`-\d+$`)
 
-// parseBench extracts min ns/op per normalized benchmark name.
+// stageSep joins a benchmark name with one of its custom stage metrics
+// in a snapshot ("BenchmarkX/stage:queue"). Stage entries are never
+// gated themselves; they exist to attribute a gated benchmark's
+// regression to the stage that moved (see compare).
+const stageSep = "/stage:"
+
+// parseBench extracts min ns/op per normalized benchmark name, plus any
+// custom per-stage metrics the benchmark reported (units of the form
+// "<stage>-ns/op", e.g. b.ReportMetric(q, "queue-ns/op")), stored as
+// "<name>/stage:<stage>" entries.
 func parseBench(r io.Reader) (map[string]float64, error) {
 	snap := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -116,20 +125,53 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		}
 		name := procSuffix.ReplaceAllString(fields[0], "")
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] != "ns/op" {
+			unit := fields[i+1]
+			key := ""
+			switch {
+			case unit == "ns/op":
+				key = name
+			case strings.HasSuffix(unit, "-ns/op"):
+				key = name + stageSep + strings.TrimSuffix(unit, "-ns/op")
+			default:
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad ns/op %q for %s", fields[i], name)
+				return nil, fmt.Errorf("bad %s %q for %s", unit, fields[i], name)
 			}
-			if old, ok := snap[name]; !ok || v < old {
-				snap[name] = v
+			if old, ok := snap[key]; !ok || v < old {
+				snap[key] = v
 			}
-			break
 		}
 	}
 	return snap, sc.Err()
+}
+
+// stageAttribution renders how a regressed benchmark's stage metrics
+// moved between two snapshots — the "which stage ate the time" answer —
+// or "" when neither snapshot carries stages for it.
+func stageAttribution(oldSnap, newSnap map[string]float64, name string) string {
+	prefix := name + stageSep
+	var stages []string
+	for key := range newSnap {
+		if strings.HasPrefix(key, prefix) {
+			stages = append(stages, strings.TrimPrefix(key, prefix))
+		}
+	}
+	sort.Strings(stages)
+	var parts []string
+	for _, st := range stages {
+		oldV, ok := oldSnap[prefix+st]
+		if !ok || oldV <= 0 {
+			continue
+		}
+		newV := newSnap[prefix+st]
+		parts = append(parts, fmt.Sprintf("%s %.0f -> %.0f ns/op (%+.1f%%)", st, oldV, newV, (newV-oldV)/oldV*100))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "stages: " + strings.Join(parts, ", ")
 }
 
 func readSnapshot(path string) (map[string]float64, error) {
@@ -155,6 +197,13 @@ func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float
 	var regressions []string
 	compared := 0
 	for _, name := range names {
+		// Stage metrics are attribution context, not gates: a stage can
+		// legitimately grow while the whole benchmark holds (queue time
+		// traded for compute time), so only the total is gated and the
+		// stages explain the totals that fail.
+		if strings.Contains(name, stageSep) {
+			continue
+		}
 		oldV, ok := oldSnap[name]
 		if !ok {
 			fmt.Fprintf(out, "  new       %-60s %12.0f ns/op\n", name, newSnap[name])
@@ -172,9 +221,12 @@ func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float
 			compared++
 			if delta > threshold {
 				mark = "REGRESSED"
-				regressions = append(regressions,
-					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
-						name, oldV, newSnap[name], delta, threshold))
+				reg := fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
+					name, oldV, newSnap[name], delta, threshold)
+				if attr := stageAttribution(oldSnap, newSnap, name); attr != "" {
+					reg += "\n    " + attr
+				}
+				regressions = append(regressions, reg)
 			}
 		}
 		fmt.Fprintf(out, "  %-9s %-60s %12.0f -> %12.0f ns/op  %+.1f%%\n", mark, name, oldV, newSnap[name], delta)
@@ -185,6 +237,9 @@ func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float
 	// only need a baseline refresh, not a broken CI run.
 	var missing []string
 	for name := range oldSnap {
+		if strings.Contains(name, stageSep) {
+			continue // attribution context, not a gated benchmark
+		}
 		if _, ok := newSnap[name]; !ok {
 			missing = append(missing, name)
 		}

@@ -153,6 +153,75 @@ func TestParseRoundTripThroughCLI(t *testing.T) {
 	}
 }
 
+// TestParseBenchCapturesStageMetrics: custom "<stage>-ns/op" metrics
+// land in the snapshot as "<name>/stage:<stage>" entries (min across
+// runs, like ns/op).
+func TestParseBenchCapturesStageMetrics(t *testing.T) {
+	const withStages = `goos: linux
+BenchmarkServeSubmit-8   	     100	    50000 ns/op	    30000 queue-ns/op	    15000 compute-ns/op	     5000 merge-ns/op
+BenchmarkServeSubmit-8   	     100	    48000 ns/op	    29000 queue-ns/op	    14000 compute-ns/op	     5000 merge-ns/op
+PASS
+`
+	snap, err := parseBench(strings.NewReader(withStages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkServeSubmit":               48000,
+		"BenchmarkServeSubmit/stage:queue":   29000,
+		"BenchmarkServeSubmit/stage:compute": 14000,
+		"BenchmarkServeSubmit/stage:merge":   5000,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("parsed %v, want %v", snap, want)
+	}
+	for name, v := range want {
+		if snap[name] != v {
+			t.Errorf("%s = %v, want %v", name, snap[name], v)
+		}
+	}
+}
+
+// TestGateAttributesRegressionToStages: when a gated benchmark regresses
+// and both snapshots carry its stage metrics, the failure names the
+// stage that moved — and the stage entries themselves are never gated
+// (a stage may grow while the total holds).
+func TestGateAttributesRegressionToStages(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]float64{
+		"BenchmarkServeSubmit":               50000,
+		"BenchmarkServeSubmit/stage:queue":   30000,
+		"BenchmarkServeSubmit/stage:compute": 15000,
+		"BenchmarkSteady":                    1000,
+		"BenchmarkSteady/stage:queue":        100,
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]float64{
+		"BenchmarkServeSubmit":               70000, // +40%: fails the gate...
+		"BenchmarkServeSubmit/stage:queue":   52000, // ...because queue blew up
+		"BenchmarkServeSubmit/stage:compute": 15500,
+		"BenchmarkSteady":                    1010, // total fine...
+		"BenchmarkSteady/stage:queue":        900,  // ...despite a 9x stage swing
+	})
+
+	var out bytes.Buffer
+	err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "15"}, &out)
+	if err == nil {
+		t.Fatalf("regression passed the gate:\n%s", out.String())
+	}
+	msg := err.Error()
+	for _, want := range []string{"BenchmarkServeSubmit", "stages:", "queue 30000 -> 52000", "+73.3%", "compute 15000 -> 15500"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("gate error missing %q:\n%s", want, msg)
+		}
+	}
+	if strings.Contains(msg, "BenchmarkSteady") {
+		t.Errorf("stage-only swing on a steady benchmark must not fail the gate:\n%s", msg)
+	}
+	if strings.Contains(out.String(), "stage:queue ") {
+		t.Errorf("stage entries must not appear as gated comparison rows:\n%s", out.String())
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{

@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/multiply   {"matrix":"rma10","scale":16,"x":[...]} -> {"y":[...]}
-//	GET  /v1/matrices   known roster + resident prepared matrices
-//	GET  /healthz       200 serving / 503 draining
-//	GET  /metrics       Prometheus text (with -telemetry, default on)
-//	GET  /debug/pprof/  Go profiler
+//	POST /v1/multiply             {"matrix":"rma10","scale":16,"x":[...]} -> {"y":[...]}
+//	GET  /v1/matrices             known roster + resident prepared matrices
+//	GET  /v1/debug/flightrecorder last -recorder traces + adapter events (add ?anomaly=last)
+//	GET  /healthz                 200 serving / 503 draining
+//	GET  /metrics                 Prometheus text (with -telemetry, default on)
+//	GET  /debug/pprof/            Go profiler
 //
 // Concurrent requests against the same matrix are coalesced into one
 // fused ComputeBatch pass over the matrix (flush at -max-batch requests
@@ -23,6 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -36,6 +38,7 @@ import (
 	"haspmv/internal/core"
 	"haspmv/internal/server"
 	"haspmv/internal/telemetry"
+	"haspmv/internal/telemetry/tracing"
 )
 
 func main() {
@@ -63,6 +66,10 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 	telemetryOn := fs.Bool("telemetry", true, "collect and serve /metrics alongside the API")
 	adapt := fs.Bool("adapt", false, "online adaptive repartitioning: rebalance each matrix's partition from measured per-core spans")
 	adaptEvery := fs.Int("adapt-every", 0, "flushed batches between rebalance decisions (default 4)")
+	traceRing := fs.Int("recorder", 256, "flight recorder capacity: per-request traces retained for /v1/debug/flightrecorder; 0 disables tracing")
+	recorderDir := fs.String("recorder-dir", "", "directory where anomaly snapshots are written as flightrecorder-*.json (empty: in-process only)")
+	slo := fs.Duration("slo", 0, "per-request latency objective; >1% of a request window finishing over it snapshots the flight recorder (0 disables)")
+	accessLog := fs.Bool("access-log", false, "log one structured line per request (with stage-attributed latency) to stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -87,11 +94,22 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 	if *adapt {
 		adaptOpts = &core.AdapterOptions{Every: *adaptEvery}
 	}
+	var rec *tracing.Recorder
+	if *traceRing > 0 {
+		rec = tracing.NewRecorder(tracing.RecorderOptions{Traces: *traceRing, Dir: *recorderDir})
+	}
+	var accessw io.Writer
+	if *accessLog {
+		accessw = os.Stderr
+	}
 	srv := server.New(server.Config{
 		Machine:        m,
 		Algorithm:      core.New(core.Options{}),
 		DefaultScale:   *defaultScale,
 		DefaultTimeout: *timeout,
+		Recorder:       rec,
+		SLO:            *slo,
+		AccessLog:      accessw,
 		Registry: server.RegistryOptions{
 			MaxEntries: *cache,
 			Batcher: server.BatcherOptions{

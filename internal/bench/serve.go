@@ -33,6 +33,18 @@ type ServeRow struct {
 	P99Us float64
 	// MeanBatch is the average flush width (1 for solo serving).
 	MeanBatch float64
+	// QueueUs/LingerStageUs/ComputeUs/MergeUs are the batcher's mean
+	// per-request stage attribution (zero for solo serving, which has no
+	// batcher): the four stages partition each served request's
+	// queue-to-release lifetime exactly.
+	QueueUs, LingerStageUs, ComputeUs, MergeUs float64
+}
+
+// StageSumUs is the mean stage-attributed request lifetime; for
+// coalesced rows it reconstructs the batcher-observed latency (client
+// observations add only submit/wakeup overhead on top).
+func (r ServeRow) StageSumUs() float64 {
+	return r.QueueUs + r.LingerStageUs + r.ComputeUs + r.MergeUs
 }
 
 // ServeSweep prepares one representative matrix, precomputes serial
@@ -153,7 +165,11 @@ func ServeSweep(cfg Config, m *amp.Machine, matrix string, clients, perClient in
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, row("coalesced", float64(linger.Nanoseconds())/1e3, wall, lat, st.MeanOccupancy()))
+		r := row("coalesced", float64(linger.Nanoseconds())/1e3, wall, lat, st.MeanOccupancy())
+		means := st.StageMeans()
+		r.QueueUs, r.LingerStageUs, r.ComputeUs, r.MergeUs =
+			means[0]/1e3, means[1]/1e3, means[2]/1e3, means[3]/1e3
+		rows = append(rows, r)
 	}
 	return rows, nil
 }
@@ -183,24 +199,27 @@ func PrintServe(w io.Writer, m *amp.Machine, matrix string, nnz int, rows []Serv
 	fmt.Fprintf(w, "\n# Closed-loop serving on %s (%d nnz, machine model %s used for partitioning only)\n", matrix, nnz, m.Name)
 	fmt.Fprintln(w, "note: solo = concurrent uncoordinated Computes; coalesced = dynamic batcher (bit-identical responses)")
 	tw := newTable(w)
-	fmt.Fprintln(tw, "mode\tlinger(us)\tclients\treq/s\tp50(us)\tp99(us)\tmean batch")
+	fmt.Fprintln(tw, "mode\tlinger(us)\tclients\treq/s\tp50(us)\tp99(us)\tmean batch\tqueue(us)\tlingered(us)\tcompute(us)\tmerge(us)")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%.0f\t%.0f\t%.0f\t%.2f\n",
-			r.Mode, r.LingerUs, r.Clients, r.RPS, r.P50Us, r.P99Us, r.MeanBatch)
+		fmt.Fprintf(tw, "%s\t%.0f\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%.0f\t%.0f\t%.0f\t%.0f\n",
+			r.Mode, r.LingerUs, r.Clients, r.RPS, r.P50Us, r.P99Us, r.MeanBatch,
+			r.QueueUs, r.LingerStageUs, r.ComputeUs, r.MergeUs)
 	}
 	tw.Flush()
 	fmt.Fprintf(w, "coalesced/solo throughput: %.2fx\n", ServeSpeedup(rows))
 }
 
 // ServeCSV emits machine,matrix,mode,linger_us,clients,requests,wall_ms,
-// rps,p50_us,p99_us,mean_batch rows.
+// rps,p50_us,p99_us,mean_batch plus the mean per-request stage
+// attribution (queue_us,lingered_us,compute_us,merge_us) per row.
 func ServeCSV(w io.Writer, machine, matrix string, rowsIn []ServeRow) error {
 	cw := csv.NewWriter(w)
-	rows := [][]string{{"machine", "matrix", "mode", "linger_us", "clients", "requests", "wall_ms", "rps", "p50_us", "p99_us", "mean_batch"}}
+	rows := [][]string{{"machine", "matrix", "mode", "linger_us", "clients", "requests", "wall_ms", "rps", "p50_us", "p99_us", "mean_batch", "queue_us", "lingered_us", "compute_us", "merge_us"}}
 	for _, r := range rowsIn {
 		rows = append(rows, []string{
 			machine, matrix, r.Mode, f(r.LingerUs), d(r.Clients), d(r.Requests),
 			f(r.WallMs), f(r.RPS), f(r.P50Us), f(r.P99Us), f(r.MeanBatch),
+			f(r.QueueUs), f(r.LingerStageUs), f(r.ComputeUs), f(r.MergeUs),
 		})
 	}
 	return writeAll(cw, rows)

@@ -33,6 +33,23 @@ func TestServeSweepSmall(t *testing.T) {
 		if r.RPS <= 0 || r.P50Us <= 0 || r.P99Us < r.P50Us {
 			t.Fatalf("%s: implausible row %+v", r.Mode, r)
 		}
+		// Stage attribution: solo has no batcher so no stages; coalesced
+		// rows must attribute each request's lifetime to the four stages,
+		// with a nonzero compute share and a sum that stays within the
+		// client-observed latency envelope (client observations add only
+		// submit/wakeup overhead on top of the batcher's accounting).
+		if r.Mode == "solo" {
+			if r.StageSumUs() != 0 {
+				t.Fatalf("solo row has stage attribution %+v", r)
+			}
+			continue
+		}
+		if r.ComputeUs <= 0 {
+			t.Fatalf("coalesced row attributes no compute time: %+v", r)
+		}
+		if sum := r.StageSumUs(); sum <= 0 || sum > r.P99Us*1.10 {
+			t.Fatalf("coalesced stage sum %.0fus outside (0, p99 %.0fus + 10%%]: %+v", sum, r.P99Us, r)
+		}
 	}
 
 	var buf bytes.Buffer

@@ -7,6 +7,7 @@ import (
 	"haspmv/internal/exec"
 	"haspmv/internal/kernel"
 	"haspmv/internal/telemetry"
+	"haspmv/internal/telemetry/tracing"
 )
 
 var (
@@ -33,7 +34,10 @@ type batchScratch struct {
 	// run's stack so that passing it to the generic compressed block
 	// kernels cannot cost a per-call heap allocation.
 	sums []float64
-	body func(id int)
+	// durNs is each slot's kernel time for the current call (see
+	// computeScratch.durNs).
+	durNs []int64
+	body  func(id int)
 }
 
 func (p *Prepared) newBatchScratch(nv int) *batchScratch {
@@ -47,6 +51,7 @@ func (p *Prepared) newBatchScratch(nv int) *batchScratch {
 		extraRow: make([]int, n),
 		extraVal: make([]float64, n*cap),
 		sums:     make([]float64, n*kernel.MaxBlock),
+		durNs:    make([]int64, n),
 	}
 	s.body = s.run
 	return s
@@ -58,6 +63,7 @@ func (p *Prepared) newBatchScratch(nv int) *batchScratch {
 func (s *batchScratch) run(id int) {
 	p := s.p
 	s.extraRow[id] = -1
+	s.durNs[id] = 0
 	reg := s.regs[id]
 	if reg.Lo >= reg.Hi {
 		return
@@ -137,6 +143,7 @@ func (s *batchScratch) run(id int) {
 	dur := time.Since(t0)
 	p.accum[id].ns.Add(int64(dur))
 	p.accum[id].nnz.Add(int64(nnzDone))
+	s.durNs[id] = int64(dur)
 	cNNZFormat[reg.Format].Add(int64(nnzDone))
 	if tel != nil {
 		ex := 0
@@ -168,7 +175,17 @@ func (s *batchScratch) run(id int) {
 // and serial extraY epilogue run in the same order. The serving layer's
 // dynamic batcher relies on this to coalesce concurrent requests without
 // changing any response.
-func (p *Prepared) ComputeBatch(Y, X [][]float64) {
+func (p *Prepared) ComputeBatch(Y, X [][]float64) { p.computeBatchWith(Y, X, nil) }
+
+// ComputeBatchTraced is ComputeBatch plus the same stage breakdown
+// ComputeTraced produces, with the batch's traffic priced at one
+// structure sweep per register block of vectors. bd is caller-owned and
+// reused; the traced path allocates nothing beyond ComputeBatch.
+func (p *Prepared) ComputeBatchTraced(Y, X [][]float64, bd *tracing.ComputeBreakdown) {
+	p.computeBatchWith(Y, X, bd)
+}
+
+func (p *Prepared) computeBatchWith(Y, X [][]float64, bd *tracing.ComputeBreakdown) {
 	nv := len(X)
 	if len(Y) != nv {
 		panic(fmt.Sprintf("core: batch size mismatch %d vs %d", len(Y), nv))
@@ -178,7 +195,7 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 	}
 	tel := telemetry.Active()
 	var tBatch time.Time
-	if tel != nil {
+	if tel != nil || bd != nil {
 		tBatch = time.Now()
 	}
 	for _, x := range X {
@@ -203,6 +220,10 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 	}
 	n := len(s.regs)
 	exec.Parallel(n, s.body)
+	var tKernel time.Time
+	if bd != nil {
+		tKernel = time.Now()
+	}
 	// Serial epilogue (Algorithm 5 lines 15-17) across the vector block.
 	for id := 0; id < n; id++ {
 		if s.extraRow[id] >= 0 {
@@ -212,11 +233,18 @@ func (p *Prepared) ComputeBatch(Y, X [][]float64) {
 			}
 		}
 	}
+	if bd != nil {
+		bd.KernelNs = int64(tKernel.Sub(tBatch))
+		bd.MergeNs = int64(time.Since(tKernel))
+		p.fillBreakdown(bd, s.regs, s.durNs, p.batchTrafficBytes(nv))
+	}
 	s.Y, s.X, s.tel, s.regs = nil, nil, nil, nil
 	p.batch.Store(s)
 	cBatchComputes.Add(1)
 	cBatchVectors.Add(int64(nv))
 	if tel != nil {
-		tel.RecordPhase(telemetry.PhaseBatch, time.Since(tBatch))
+		d := time.Since(tBatch)
+		tel.RecordPhase(telemetry.PhaseBatch, d)
+		p.recordBandwidth(p.batchTrafficBytes(nv), d)
 	}
 }

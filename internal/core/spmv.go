@@ -13,6 +13,7 @@ import (
 	"haspmv/internal/kernel"
 	"haspmv/internal/sparse"
 	"haspmv/internal/telemetry"
+	"haspmv/internal/telemetry/tracing"
 )
 
 // HASpMV pipeline telemetry (no-ops while telemetry is disabled).
@@ -22,7 +23,18 @@ var (
 	gRegions    = telemetry.NewGauge("core_regions")
 	computeHist = telemetry.NewHistogram("core_compute")
 	prepareHist = telemetry.NewHistogram("core_prepare")
+	// Roofline instrumentation: the last multiply's achieved bandwidth
+	// (modeled traffic over measured wall time), the calibrated
+	// stream-triad DRAM peak it is chasing, and their ratio in percent.
+	gEffBandwidth = telemetry.NewGauge("core_effective_bandwidth_mbps")
+	gTriadPeak    = telemetry.NewGauge("core_triad_peak_mbps")
+	gRoofline     = telemetry.NewGauge("core_roofline_pct")
 )
+
+// triadElems sizes the roofline calibration run: 64M float64 elements
+// (three 512 MB streams) is far past every modeled cache, so EstimateTriad
+// reports the DRAM-bound plateau of the paper's Figure 3 sweep.
+const triadElems = 64_000_000
 
 // Options configure HASpMV. The zero value selects the paper's defaults:
 // both core groups, auto-calibrated P proportion and base threshold,
@@ -134,6 +146,8 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	p.assignFormats(regions)
 	p.regions.Store(&regions)
 	p.scratch.Store(p.newScratch())
+	p.triadMBps = int64(costmodel.EstimateTriad(m, costmodel.DefaultParams(), cores, triadElems).GBps * 1000)
+	gTriadPeak.Set(p.triadMBps)
 	cPrepares.Add(1)
 	gRegions.Set(int64(len(regions)))
 	if tel != nil {
@@ -221,6 +235,51 @@ type Prepared struct {
 	scratch atomic.Pointer[computeScratch]
 	// batch is ComputeBatch's workspace under the same swap discipline.
 	batch atomic.Pointer[batchScratch]
+	// structBytes is the modeled memory traffic of one sweep over the
+	// matrix structure (values, column indices at the cost model's widths,
+	// row pointers), refreshed by assignFormats whenever region formats
+	// change. Together with the vector traffic it prices each multiply's
+	// effective bandwidth against triadMBps, the calibrated stream-triad
+	// DRAM peak for this core selection.
+	structBytes atomic.Int64
+	triadMBps   int64
+}
+
+// vectorBytes is the modeled x-load plus y-store traffic of one
+// single-vector multiply.
+func (p *Prepared) vectorBytes() int64 { return int64(p.mat.Rows+p.mat.Cols) * 8 }
+
+// TrafficBytes returns the modeled memory traffic of one Compute call at
+// the cost model's stream widths: values, per-region column indexes, row
+// pointers, and the dense vectors.
+func (p *Prepared) TrafficBytes() int64 { return p.structBytes.Load() + p.vectorBytes() }
+
+// batchTrafficBytes prices a fused nv-vector multiply: the structure is
+// streamed once per register block of vectors, the dense vectors once
+// each.
+func (p *Prepared) batchTrafficBytes(nv int) int64 {
+	sweeps := int64((nv + kernel.MaxBlock - 1) / kernel.MaxBlock)
+	return p.structBytes.Load()*sweeps + int64(nv)*p.vectorBytes()
+}
+
+// TriadPeakMBps returns the calibrated stream-triad peak (MB/s) for this
+// instance's core selection — the roofline the effective-bandwidth gauge
+// is compared against.
+func (p *Prepared) TriadPeakMBps() int64 { return p.triadMBps }
+
+// recordBandwidth refreshes the effective-bandwidth and roofline gauges
+// after a multiply that streamed `bytes` in `d`. Callers gate on
+// telemetry being active; both Set calls are plain atomic stores.
+func (p *Prepared) recordBandwidth(bytes int64, d time.Duration) {
+	ns := int64(d)
+	if ns <= 0 {
+		return
+	}
+	mbps := bytes * 1000 / ns // bytes/ns = GB/s, ×1000 → MB/s
+	gEffBandwidth.Set(mbps)
+	if p.triadMBps > 0 {
+		gRoofline.Set(mbps * 100 / p.triadMBps)
+	}
 }
 
 // coreAccum is one core slot's always-on span accumulator, padded so
@@ -251,7 +310,11 @@ type computeScratch struct {
 	regs     []Region
 	extraRow []int
 	extraVal []float64
-	body     func(id int)
+	// durNs is each slot's kernel time for the current call — one plain
+	// store per core, read by the traced path to surface the critical-path
+	// core without touching the always-on cumulative accumulators.
+	durNs []int64
+	body  func(id int)
 }
 
 func (p *Prepared) newScratch() *computeScratch {
@@ -260,6 +323,7 @@ func (p *Prepared) newScratch() *computeScratch {
 		p:        p,
 		extraRow: make([]int, n),
 		extraVal: make([]float64, n),
+		durNs:    make([]int64, n),
 	}
 	s.body = s.run
 	return s
@@ -271,6 +335,7 @@ func (p *Prepared) newScratch() *computeScratch {
 func (s *computeScratch) run(id int) {
 	p := s.p
 	s.extraRow[id] = -1
+	s.durNs[id] = 0
 	reg := s.regs[id]
 	if reg.Lo >= reg.Hi {
 		return
@@ -324,6 +389,7 @@ func (s *computeScratch) run(id int) {
 	// nonzeros, independent of the gated telemetry collector.
 	p.accum[id].ns.Add(int64(dur))
 	p.accum[id].nnz.Add(int64(nnzDone))
+	s.durNs[id] = int64(dur)
 	cNNZFormat[reg.Format].Add(int64(nnzDone))
 	if tel != nil {
 		extra := 0
@@ -355,10 +421,23 @@ func (p *Prepared) Repartitions() int64 { return p.rebalances.Load() }
 // reused via Prepared.scratch and exec.Parallel dispatches to a
 // persistent worker pool); with telemetry enabled it additionally records
 // one span per core and the whole-call compute phase.
-func (p *Prepared) Compute(y, x []float64) {
+func (p *Prepared) Compute(y, x []float64) { p.computeWith(y, x, nil) }
+
+// ComputeTraced is Compute plus a stage breakdown: it splits the call
+// into the parallel kernel phase and the serial extraY merge, records the
+// critical-path core and the per-format nonzero split, and prices the
+// multiply's modeled traffic — everything the serving layer's per-request
+// traces attribute. bd is caller-owned and reused (see
+// tracing.ComputeBreakdown), so the traced path allocates exactly as much
+// as Compute: nothing.
+func (p *Prepared) ComputeTraced(y, x []float64, bd *tracing.ComputeBreakdown) {
+	p.computeWith(y, x, bd)
+}
+
+func (p *Prepared) computeWith(y, x []float64, bd *tracing.ComputeBreakdown) {
 	tel := telemetry.Active()
 	var t0 time.Time
-	if tel != nil {
+	if tel != nil || bd != nil {
 		t0 = time.Now()
 	}
 	s := p.scratch.Swap(nil)
@@ -373,11 +452,20 @@ func (p *Prepared) Compute(y, x []float64) {
 	}
 	n := len(s.regs)
 	exec.Parallel(n, s.body)
+	var tKernel time.Time
+	if bd != nil {
+		tKernel = time.Now()
+	}
 	// Serial epilogue (Algorithm 5 lines 15-17): add the tail conflicts.
 	for id := 0; id < n; id++ {
 		if s.extraRow[id] >= 0 {
 			y[s.extraRow[id]] += s.extraVal[id]
 		}
+	}
+	if bd != nil {
+		bd.KernelNs = int64(tKernel.Sub(t0))
+		bd.MergeNs = int64(time.Since(tKernel))
+		p.fillBreakdown(bd, s.regs, s.durNs, p.TrafficBytes())
 	}
 	s.y, s.x, s.tel, s.regs = nil, nil, nil, nil
 	p.scratch.Store(s)
@@ -386,7 +474,24 @@ func (p *Prepared) Compute(y, x []float64) {
 		d := time.Since(t0)
 		tel.RecordPhase(telemetry.PhaseCompute, d)
 		computeHist.Observe(d)
+		p.recordBandwidth(p.TrafficBytes(), d)
 	}
+}
+
+// fillBreakdown completes the executor-side fields of a traced multiply:
+// fan-out width, critical-path core, per-format nonzero split, and the
+// modeled traffic of the call. KernelNs/MergeNs are set by the caller.
+func (p *Prepared) fillBreakdown(bd *tracing.ComputeBreakdown, regs []Region, durNs []int64, bytes int64) {
+	bd.Cores = len(regs)
+	bd.MaxCoreNs = 0
+	bd.NNZByFormat = [3]int64{}
+	for i := range regs {
+		if durNs[i] > bd.MaxCoreNs {
+			bd.MaxCoreNs = durNs[i]
+		}
+		bd.NNZByFormat[regs[i].Format] += int64(regs[i].Hi - regs[i].Lo)
+	}
+	bd.Bytes = bytes
 }
 
 // rowOfPosition returns the reordered row containing reordered-nnz

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"haspmv/internal/costmodel"
 	"haspmv/internal/exec"
 	"haspmv/internal/sparse"
 	"haspmv/internal/telemetry"
@@ -281,7 +282,7 @@ func (p *Prepared) regionFormat(r Region) IndexFormat {
 // widest format present among its rows (u32, or []int when compression
 // is off).
 func (p *Prepared) assignFormats(regions []Region) {
-	var bytes int64
+	var bytes, modelIdx int64
 	var nnzBy [3]int64
 	for i := range regions {
 		f := p.regionFormat(regions[i])
@@ -289,11 +290,28 @@ func (p *Prepared) assignFormats(regions []Region) {
 		n := int64(regions[i].Hi - regions[i].Lo)
 		nnzBy[f] += n
 		bytes += n * int64(f.BytesPerIndex())
+		modelIdx += n * int64(modelIdxBytes(f))
 	}
 	gStreamBytes.Set(bytes)
 	for f := range nnzBy {
 		gNNZFormat[f].Set(nnzBy[f])
 	}
+	// Cache the modeled structure traffic of one sweep (values + indexes
+	// at the cost model's widths + row pointers) for the per-multiply
+	// effective-bandwidth gauge; runs before the regions are published, so
+	// multiplies always see a price matching their formats.
+	pm := costmodel.DefaultParams()
+	p.structBytes.Store(int64(p.mat.NNZ())*int64(pm.ValBytes) + modelIdx + int64(p.mat.Rows)*int64(pm.PtrBytes))
+}
+
+// modelIdxBytes is the cost model's width for a region's index stream:
+// the []int reference keeps the paper's 4-byte baseline (as Assignments
+// reports it), matching the Assignment.IdxBytes convention.
+func modelIdxBytes(f IndexFormat) int {
+	if f == Index16 {
+		return 2
+	}
+	return 4
 }
 
 // IndexStats summarizes the compressed execution representation of the

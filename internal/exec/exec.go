@@ -72,6 +72,22 @@ type BatchPrepared interface {
 // vector must match the shape of the first (algorithms additionally
 // validate inner lengths against the matrix dimensions).
 func ComputeBatch(p Prepared, Y, X [][]float64) {
+	validateBatch(Y, X)
+	cBatchCalls.Add(1)
+	if bp, ok := p.(BatchPrepared); ok {
+		bp.ComputeBatch(Y, X)
+		return
+	}
+	cBatchFallback.Add(1)
+	for v := range X {
+		p.Compute(Y[v], X[v])
+	}
+}
+
+// validateBatch checks the outer shape of a batch call: equal vector
+// counts and rectangular X and Y (algorithms additionally validate inner
+// lengths against the matrix dimensions).
+func validateBatch(Y, X [][]float64) {
 	if len(Y) != len(X) {
 		panic(fmt.Sprintf("exec: batch size mismatch: %d output vectors for %d right-hand sides", len(Y), len(X)))
 	}
@@ -82,15 +98,6 @@ func ComputeBatch(p Prepared, Y, X [][]float64) {
 		if len(Y[v]) != len(Y[0]) {
 			panic(fmt.Sprintf("exec: batch y[%d] has length %d, want %d (all output vectors must have equal length)", v, len(Y[v]), len(Y[0])))
 		}
-	}
-	cBatchCalls.Add(1)
-	if bp, ok := p.(BatchPrepared); ok {
-		bp.ComputeBatch(Y, X)
-		return
-	}
-	cBatchFallback.Add(1)
-	for v := range X {
-		p.Compute(Y[v], X[v])
 	}
 }
 

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"time"
+
+	"haspmv/internal/telemetry/tracing"
+)
+
+// TracedPrepared is the optional per-request observability interface:
+// algorithms that can split a multiply into its kernel and merge phases
+// (and link the per-core spans and format picks) implement it in
+// addition to Prepared. The breakdown is caller-owned and reused, so a
+// traced multiply must not allocate beyond its untraced twin.
+type TracedPrepared interface {
+	Prepared
+	// ComputeTraced performs y = A*x and fills bd. bd must be non-nil.
+	ComputeTraced(y, x []float64, bd *tracing.ComputeBreakdown)
+}
+
+// TracedBatchPrepared is TracedPrepared's fused multi-vector analogue.
+type TracedBatchPrepared interface {
+	BatchPrepared
+	// ComputeBatchTraced performs Y[v] = A * X[v] and fills bd.
+	ComputeBatchTraced(Y, X [][]float64, bd *tracing.ComputeBreakdown)
+}
+
+// ComputeTraced multiplies with a stage breakdown, degrading gracefully:
+// algorithms without a traced path are timed whole, with the entire call
+// attributed to the kernel phase (merge attribution needs the
+// algorithm's cooperation). A nil bd falls back to plain Compute.
+func ComputeTraced(p Prepared, y, x []float64, bd *tracing.ComputeBreakdown) {
+	if bd == nil {
+		p.Compute(y, x)
+		return
+	}
+	if tp, ok := p.(TracedPrepared); ok {
+		tp.ComputeTraced(y, x, bd)
+		return
+	}
+	t0 := time.Now()
+	p.Compute(y, x)
+	bd.KernelNs = int64(time.Since(t0))
+}
+
+// ComputeBatchTraced is ComputeBatch with a stage breakdown, with the
+// same validation and fused-path/fallback selection. A nil bd falls back
+// to plain ComputeBatch; an untraced algorithm is timed whole.
+func ComputeBatchTraced(p Prepared, Y, X [][]float64, bd *tracing.ComputeBreakdown) {
+	if bd == nil {
+		ComputeBatch(p, Y, X)
+		return
+	}
+	validateBatch(Y, X)
+	cBatchCalls.Add(1)
+	if tp, ok := p.(TracedBatchPrepared); ok {
+		tp.ComputeBatchTraced(Y, X, bd)
+		return
+	}
+	t0 := time.Now()
+	if bp, ok := p.(BatchPrepared); ok {
+		bp.ComputeBatch(Y, X)
+	} else {
+		cBatchFallback.Add(1)
+		for v := range X {
+			p.Compute(Y[v], X[v])
+		}
+	}
+	bd.KernelNs = int64(time.Since(t0))
+}

@@ -22,6 +22,7 @@ import (
 	"haspmv/internal/exec"
 	"haspmv/internal/kernel"
 	"haspmv/internal/telemetry"
+	"haspmv/internal/telemetry/tracing"
 )
 
 // Serving telemetry. All metrics self-gate on the telemetry enabled
@@ -36,6 +37,12 @@ var (
 	gServeQueue     = telemetry.NewGauge("serve_queue_depth")
 	hServeOccupancy = telemetry.NewValueHistogram("serve_batch_occupancy")
 	hServeLatency   = telemetry.NewHistogram("serve_request")
+	// Stage-attributed latency histograms: the four stages partition each
+	// served request's queue-to-release lifetime exactly (see execute).
+	hStageQueue   = telemetry.NewHistogram("serve_stage_queue")
+	hStageLinger  = telemetry.NewHistogram("serve_stage_linger")
+	hStageCompute = telemetry.NewHistogram("serve_stage_compute")
+	hStageMerge   = telemetry.NewHistogram("serve_stage_merge")
 )
 
 // Batcher errors surfaced to callers of Submit. The HTTP layer maps
@@ -63,6 +70,20 @@ type BatcherOptions struct {
 	// serving hook for the online repartitioning adapter (one fused batch
 	// counts as one observed multiply).
 	AfterFlush func()
+	// Observer, when set, runs on the dispatcher goroutine after every
+	// dispatched batch has been computed and *before* its waiters are
+	// released, receiving the flush's traced requests — so anything it
+	// stamps into the traces (the adapter epoch that observed the flush)
+	// is visible to the handlers that will record them.
+	Observer FlushObserver
+}
+
+// FlushObserver observes dispatched flushes (see BatcherOptions.Observer).
+// The traces slice is dispatcher-owned and reused; implementations must
+// not retain it past the call (retaining the *Trace pointers themselves
+// is also wrong — they are released to their waiters right after).
+type FlushObserver interface {
+	ObserveFlush(traces []*tracing.Trace)
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -94,6 +115,10 @@ type call struct {
 	nv   int   // batch width the call was served in, set before done closes
 	err  error // terminal error (context error), set before done closes
 	done chan struct{}
+	// tr is the request's span record (nil when untraced). The dispatcher
+	// fills the stage and flush fields before done closes; afterwards the
+	// submitter owns the trace again.
+	tr *tracing.Trace
 }
 
 // BatcherStats is a snapshot of one batcher's lifetime counters, used by
@@ -105,6 +130,24 @@ type BatcherStats struct {
 	Solo      int64 // requests served alone
 	Shed      int64 // calls rejected with ErrQueueFull
 	Expired   int64 // calls dropped because their context ended in queue
+	// Cumulative stage-attributed time across all served requests. For
+	// each request the four stages partition its queue-to-release
+	// lifetime exactly, so their sum equals the sum of served latencies.
+	QueueNs, LingerNs, ComputeNs, MergeNs int64
+}
+
+// StageMeans returns the average per-request time in each stage (queue,
+// linger, compute, merge), in nanoseconds, over all served requests.
+func (s BatcherStats) StageMeans() [4]float64 {
+	served := s.Coalesced + s.Solo
+	if served == 0 {
+		return [4]float64{}
+	}
+	d := float64(served)
+	return [4]float64{
+		float64(s.QueueNs) / d, float64(s.LingerNs) / d,
+		float64(s.ComputeNs) / d, float64(s.MergeNs) / d,
+	}
 }
 
 // MeanOccupancy is the average batch width over all flushes.
@@ -134,10 +177,15 @@ type Batcher struct {
 
 	// Lifetime counters, independent of the gated telemetry registry so
 	// the load generator can read occupancy with telemetry disabled.
-	requests, flushes, coalesced, solo, shed, expired atomic.Int64
+	requests, flushes, coalesced, solo, shed, expired         atomic.Int64
+	stageQueueNs, stageLingerNs, stageComputeNs, stageMergeNs atomic.Int64
 
-	// Dispatcher-owned scratch for gathering batch views.
+	// Dispatcher-owned scratch for gathering batch views, the flush's
+	// traced requests, and the reusable compute breakdown — all reused
+	// across flushes so the steady-state flush allocates nothing.
 	xs, ys [][]float64
+	trs    []*tracing.Trace
+	bd     tracing.ComputeBreakdown
 }
 
 // NewBatcher starts the dispatcher goroutine for one prepared matrix.
@@ -162,6 +210,10 @@ func (b *Batcher) Stats() BatcherStats {
 		Solo:      b.solo.Load(),
 		Shed:      b.shed.Load(),
 		Expired:   b.expired.Load(),
+		QueueNs:   b.stageQueueNs.Load(),
+		LingerNs:  b.stageLingerNs.Load(),
+		ComputeNs: b.stageComputeNs.Load(),
+		MergeNs:   b.stageMergeNs.Load(),
 	}
 }
 
@@ -172,6 +224,16 @@ func (b *Batcher) Stats() BatcherStats {
 // Submit never returns while the dispatcher might still write to y, so
 // callers may reuse their buffers immediately.
 func (b *Batcher) Submit(ctx context.Context, y, x []float64) (nv int, err error) {
+	return b.SubmitTraced(ctx, y, x, nil)
+}
+
+// SubmitTraced is Submit with a per-request span record: the dispatcher
+// fills tr's stage durations (queue, linger, compute, merge — summing
+// exactly to TotalNs), flush linkage (width, cause, per-core critical
+// path, format split) before SubmitTraced returns. tr is caller-owned;
+// the batcher never retains it past the return. A nil tr is plain
+// Submit.
+func (b *Batcher) SubmitTraced(ctx context.Context, y, x []float64, tr *tracing.Trace) (nv int, err error) {
 	b.mu.Lock()
 	if b.draining {
 		b.mu.Unlock()
@@ -183,7 +245,10 @@ func (b *Batcher) Submit(ctx context.Context, y, x []float64) (nv int, err error
 		cServeShed.Add(1)
 		return 0, ErrQueueFull
 	}
-	c := &call{ctx: ctx, x: x, y: y, enq: time.Now(), done: make(chan struct{})}
+	c := &call{ctx: ctx, x: x, y: y, enq: time.Now(), done: make(chan struct{}), tr: tr}
+	if tr != nil {
+		tr.Start = c.enq
+	}
 	b.queue = append(b.queue, c)
 	depth := len(b.queue)
 	b.mu.Unlock()
@@ -235,12 +300,27 @@ func (b *Batcher) loop() {
 			<-b.wake
 			b.mu.Lock()
 		}
+		var lingerNs int64
+		lingered := false
 		if len(b.queue) < b.opts.MaxBatch && !b.draining && b.opts.Linger > 0 {
 			b.mu.Unlock()
+			t0 := time.Now()
 			b.linger()
+			lingerNs = int64(time.Since(t0))
+			lingered = true
 			b.mu.Lock()
 		}
 		n := len(b.queue)
+		// The flush trigger: "full" when the size window tripped, "drain"
+		// when Close is flushing the tail, "linger" when the time window
+		// expired with the batch under-full.
+		cause := flushFull
+		switch {
+		case b.draining:
+			cause = flushDrain
+		case lingered && n < b.opts.MaxBatch:
+			cause = flushLinger
+		}
 		if n > b.opts.MaxBatch {
 			n = b.opts.MaxBatch
 		}
@@ -252,9 +332,16 @@ func (b *Batcher) loop() {
 		b.queue = b.queue[:rest]
 		gServeQueue.Set(int64(rest))
 		b.mu.Unlock()
-		b.execute(batch)
+		b.execute(batch, lingerNs, cause)
 	}
 }
+
+// Flush causes, as reported in Trace.FlushCause.
+const (
+	flushFull   = "full"
+	flushLinger = "linger"
+	flushDrain  = "drain"
+)
 
 // linger holds the coalescing window open: it returns when the window
 // expires, the batch fills, or the batcher starts draining.
@@ -277,14 +364,33 @@ func (b *Batcher) linger() {
 }
 
 // execute drops expired calls, serves the survivors with one fused call
-// (or a plain Compute for a lone request), and releases every waiter.
-func (b *Batcher) execute(batch []*call) {
+// (or a plain Compute for a lone request), attributes each request's
+// latency to its four stages, and releases every waiter.
+//
+// Stage attribution partitions the queue-to-release lifetime exactly:
+// of the wait until the flush dispatched, up to lingerNs (the time this
+// flush held its window open) is "linger" and the rest is "queue"; the
+// fused kernel's parallel phase is "compute"; and everything after it —
+// extraY merge, flush observer, waiter release — is "merge". So
+// TotalNs == QueueNs + LingerNs + ComputeNs + MergeNs by construction.
+func (b *Batcher) execute(batch []*call, lingerNs int64, cause string) {
 	live := batch[:0]
+	var tDrop time.Time
 	for _, c := range batch {
 		if err := c.ctx.Err(); err != nil {
 			c.err = err
 			b.expired.Add(1)
 			cServeExpired.Add(1)
+			if c.tr != nil {
+				if tDrop.IsZero() {
+					tDrop = time.Now()
+				}
+				wait := int64(tDrop.Sub(c.enq))
+				ls := min64(lingerNs, wait)
+				c.tr.QueueNs = wait - ls
+				c.tr.LingerNs = ls
+				c.tr.TotalNs = wait
+			}
 			close(c.done)
 			continue
 		}
@@ -297,10 +403,16 @@ func (b *Batcher) execute(batch []*call) {
 	b.flushes.Add(1)
 	cServeFlushes.Add(1)
 	hServeOccupancy.Observe(int64(nv))
+	// The breakdown is reused across flushes; filling it is always on (a
+	// handful of time.Now calls per flush) so the stage accounting works
+	// with telemetry gated off, like the adapter's span accumulators.
+	bd := &b.bd
+	bd.Reset()
+	tFlush := time.Now()
 	if nv == 1 {
 		b.solo.Add(1)
 		cServeSolo.Add(1)
-		b.prep.Compute(live[0].y, live[0].x)
+		exec.ComputeTraced(b.prep, live[0].y, live[0].x, bd)
 	} else {
 		b.coalesced.Add(int64(nv))
 		cServeCoalesced.Add(int64(nv))
@@ -311,15 +423,59 @@ func (b *Batcher) execute(batch []*call) {
 			Y = append(Y, c.y)
 		}
 		b.xs, b.ys = X[:0], Y[:0]
-		exec.ComputeBatch(b.prep, Y, X)
+		exec.ComputeBatchTraced(b.prep, Y, X, bd)
+	}
+	// Link the flush into every traced request before the observer runs,
+	// so the adapter's epoch stamp completes the trace pre-release.
+	trs := b.trs[:0]
+	for _, c := range live {
+		if tr := c.tr; tr != nil {
+			tr.BatchNV = nv
+			tr.FlushCause = cause
+			tr.Cores = bd.Cores
+			tr.MaxCoreNs = bd.MaxCoreNs
+			tr.NNZByFormat = bd.NNZByFormat
+			trs = append(trs, tr)
+		}
+	}
+	b.trs = trs[:0]
+	if b.opts.Observer != nil {
+		b.opts.Observer.ObserveFlush(trs)
 	}
 	now := time.Now()
 	for _, c := range live {
 		c.nv = nv
+		wait := int64(tFlush.Sub(c.enq))
+		ls := min64(lingerNs, wait)
+		queue := wait - ls
+		compute := min64(bd.KernelNs, int64(now.Sub(c.enq))-wait)
+		merge := int64(now.Sub(c.enq)) - wait - compute
+		b.stageQueueNs.Add(queue)
+		b.stageLingerNs.Add(ls)
+		b.stageComputeNs.Add(compute)
+		b.stageMergeNs.Add(merge)
+		hStageQueue.Observe(time.Duration(queue))
+		hStageLinger.Observe(time.Duration(ls))
+		hStageCompute.Observe(time.Duration(compute))
+		hStageMerge.Observe(time.Duration(merge))
+		if tr := c.tr; tr != nil {
+			tr.QueueNs = queue
+			tr.LingerNs = ls
+			tr.ComputeNs = compute
+			tr.MergeNs = merge
+			tr.TotalNs = queue + ls + compute + merge
+		}
 		hServeLatency.Observe(now.Sub(c.enq))
 		close(c.done)
 	}
 	if b.opts.AfterFlush != nil {
 		b.opts.AfterFlush()
 	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

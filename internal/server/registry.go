@@ -14,6 +14,7 @@ import (
 	"haspmv/internal/gen"
 	"haspmv/internal/sparse"
 	"haspmv/internal/telemetry"
+	"haspmv/internal/telemetry/tracing"
 )
 
 var (
@@ -65,6 +66,11 @@ type RegistryOptions struct {
 	// which rebalances the matrix's partition from measured per-core
 	// spans. Baseline algorithms are served unchanged.
 	Adapt *haspmvcore.AdapterOptions
+	// Recorder, when non-nil, receives the adapter's epoch events
+	// (rebalance, rollback) and an anomaly snapshot on every rollback,
+	// and adapter epochs are stamped into the in-flight request traces
+	// before their waiters release.
+	Recorder *tracing.Recorder
 }
 
 func (o RegistryOptions) withDefaults() RegistryOptions {
@@ -199,12 +205,11 @@ func (r *Registry) Get(ctx context.Context, name string, scale int) (*Entry, err
 		if hp, ok := prep.(*haspmvcore.Prepared); ok {
 			ad := haspmvcore.NewAdapter(hp, *r.opts.Adapt)
 			e.Adapter = ad
-			after := bopts.AfterFlush
-			bopts.AfterFlush = func() {
-				ad.AfterMultiply()
-				if after != nil {
-					after()
-				}
+			// The adapter observes each flush pre-release (so its epoch
+			// decision lands in the flush's traces); any pre-existing
+			// observer still runs after the stamp.
+			bopts.Observer = &adapterObserver{
+				ad: ad, rec: r.opts.Recorder, matrix: key, next: bopts.Observer,
 			}
 		}
 	}
@@ -213,6 +218,50 @@ func (r *Registry) Get(ctx context.Context, name string, scale int) (*Entry, err
 	cServePrepares.Add(1)
 	close(e.ready)
 	return e, nil
+}
+
+// adapterObserver feeds each flush to the entry's adapter and stamps
+// the resulting epoch decision into the flush's traces before their
+// waiters release. Epoch *moves* (rebalance, rollback) additionally land
+// in the flight recorder's event ring; a rollback — the adapter
+// admitting it made things worse — is an anomaly, so it snapshots the
+// recorder. It runs on the dispatcher goroutine, so the field diffs need
+// no synchronization.
+type adapterObserver struct {
+	ad     *haspmvcore.Adapter
+	rec    *tracing.Recorder
+	matrix string
+	next   FlushObserver
+
+	lastRebalances, lastRollbacks int64
+}
+
+func (o *adapterObserver) ObserveFlush(traces []*tracing.Trace) {
+	o.ad.AfterMultiply()
+	st := o.ad.Stats()
+	event := ""
+	switch {
+	case st.Rollbacks > o.lastRollbacks:
+		event = "rollback"
+	case st.Rebalances > o.lastRebalances:
+		event = "rebalance"
+	}
+	o.lastRollbacks, o.lastRebalances = st.Rollbacks, st.Rebalances
+	for _, tr := range traces {
+		tr.AdapterEpoch = st.Epochs
+		tr.AdapterEvent = event
+	}
+	if event != "" && o.rec != nil {
+		// Epoch moves are rare (at most one per adapter epoch), so the
+		// event allocation stays off the steady-state flush path.
+		o.rec.RecordEvent(&tracing.Event{Time: time.Now(), Kind: event, Matrix: o.matrix})
+		if event == "rollback" {
+			o.rec.Anomaly("adapter-rollback")
+		}
+	}
+	if o.next != nil {
+		o.next.ObserveFlush(traces)
+	}
 }
 
 // evictLockedOver removes least-recently-used *ready* entries until at

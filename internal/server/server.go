@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"haspmv/internal/amp"
 	"haspmv/internal/exec"
 	"haspmv/internal/gen"
+	"haspmv/internal/telemetry/tracing"
 )
 
 // Config assembles a serving stack.
@@ -31,6 +33,21 @@ type Config struct {
 	// RetryAfter is the hint returned with 429/503 responses, in seconds.
 	// Default 1.
 	RetryAfter int
+	// Recorder enables per-request tracing: every multiply's span record
+	// (queue/linger/compute/merge stages, flush linkage, adapter epoch)
+	// lands here on completion, retrievable at /v1/debug/flightrecorder
+	// and snapshotted automatically on anomaly. nil disables tracing;
+	// request IDs are still generated and echoed.
+	Recorder *tracing.Recorder
+	// SLO is the per-request latency objective backing the p99-over-SLO
+	// anomaly trigger: more than 1% of a sliding request window finishing
+	// over SLO snapshots the flight recorder. Zero disables the trigger.
+	SLO time.Duration
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, path, status, request id, duration, and for multiplies the
+	// matrix and stage-attributed latency). Wired to -access-log on
+	// haspmv-serve.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -56,9 +73,10 @@ func (c Config) withDefaults() Config {
 // overload is shed with 429 + Retry-After, and Drain stops intake before
 // flushing in-flight work for a graceful shutdown.
 type Server struct {
-	cfg Config
-	reg *Registry
-	mux *http.ServeMux
+	cfg     Config
+	reg     *Registry
+	mux     *http.ServeMux
+	anomaly *anomalyPolicy
 
 	mu       sync.Mutex
 	draining bool
@@ -72,13 +90,19 @@ func New(cfg Config) *Server {
 		panic("server: Config.Machine and Config.Algorithm are required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Registry.Recorder == nil {
+		// The registry stamps adapter epochs into the same recorder.
+		cfg.Registry.Recorder = cfg.Recorder
+	}
 	s := &Server{
-		cfg: cfg,
-		reg: NewRegistry(cfg.Machine, cfg.Algorithm, cfg.Registry),
-		mux: http.NewServeMux(),
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.Machine, cfg.Algorithm, cfg.Registry),
+		mux:     http.NewServeMux(),
+		anomaly: &anomalyPolicy{rec: cfg.Recorder, sloNs: int64(cfg.SLO)},
 	}
 	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
 	s.mux.HandleFunc("/v1/matrices", s.handleMatrices)
+	s.mux.HandleFunc("/v1/debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -87,24 +111,80 @@ func New(cfg Config) *Server {
 // (cmd/haspmv-serve adds telemetry.RegisterHandlers) before listening.
 func (s *Server) Mux() *http.ServeMux { return s.mux }
 
-// ServeHTTP implements http.Handler, tracking in-flight requests so
-// Drain can wait for them.
+// ServeHTTP implements http.Handler: it assigns or propagates the
+// request id (echoed as X-Request-ID on every response, error paths
+// included), tracks in-flight requests so Drain can wait for them, and
+// emits the access log line after the handler finishes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = tracing.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	if s.cfg.AccessLog != nil {
+		defer func() { s.writeAccessLog(sw, r, reqID, time.Since(start)) }()
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		// /healthz stays reachable so load balancers see the drain.
 		if r.URL.Path == "/healthz" {
-			s.handleHealthz(w, r)
+			s.handleHealthz(sw, r)
 			return
 		}
-		s.reject(w, http.StatusServiceUnavailable, "draining")
+		s.reject(sw, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter remembers the response status for the access log and the
+// trace record, and carries the multiply handler's trace out to the
+// logger so the access line can attribute latency to stages.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+	tr   *tracing.Trace
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// writeAccessLog emits one logfmt line per request. Stage fields appear
+// when the request was a traced multiply.
+func (s *Server) writeAccessLog(sw *statusWriter, r *http.Request, reqID string, dur time.Duration) {
+	if tr := sw.tr; tr != nil {
+		fmt.Fprintf(s.cfg.AccessLog,
+			"method=%s path=%s status=%d id=%s dur_us=%d matrix=%s queue_us=%d linger_us=%d compute_us=%d merge_us=%d batch_nv=%d\n",
+			r.Method, r.URL.Path, sw.status(), reqID, dur.Microseconds(),
+			tr.Matrix, tr.QueueNs/1e3, tr.LingerNs/1e3, tr.ComputeNs/1e3, tr.MergeNs/1e3, tr.BatchNV)
+		return
+	}
+	fmt.Fprintf(s.cfg.AccessLog, "method=%s path=%s status=%d id=%s dur_us=%d\n",
+		r.Method, r.URL.Path, sw.status(), reqID, dur.Microseconds())
 }
 
 // Preload builds registry entries ahead of traffic (the -preload flag).
@@ -205,6 +285,25 @@ func (s *Server) reject(w http.ResponseWriter, status int, msg string) {
 }
 
 func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	var tr *tracing.Trace
+	if s.cfg.Recorder != nil {
+		// One span record per request, allocated at admission on the
+		// handler path (which already allocates the decode and response
+		// buffers); the flush path only fills preallocated fields. It is
+		// handed to the recorder exactly once, after the status is known —
+		// never mutated afterwards, as the lock-free snapshot reader
+		// requires.
+		tr = &tracing.Trace{ID: w.Header().Get("X-Request-ID"), Start: time.Now()}
+		if tr.ID == "" {
+			// Mounted without the ServeHTTP wrapper (direct mux use).
+			tr.ID = tracing.NewRequestID()
+			w.Header().Set("X-Request-ID", tr.ID)
+		}
+		if sw, ok := w.(*statusWriter); ok {
+			sw.tr = tr
+		}
+		defer s.finishTrace(w, tr)
+	}
 	if r.Method != http.MethodPost {
 		s.reject(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -235,8 +334,14 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	if tr != nil {
+		tr.Matrix = Key(req.Matrix, req.Scale)
+	}
 	e, err := s.reg.Get(ctx, req.Matrix, req.Scale)
 	if err != nil {
+		if tr != nil {
+			tr.Err = err.Error()
+		}
 		switch {
 		case errors.Is(err, ErrUnknownMatrix):
 			s.reject(w, http.StatusNotFound, err.Error())
@@ -260,10 +365,14 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	}
 
 	y := make([]float64, e.Rows)
-	nv, err := e.Batcher.Submit(ctx, y, req.X)
+	nv, err := e.Batcher.SubmitTraced(ctx, y, req.X, tr)
 	if err != nil {
+		if tr != nil {
+			tr.Err = err.Error()
+		}
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			s.anomaly.onShed()
 			s.reject(w, http.StatusTooManyRequests, "queue full, retry later")
 		case errors.Is(err, ErrDraining):
 			s.reject(w, http.StatusServiceUnavailable, "draining")
@@ -308,6 +417,115 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// finishTrace completes and records a multiply's span after the response
+// is written: the HTTP status, a total for requests that never reached a
+// flush (attributed to queue — they died waiting), and the anomaly
+// bookkeeping. Runs once per traced request; the trace must not be
+// touched afterwards.
+func (s *Server) finishTrace(w http.ResponseWriter, tr *tracing.Trace) {
+	if sw, ok := w.(*statusWriter); ok {
+		tr.Status = sw.status()
+	}
+	if tr.TotalNs == 0 {
+		tr.TotalNs = int64(time.Since(tr.Start))
+		if tr.StageSumNs() == 0 {
+			tr.QueueNs = tr.TotalNs
+		}
+	}
+	s.cfg.Recorder.Record(tr)
+	if tr.Status == http.StatusOK {
+		s.anomaly.onServed(tr.TotalNs)
+	}
+}
+
+// handleFlightRecorder serves the on-demand snapshot of the flight
+// recorder (GET), or the last anomaly snapshot with ?anomaly=last.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.cfg.Recorder == nil {
+		s.reject(w, http.StatusNotFound, "flight recorder disabled (start with tracing enabled)")
+		return
+	}
+	if r.URL.Query().Get("anomaly") == "last" {
+		last := s.cfg.Recorder.LastAnomaly()
+		if last == nil {
+			s.reject(w, http.StatusNotFound, "no anomaly snapshot yet")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(last)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	s.cfg.Recorder.WriteJSON(w)
+}
+
+// Anomaly thresholds: a shed spike is shedSpikeCount rejections inside
+// shedSpikeWindow; the SLO trigger fires when more than 1% of a
+// sloWindowSize-request window finishes over Config.SLO (the "p99 over
+// SLO" condition, evaluated without retaining per-request latencies).
+const (
+	shedSpikeCount  = 8
+	shedSpikeWindow = time.Second
+	sloWindowSize   = 128
+)
+
+// anomalyPolicy converts request-stream signals into flight-recorder
+// snapshots. It sits on the handler path (never the flush path), so a
+// mutex is fine.
+type anomalyPolicy struct {
+	rec   *tracing.Recorder
+	sloNs int64
+
+	mu          sync.Mutex
+	shedStart   time.Time
+	shedCount   int
+	reqCount    int
+	breachCount int
+}
+
+func (a *anomalyPolicy) onShed() {
+	if a.rec == nil {
+		return
+	}
+	a.mu.Lock()
+	now := time.Now()
+	if a.shedStart.IsZero() || now.Sub(a.shedStart) > shedSpikeWindow {
+		a.shedStart, a.shedCount = now, 0
+	}
+	a.shedCount++
+	spike := a.shedCount == shedSpikeCount
+	a.mu.Unlock()
+	if spike {
+		a.rec.Anomaly("shed-spike")
+	}
+}
+
+func (a *anomalyPolicy) onServed(totalNs int64) {
+	if a.rec == nil || a.sloNs <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.reqCount++
+	if totalNs > a.sloNs {
+		a.breachCount++
+	}
+	trigger := false
+	if a.reqCount >= sloWindowSize {
+		trigger = a.breachCount > a.reqCount/100
+		a.reqCount, a.breachCount = 0, 0
+	}
+	a.mu.Unlock()
+	if trigger {
+		a.rec.Anomaly("p99-over-slo")
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -110,48 +110,52 @@ func WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// writeHistogram renders a duration histogram as a spec-compliant
+// Prometheus histogram: one cumulative _bucket series per upper bound —
+// every bound emitted even at zero count, so histogram_quantile always
+// sees the full, monotone bucket ladder — terminated by le="+Inf" whose
+// value equals _count.
 func writeHistogram(w io.Writer, h *Histogram) error {
 	name := namespace + h.Name() + "_seconds"
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s Power-of-two latency buckets for %s.\n# TYPE %s histogram\n", name, h.Name(), name); err != nil {
 		return err
 	}
 	cum := int64(0)
 	for b := 0; b <= histBuckets; b++ {
-		cnt := h.buckets[b].Load()
-		cum += cnt
-		if cnt == 0 && b < histBuckets {
-			continue
-		}
+		cum += h.buckets[b].Load()
 		le := "+Inf"
 		if b < histBuckets {
-			// bucket b holds durations with bit-length b ns: upper bound 2^b - 1 ns.
-			le = formatFloat(float64(int64(1)<<uint(b)) / 1e9)
+			// Bucket b holds durations with bit-length b ns; its inclusive
+			// upper bound is 2^b - 1 ns (b=0 is the zero-duration bucket).
+			le = formatFloat(float64(int64(1)<<uint(b)-1) / 1e9)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.SumSeconds()))
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
 	return nil
 }
 
+// writeValueHistogram renders a unitless integer histogram with the same
+// full cumulative bucket ladder as writeHistogram.
 func writeValueHistogram(w io.Writer, h *ValueHistogram) error {
 	name := namespace + h.Name()
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s Power-of-two value buckets for %s.\n# TYPE %s histogram\n", name, h.Name(), name); err != nil {
 		return err
 	}
 	cum := int64(0)
 	for b := 0; b <= valueHistBuckets; b++ {
-		cnt := h.buckets[b].Load()
-		cum += cnt
-		if cnt == 0 && b < valueHistBuckets {
-			continue
-		}
+		cum += h.buckets[b].Load()
 		le := "+Inf"
 		if b < valueHistBuckets {
-			// bucket b holds values with bit-length b: upper bound 2^b - 1.
+			// Bucket b holds values with bit-length b: upper bound 2^b - 1.
 			le = strconv.FormatInt(int64(1)<<uint(b)-1, 10)
 		}
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum())
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -352,3 +354,90 @@ type recordingWriter struct {
 func (w *recordingWriter) Header() http.Header         { return w.header }
 func (w *recordingWriter) Write(p []byte) (int, error) { return w.body.Write(p) }
 func (w *recordingWriter) WriteHeader(code int)        { w.status = code }
+
+// TestHistogramExpositionSpecCompliance pins the Prometheus text-format
+// contract that histogram_quantile depends on: every bucket bound is
+// emitted (even at zero count), the series is cumulative and monotone,
+// le bounds strictly increase, and the ladder terminates with a le="+Inf"
+// bucket equal to _count.
+func TestHistogramExpositionSpecCompliance(t *testing.T) {
+	dur := telemetry.NewHistogram("test_spec_hist")
+	val := telemetry.NewValueHistogram("test_spec_value_hist")
+	withCollector(t, func(*telemetry.Collector) {
+		for _, d := range []time.Duration{0, time.Nanosecond, time.Microsecond, time.Millisecond, 3 * time.Second, time.Hour} {
+			dur.Observe(d)
+		}
+		for _, v := range []int64{0, 1, 7, 4096} {
+			val.Observe(v)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+
+		checkLadder := func(name string, wantBuckets int, wantCount int64) {
+			t.Helper()
+			if !strings.Contains(out, "# HELP "+name+" ") {
+				t.Fatalf("%s: missing HELP line", name)
+			}
+			if !strings.Contains(out, "# TYPE "+name+" histogram") {
+				t.Fatalf("%s: missing TYPE histogram line", name)
+			}
+			var les []float64
+			var cums []int64
+			for _, line := range strings.Split(out, "\n") {
+				if !strings.HasPrefix(line, name+"_bucket{le=\"") {
+					continue
+				}
+				rest := strings.TrimPrefix(line, name+"_bucket{le=\"")
+				end := strings.Index(rest, "\"}")
+				if end < 0 {
+					t.Fatalf("%s: malformed bucket line %q", name, line)
+				}
+				leStr, cntStr := rest[:end], strings.TrimSpace(rest[end+2:])
+				cnt, err := strconv.ParseInt(cntStr, 10, 64)
+				if err != nil {
+					t.Fatalf("%s: bucket count %q: %v", name, cntStr, err)
+				}
+				le := math.Inf(1)
+				if leStr != "+Inf" {
+					if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+						t.Fatalf("%s: le %q: %v", name, leStr, err)
+					}
+				}
+				les = append(les, le)
+				cums = append(cums, cnt)
+			}
+			if len(les) != wantBuckets {
+				t.Fatalf("%s: %d bucket lines, want %d (all bounds emitted)", name, len(les), wantBuckets)
+			}
+			for i := 1; i < len(les); i++ {
+				if les[i] <= les[i-1] {
+					t.Fatalf("%s: le bounds not strictly increasing at %d: %v <= %v", name, i, les[i], les[i-1])
+				}
+				if cums[i] < cums[i-1] {
+					t.Fatalf("%s: cumulative counts decreased at %d: %d < %d", name, i, cums[i], cums[i-1])
+				}
+			}
+			if !math.IsInf(les[len(les)-1], 1) {
+				t.Fatalf("%s: last bucket le is %v, want +Inf", name, les[len(les)-1])
+			}
+			if cums[len(cums)-1] != wantCount {
+				t.Fatalf("%s: +Inf bucket %d, want _count %d", name, cums[len(cums)-1], wantCount)
+			}
+			if !strings.Contains(out, fmt.Sprintf("%s_count %d", name, wantCount)) {
+				t.Fatalf("%s: missing _count %d", name, wantCount)
+			}
+		}
+		// 34 power-of-two duration bounds plus +Inf; 32 value bounds plus +Inf.
+		checkLadder("haspmv_test_spec_hist_seconds", 35, 6)
+		checkLadder("haspmv_test_spec_value_hist", 33, 4)
+
+		// The zero-duration bucket must carry the le="0" bound so a zero
+		// observation lands in a finite bucket.
+		if !strings.Contains(out, `haspmv_test_spec_hist_seconds_bucket{le="0"} 1`) {
+			t.Fatalf("zero-duration observation not in le=\"0\" bucket:\n%s", out)
+		}
+	})
+}
