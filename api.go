@@ -119,6 +119,19 @@ const (
 	RowCost       = haspmvcore.RowCost
 )
 
+// ExecMode selects how rows cut across cores are resolved (see
+// core.ExecMode).
+type ExecMode = haspmvcore.ExecMode
+
+// Execution modes: auto dispatch on row-length skew, the classic serial
+// extraY epilogue, or forced speculative segmented-sum execution with
+// the parallel cut-row patch.
+const (
+	ExecAuto   = haspmvcore.ExecAuto
+	ExecSerial = haspmvcore.ExecSerial
+	ExecSegSum = haspmvcore.ExecSegSum
+)
+
 // ModelParams are the performance-model calibration constants.
 type ModelParams = costmodel.Params
 

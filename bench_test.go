@@ -202,6 +202,55 @@ func BenchmarkCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkComputeSegSum isolates the execution-mode choice on the
+// rank-law power-law matrix (hub row ~33% of the nonzeros, mean ~3
+// nnz/row): the same partition and index streams (proportion and base
+// pinned) executed through the serial extraY epilogue, the speculative
+// segmented-sum descriptor walk, and the auto row-skew dispatch. On
+// short-row matrices the per-row fragment bookkeeping is the dominant
+// cost the segsum mode deletes; the committed baseline records the win
+// and cmd/benchdiff gates it. The benchmark refuses to run if the
+// forced-segsum hot path allocates.
+func BenchmarkComputeSegSum(b *testing.B) {
+	m := haspmv.IntelI912900KF()
+	a := bench.SegSumZipf.Generate()
+	prop := haspmvcore.ProportionFor(m, a)
+	base := haspmvcore.AutoBase(a)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%7)/7
+	}
+	y := make([]float64, a.Rows)
+	for _, tc := range []struct {
+		name string
+		mode haspmvcore.ExecMode
+	}{
+		{"serial", haspmvcore.ExecSerial},
+		{"segsum", haspmvcore.ExecSegSum},
+		{"auto", haspmvcore.ExecAuto},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prep, err := haspmvcore.New(haspmvcore.Options{PProportion: prop, Base: base, Exec: tc.mode}).Prepare(m, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prep.Compute(y, x) // warm the scratch and worker pools
+			if tc.mode == haspmvcore.ExecSegSum {
+				if n := testing.AllocsPerRun(20, func() { prep.Compute(y, x) }); n != 0 {
+					b.Fatalf("segsum Compute allocates %.1f/op, want 0", n)
+				}
+			}
+			b.SetBytes(int64(12 * a.NNZ()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prep.Compute(y, x)
+			}
+			b.ReportMetric(2*float64(a.NNZ())*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
+		})
+	}
+}
+
 // BenchmarkComputeTraced holds the tentpole observability requirement
 // inside the bench gate: the traced multiply is gated against the same
 // baseline family as Compute (tracing must cost nothing measurable) and

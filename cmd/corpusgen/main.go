@@ -5,6 +5,7 @@
 //
 //	corpusgen -dir /tmp/corpus -n 50 -maxnnz 1000000
 //	corpusgen -dir /tmp/rep -representative -scale 16
+//	corpusgen -dir /tmp/zipf -zipf -rows 65536 -cols 65536 -nnz 600000
 package main
 
 import (
@@ -34,6 +35,11 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 20230904, "corpus seed")
 	representative := fs.Bool("representative", false, "write the 22 Table II matrices instead of the corpus")
 	scale := fs.Int("scale", 16, "representative scale divisor")
+	zipf := fs.Bool("zipf", false, "write one rank-law (Zipf) power-law matrix instead of the corpus")
+	rows := fs.Int("rows", 65536, "zipf matrix rows")
+	cols := fs.Int("cols", 65536, "zipf matrix cols")
+	nnz := fs.Int("nnz", 600000, "zipf matrix nonzeros (exact)")
+	zipfS := fs.Float64("zipf-s", 0, "zipf rank exponent (0 = default 1.4)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +60,13 @@ func run(args []string) error {
 		return nil
 	}
 
+	if *zipf {
+		z := gen.ZipfSpec{
+			Name: fmt.Sprintf("zipf-%dx%d-%d", *rows, *cols, *nnz),
+			Rows: *rows, Cols: *cols, TargetNNZ: *nnz, S: *zipfS, Seed: *seed,
+		}
+		return write(z.Name, z.Generate())
+	}
 	if *representative {
 		for _, name := range gen.RepresentativeNames() {
 			if err := write(name, gen.Representative(name, *scale)); err != nil {

@@ -61,6 +61,20 @@ func run(args []string) error {
 	}
 	fmt.Printf("index-width=u%d max-row-col-span=%d u16-delta-rows=%d/%d u16-delta-nnz=%.1f%%\n",
 		sparse.IndexWidthBits(a.Cols), sp.MaxSpan, sp.Rows16, a.Rows, nnz16Pct)
+	// Row-length skew — the same numbers the execution-mode dispatch
+	// reads, so segmented-sum eligibility is predictable from this line:
+	// hub share (max-row-nnz over nnz), Gini, and how many rows an
+	// equal-nnz split across the machine's cores would cut mid-row.
+	m, ok := amp.ByName(*machine)
+	if !ok {
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	cores := len(m.Cores(amp.PAndE))
+	skew := costmodel.ComputeRowSkew(a.RowPtr)
+	fmt.Printf("max-row-nnz=%d mean-row-nnz=%.2f hub-share=%.1f%% gini=%.3f spanning-rows@%dcores=%d exec=%s\n",
+		skew.MaxRowNNZ, skew.MeanRowNNZ, 100*skew.MaxShare, skew.Gini,
+		cores, costmodel.RowsSpanningCores(a.RowPtr, cores),
+		map[bool]string{true: "segsum", false: "serial"}[skew.PreferSegSum(cores)])
 
 	if *convert != "" {
 		if err := mmio.WriteFile(*convert, a); err != nil {
@@ -70,10 +84,6 @@ func run(args []string) error {
 	}
 
 	if *spmv {
-		m, ok := amp.ByName(*machine)
-		if !ok {
-			return fmt.Errorf("unknown machine %q", *machine)
-		}
 		fmt.Printf("\n# modeled SpMV on %s\n", m.Name)
 		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "method\ttime(ms)\tGFlops\tbound")

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+
+	haspmvcore "haspmv/internal/core"
+)
+
+// SegSumZipf is the power-law matrix the segsum experiment measures: a
+// rank-law profile whose hub row holds ~33% of the nonzeros (so the
+// equal-nnz cut splits it across most of the machine's cores) over a
+// short-row tail (mean ~3 nnz/row, like web crawl graphs), where
+// per-row dispatch overhead dominates the serial fragment walk.
+var SegSumZipf = gen.ZipfSpec{
+	Name: "zipf-64k", Rows: 1 << 16, Cols: 1 << 16, TargetNNZ: 200_000, Seed: 3,
+}
+
+// SegSumRow is the host wall-clock of one execution mode multiplying
+// the identical partition: the serial extraY epilogue, forced
+// segmented-sum, and the auto dispatch (segsum where the row-skew gate
+// fires, serial elsewhere).
+type SegSumRow struct {
+	Matrix string
+	Mode   string
+	TimeUs float64
+	GFlops float64
+	// Speedup is the serial-epilogue time over this mode's time.
+	Speedup float64
+	// SegNNZShare is the fraction of assigned nonzeros executed through
+	// the segmented-sum kernels under this mode.
+	SegNNZShare float64
+	// HubShare is the matrix's max-row nnz share — the knob that decides
+	// whether the auto gate fires (constant across modes of a matrix).
+	HubShare float64
+}
+
+// SegSumSweep measures real host wall-clock of the execution modes on
+// the Zipf power-law matrix and a representative web graph. The
+// P-proportion, base and index mode are pinned so every mode executes
+// the exact same partition and streams — the sweep isolates the
+// epilogue strategy and the per-row bookkeeping of the region walk. The
+// same host caveat as HostCompare applies: symmetric host cores show
+// the kernel-overhead effect, not AMP behaviour.
+func SegSumSweep(cfg Config, m *amp.Machine, matrix string, reps int) ([]SegSumRow, error) {
+	if reps < 1 {
+		reps = 5
+	}
+	mats := []struct {
+		name string
+		a    *sparse.CSR
+	}{
+		{SegSumZipf.Name, SegSumZipf.Generate()},
+		{matrix, gen.Representative(matrix, cfg.RepScale)},
+	}
+	modes := []struct {
+		name string
+		mode haspmvcore.ExecMode
+	}{
+		{"serial", haspmvcore.ExecSerial},
+		{"segsum", haspmvcore.ExecSegSum},
+		{"auto", haspmvcore.ExecAuto},
+	}
+	var rows []SegSumRow
+	for _, mt := range mats {
+		a := mt.a
+		prop := haspmvcore.ProportionFor(m, a)
+		base := haspmvcore.AutoBase(a)
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1 + float64(i%7)/7
+		}
+		y := make([]float64, a.Rows)
+		flops := 2 * float64(a.NNZ())
+		serialSec := 0.0
+		for _, md := range modes {
+			alg := haspmvcore.New(haspmvcore.Options{PProportion: prop, Base: base, Exec: md.mode})
+			prep, err := alg.Prepare(m, a)
+			if err != nil {
+				return nil, fmt.Errorf("%s mode %s: %w", mt.name, md.name, err)
+			}
+			prep.Compute(y, x) // warm up (scratch pools, worker pool)
+			best := time.Duration(1 << 62)
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				prep.Compute(y, x)
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			hp := prep.(*haspmvcore.Prepared)
+			row := SegSumRow{
+				Matrix:   mt.name,
+				Mode:     md.name,
+				TimeUs:   float64(best.Nanoseconds()) / 1e3,
+				HubShare: hp.RowSkew().MaxShare,
+			}
+			if nnz := a.NNZ(); nnz > 0 {
+				row.SegNNZShare = float64(hp.SegSumNNZ()) / float64(nnz)
+			}
+			if s := best.Seconds(); s > 0 {
+				row.GFlops = flops / s / 1e9
+				if md.name == "serial" {
+					serialSec = s
+				}
+				row.Speedup = serialSec / s
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PrintSegSum renders the execution-mode sweep.
+func PrintSegSum(w io.Writer, m *amp.Machine, rows []SegSumRow) {
+	fmt.Fprintf(w, "\n# Segmented-sum execution modes (machine model %s used for partitioning only)\n", m.Name)
+	fmt.Fprintln(w, "note: host cores are symmetric; these numbers show per-row overhead and epilogue effects, not AMP behaviour")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "matrix\tmode\ttime(us)\tGFlops\tspeedup vs serial\tsegsum nnz share\thub share")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.2f\t%.2fx\t%.1f%%\t%.1f%%\n",
+			r.Matrix, r.Mode, r.TimeUs, r.GFlops, r.Speedup, 100*r.SegNNZShare, 100*r.HubShare)
+	}
+	tw.Flush()
+}
+
+// SegSumCSV emits machine,matrix,mode,time_us,gflops,speedup,
+// segsum_nnz_share,hub_share rows.
+func SegSumCSV(w io.Writer, machine string, rowsIn []SegSumRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "mode", "time_us", "gflops", "speedup", "segsum_nnz_share", "hub_share"}}
+	for _, r := range rowsIn {
+		rows = append(rows, []string{
+			machine, r.Matrix, r.Mode, f(r.TimeUs), f(r.GFlops),
+			f(r.Speedup), f(r.SegNNZShare), f(r.HubShare),
+		})
+	}
+	return writeAll(cw, rows)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"haspmv/internal/exec"
@@ -29,6 +30,9 @@ type batchScratch struct {
 	nvCap    int
 	extraRow []int
 	extraVal []float64 // len(regions)*nvCap, core id strided by nvCap
+	// pending holds the segmented-sum patch rendezvous counters (see
+	// computeScratch.pending).
+	pending []atomic.Int32
 	// sums is the per-core kernel output block (len(regions)*MaxBlock,
 	// strided by MaxBlock). It lives in the pooled scratch rather than on
 	// run's stack so that passing it to the generic compressed block
@@ -50,6 +54,7 @@ func (p *Prepared) newBatchScratch(nv int) *batchScratch {
 		nvCap:    cap,
 		extraRow: make([]int, n),
 		extraVal: make([]float64, n*cap),
+		pending:  make([]atomic.Int32, n),
 		sums:     make([]float64, n*kernel.MaxBlock),
 		durNs:    make([]int64, n),
 	}
@@ -66,6 +71,10 @@ func (s *batchScratch) run(id int) {
 	s.durNs[id] = 0
 	reg := s.regs[id]
 	if reg.Lo >= reg.Hi {
+		return
+	}
+	if reg.SegSum {
+		s.runSegSum(id, reg)
 		return
 	}
 	tel := s.tel

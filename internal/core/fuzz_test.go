@@ -47,7 +47,10 @@ func fuzzMatrix(data []byte) (*sparse.CSR, byte) {
 
 // fuzzOptions maps the option byte onto the ablation space: reorder
 // on/off, one- vs two-level partition, a handful of explicit base
-// thresholds around the short/long boundary, and the index-stream mode.
+// thresholds around the short/long boundary, the index-stream mode, and
+// (bit 7) forced segmented-sum execution — the oracle instance always
+// pins ExecSerial, so that bit turns every bit-equality stage into
+// segsum-vs-serial-epilogue.
 func fuzzOptions(b byte) Options {
 	var mode IndexMode
 	switch (b >> 5) & 3 {
@@ -56,22 +59,31 @@ func fuzzOptions(b byte) Options {
 	case 2:
 		mode = IndexReference
 	}
+	var ex ExecMode
+	if b&128 != 0 {
+		ex = ExecSegSum
+	}
 	return Options{
 		DisableReorder: b&1 != 0,
 		OneLevel:       b&2 != 0,
 		Base:           int(b>>2) % 8 * 4, // 0 (auto), 4, 8, ..., 28
 		Index:          mode,
+		Exec:           ex,
 	}
 }
 
 // referencePrepared builds the []int oracle instance for a prepared
-// compressed instance: same options, reference index mode, and the
-// resolved proportion pinned so both cut identical regions (the auto
-// proportion is stream-aware, so leaving it auto could move boundaries).
+// compressed instance: same options, reference index mode, serial
+// epilogue execution, and the resolved proportion pinned so both cut
+// identical regions (the auto proportion is stream-aware, so leaving it
+// auto could move boundaries). Pinning ExecSerial means a primary
+// instance running segmented-sum is checked bit-for-bit against the
+// extraY serial-epilogue path it replaces.
 func referencePrepared(t *testing.T, hp *Prepared, a *sparse.CSR, opts Options) *Prepared {
 	t.Helper()
 	refOpts := opts
 	refOpts.Index = IndexReference
+	refOpts.Exec = ExecSerial
 	refOpts.PProportion = hp.Plan().PProportion
 	ref, err := New(refOpts).Prepare(amp.IntelI912900KF(), a)
 	if err != nil {
@@ -80,14 +92,28 @@ func referencePrepared(t *testing.T, hp *Prepared, a *sparse.CSR, opts Options) 
 	return ref.(*Prepared)
 }
 
+// segsumMegaRowSeed builds the mega-row fuzz seed: option bit 7 forces
+// segmented-sum, row 2 of 6 holds 20 of 23 entries so the equal-nnz cut
+// splits it across most of the 16 regions.
+func segsumMegaRowSeed() []byte {
+	data := []byte{5, 31, 128}
+	for j := 0; j < 20; j++ {
+		data = append(data, 2, byte(j), byte(40+j))
+	}
+	return append(data, 0, 1, 9, 1, 3, 8, 3, 5, 7)
+}
+
 // FuzzPrepareCompute feeds random small matrices through the full
 // HASpMV pipeline — HACSR reorder, cost partition, conflict-resolving
 // executor — checks the result against the naive reference multiply plus
 // the nonzero-coverage invariant, then repartitions with an input-derived
 // plan and re-checks both. Seed corpus under
 // testdata/fuzz/FuzzPrepareCompute covers the structural extremes:
-// all-empty rows, a single dense row, all-short rows, all-long rows, and
-// a weighted repartition after reorder on a mostly-empty matrix.
+// all-empty rows, a single dense row, all-short rows, all-long rows, a
+// weighted repartition after reorder on a mostly-empty matrix, and two
+// forced-segsum shapes (option bit 7): an all-one-row matrix and a
+// mega-row holding most of the nonzeros, both of which cut one row
+// across several regions so the parallel fragment patch is exercised.
 func FuzzPrepareCompute(f *testing.F) {
 	f.Add([]byte{7, 7, 0})                                                                                                                 // 8x8, all rows empty
 	f.Add([]byte{0, 15, 1, 0, 0, 8, 0, 5, 16, 0, 11, 200})                                                                                 // single row, reorder off
@@ -96,6 +122,8 @@ func FuzzPrepareCompute(f *testing.F) {
 	f.Add([]byte{15, 7, 0, 201, 0, 0, 8, 0, 5, 200, 1, 40, 5, 3, 12})                                                                      // empty rows + weighted repartition
 	f.Add([]byte{7, 200, 0, 0, 10, 40, 0, 20, 41, 1, 0, 42, 1, 252, 43, 2, 0, 44, 2, 251, 45})                                             // wide: u16-delta region boundary (eligible rows around a >2^16-span row)
 	f.Add([]byte{0, 255, 0, 0, 0, 10, 0, 252, 20, 0, 100, 30})                                                                             // wide: single row spanning past 2^16 columns
+	f.Add([]byte{0, 15, 128, 0, 0, 8, 0, 5, 16, 0, 11, 200, 0, 3, 7, 0, 7, 9, 0, 13, 11, 0, 1, 5, 0, 9, 3})                                // forced segsum: the whole matrix is one row, cut across many regions
+	f.Add(segsumMegaRowSeed())                                                                                                             // forced segsum: one mega-row spanning 3+ regions among short rows
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			return // keep Prepare cost bounded
@@ -197,13 +225,16 @@ func FuzzPrepareCompute(f *testing.F) {
 // any matrix and any batch width, the fused ComputeBatch must produce
 // exactly — bit for bit — what nv independent Computes produce. Seed
 // corpus under testdata/fuzz/FuzzComputeBatch mirrors the structural
-// extremes with varying widths.
+// extremes with varying widths, including the forced-segsum one-row and
+// mega-row shapes so the block-kernel fragment patch is covered too.
 func FuzzComputeBatch(f *testing.F) {
 	f.Add([]byte{7, 7, 0}, byte(8))                                                                                                                                                                            // empty rows, full block
 	f.Add([]byte{0, 15, 0, 0, 0, 8, 0, 5, 16, 0, 11, 200}, byte(3))                                                                                                                                            // single row
 	f.Add([]byte{31, 31, 0, 1, 1, 4, 9, 9, 8, 30, 2, 252}, byte(9))                                                                                                                                            // short rows, two blocks
 	f.Add([]byte{2, 30, 0, 0, 0, 1, 0, 3, 2, 0, 6, 3, 0, 9, 4, 0, 12, 5, 0, 15, 6, 0, 18, 7, 0, 21, 8, 1, 1, 9, 1, 4, 10, 1, 7, 11, 1, 10, 12, 1, 13, 13, 1, 16, 14, 1, 19, 15, 1, 22, 16, 2, 2, 17}, byte(5)) // long rows
 	f.Add([]byte{7, 200, 0, 0, 10, 40, 0, 20, 41, 1, 0, 42, 1, 252, 43, 2, 0, 44, 2, 251, 45}, byte(5))                                                                                                        // wide: u16-delta region boundary, block path
+	f.Add([]byte{0, 15, 128, 0, 0, 8, 0, 5, 16, 0, 11, 200, 0, 3, 7, 0, 7, 9, 0, 13, 11, 0, 1, 5, 0, 9, 3}, byte(5))                                                                                           // forced segsum: all-one-row matrix, batched fragment patch
+	f.Add(segsumMegaRowSeed(), byte(9))                                                                                                                                                                        // forced segsum: mega-row spanning 3+ regions, batched
 	f.Fuzz(func(t *testing.T, data []byte, nvByte byte) {
 		if len(data) > 1<<12 {
 			return

@@ -26,6 +26,25 @@ type Region struct {
 	// stamped by assignFormats after every partition or repartition. The
 	// zero value dispatches to the []int reference kernels.
 	Format IndexFormat
+	// SegSum selects segmented-sum execution for this region, stamped by
+	// assignModes after every partition or repartition. The zero value
+	// keeps the classic fragment walk with the serial extraY epilogue.
+	SegSum bool
+	// EndRow is the reordered row containing Hi-1 (StartRow for an empty
+	// region), cached by assignModes alongside the group bookkeeping.
+	EndRow int
+	// Cut-row group bookkeeping (assignModes): ContFirst is the head
+	// region's slot when this region's leading fragment continues a cut
+	// row (-1 otherwise); HeadLast/HeadSpan describe the group this
+	// region heads — the last member's slot and the number of non-empty
+	// members (-1/0 when its last row is not cut). PatchCont/PatchHead
+	// arm the parallel patch rendezvous; when false the extraY epilogue
+	// resolves the group serially as before.
+	ContFirst int
+	HeadLast  int
+	HeadSpan  int
+	PatchCont bool
+	PatchHead bool
 }
 
 // DefaultProportion derives the level-1 split (P_proportion in Algorithm

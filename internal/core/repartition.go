@@ -91,9 +91,12 @@ func (p *Prepared) Repartition(plan Plan) error {
 	if err := checkRegions(h, regions); err != nil {
 		return err
 	}
-	// Streams are never rebuilt on a boundary move: each moved region
-	// just re-picks the narrowest format all its rows still support.
+	// Streams and segment descriptors are never rebuilt on a boundary
+	// move: each moved region just re-picks the narrowest format all its
+	// rows still support and its execution mode (which rows are cut, and
+	// whether their groups patch in parallel).
 	p.assignFormats(regions)
+	p.assignModes(regions)
 	planCopy := plan
 	if plan.Weights != nil {
 		planCopy.Weights = append([]float64(nil), plan.Weights...)

@@ -59,6 +59,12 @@ type Options struct {
 	// Index selects the column-index stream policy (default IndexAuto:
 	// compressed u32/u16 streams with per-region dispatch).
 	Index IndexMode
+	// Exec selects how rows cut across cores are resolved (default
+	// ExecAuto: segmented-sum execution with a parallel patch when the
+	// row-length skew predicts the serial extraY epilogue or the
+	// per-row fragment-walk overhead dominates, the classic serial
+	// epilogue otherwise).
+	Exec ExecMode
 }
 
 // New builds the HASpMV algorithm. Config defaults to both groups (PAndE).
@@ -143,7 +149,10 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 			p.pCount++
 		}
 	}
+	p.skew = costmodel.ComputeRowSkew(mat.RowPtr)
+	p.buildSegments()
 	p.assignFormats(regions)
+	p.assignModes(regions)
 	p.regions.Store(&regions)
 	p.scratch.Store(p.newScratch())
 	p.triadMBps = int64(costmodel.EstimateTriad(m, costmodel.DefaultParams(), cores, triadElems).GBps * 1000)
@@ -206,6 +215,14 @@ type Prepared struct {
 	// streams holds the compressed column-index streams built once at
 	// Prepare; Repartition only re-picks per-region formats over them.
 	streams indexStreams
+	// segs is the per-reordered-row segment descriptor stream for
+	// segmented-sum execution (nil when the mode is off for this
+	// instance); like streams it is built once at Prepare and survives
+	// every Repartition, which only re-picks per-region modes.
+	segs []kernel.Segment
+	// skew is the row-length skew profile driving the execution-mode
+	// dispatch.
+	skew costmodel.RowSkew
 	// cores are the participating core ids (P slots first), and pCount
 	// how many of them belong to the Performance group.
 	cores  []int
@@ -310,6 +327,11 @@ type computeScratch struct {
 	regs     []Region
 	extraRow []int
 	extraVal []float64
+	// pending holds one rendezvous counter per region slot for the
+	// segmented-sum parallel patch (indexed by the group head's slot);
+	// counters are zero between calls (the patching member resets its
+	// group's counter), so the pooled scratch needs no per-call sweep.
+	pending []atomic.Int32
 	// durNs is each slot's kernel time for the current call — one plain
 	// store per core, read by the traced path to surface the critical-path
 	// core without touching the always-on cumulative accumulators.
@@ -323,6 +345,7 @@ func (p *Prepared) newScratch() *computeScratch {
 		p:        p,
 		extraRow: make([]int, n),
 		extraVal: make([]float64, n),
+		pending:  make([]atomic.Int32, n),
 		durNs:    make([]int64, n),
 	}
 	s.body = s.run
@@ -338,6 +361,10 @@ func (s *computeScratch) run(id int) {
 	s.durNs[id] = 0
 	reg := s.regs[id]
 	if reg.Lo >= reg.Hi {
+		return
+	}
+	if reg.SegSum {
+		s.runSegSum(id, reg)
 		return
 	}
 	tel := s.tel

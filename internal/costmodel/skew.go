@@ -1,0 +1,120 @@
+package costmodel
+
+// Row-length skew: the cost-model term behind the segmented-sum
+// execution dispatch. HASpMV's extraY epilogue is a serial tail whose
+// length grows with the number of rows cut across cores, and the
+// fragment walk pays a fixed per-row overhead that dominates when the
+// typical row holds only a few nonzeros — both are properties of the
+// row-length *distribution*, not of the nnz total the partitioner
+// balances. RowSkew captures that distribution in the two classic
+// shapes: the hub-row extreme (max-row-nnz against the mean and the
+// total) and the overall inequality (Gini coefficient), computed
+// exactly in O(rows + maxRowLen) with a counting sort so Prepare can
+// afford it on every call.
+
+// RowSkew summarizes the row-length distribution of a matrix for the
+// execution-mode dispatch (and cmd/mminfo's skew report).
+type RowSkew struct {
+	// Rows is the row count; MaxRowNNZ the longest row's nonzeros.
+	Rows      int
+	MaxRowNNZ int
+	// MeanRowNNZ is nnz/rows.
+	MeanRowNNZ float64
+	// MaxShare is MaxRowNNZ over the total nonzeros: the fraction of the
+	// matrix one hub row holds.
+	MaxShare float64
+	// Gini is the Gini coefficient of the row lengths: 0 for perfectly
+	// even rows, approaching 1 for power-law matrices.
+	Gini float64
+}
+
+// ComputeRowSkew derives the skew statistics from a CSR row pointer
+// (len rows+1, monotone). Gini is exact, via a counting sort over the
+// lengths: with sorted lengths x_(1..n),
+// G = 2*sum(i*x_(i))/(n*sum x) - (n+1)/n.
+func ComputeRowSkew(rowPtr []int) RowSkew {
+	rows := len(rowPtr) - 1
+	if rows <= 0 {
+		return RowSkew{}
+	}
+	s := RowSkew{Rows: rows}
+	nnz := rowPtr[rows] - rowPtr[0]
+	for i := 0; i < rows; i++ {
+		if l := rowPtr[i+1] - rowPtr[i]; l > s.MaxRowNNZ {
+			s.MaxRowNNZ = l
+		}
+	}
+	s.MeanRowNNZ = float64(nnz) / float64(rows)
+	if nnz <= 0 {
+		return s
+	}
+	s.MaxShare = float64(s.MaxRowNNZ) / float64(nnz)
+	counts := make([]int, s.MaxRowNNZ+1)
+	for i := 0; i < rows; i++ {
+		counts[rowPtr[i+1]-rowPtr[i]]++
+	}
+	rank := counts[0] // zero-length rows occupy the lowest ranks, weight 0
+	weighted := 0.0
+	for l := 1; l <= s.MaxRowNNZ; l++ {
+		c := counts[l]
+		if c == 0 {
+			continue
+		}
+		// Ranks rank+1 .. rank+c all carry length l.
+		weighted += float64(l) * (float64(c)*float64(rank) + float64(c)*float64(c+1)/2)
+		rank += c
+	}
+	n := float64(rows)
+	s.Gini = 2*weighted/(n*float64(nnz)) - (n+1)/n
+	return s
+}
+
+// PreferSegSum is the dispatch predicate: does the skew predict that
+// the serial extraY epilogue and the fragment walk's per-row overhead
+// dominate a multiply across this many cores? True on the two shapes
+// segmented-sum execution exists for:
+//
+//   - a hub row holding at least half of one core's equal share, which
+//     forces a multi-core cut whose merge serializes the tail no matter
+//     how well nnz is balanced, and
+//   - a short-row-dominated power-law profile (high Gini, small mean),
+//     where the per-row kernel dispatch is the critical path the
+//     descriptor walk removes.
+func (s RowSkew) PreferSegSum(cores int) bool {
+	if cores < 2 || s.Rows == 0 || s.MeanRowNNZ <= 0 {
+		return false
+	}
+	if s.MaxShare*float64(cores) >= 0.5 {
+		return true
+	}
+	return s.Gini >= 0.6 && s.MeanRowNNZ <= 32
+}
+
+// RowsSpanningCores counts the rows an equal-nnz partition across
+// `cores` cores cuts mid-row — each one an extraY merge the serial
+// epilogue pays for. It is the cheap nnz-cut approximation of the cost
+// partition (boundaries at i*nnz/cores), which is what cmd/mminfo
+// reports as segmented-sum eligibility context.
+func RowsSpanningCores(rowPtr []int, cores int) int {
+	rows := len(rowPtr) - 1
+	if rows <= 0 || cores < 2 {
+		return 0
+	}
+	nnz := rowPtr[rows] - rowPtr[0]
+	if nnz <= 0 {
+		return 0
+	}
+	count, prevRow := 0, -1
+	r := 0
+	for i := 1; i < cores; i++ {
+		c := rowPtr[0] + nnz*i/cores
+		for r < rows && rowPtr[r+1] <= c {
+			r++
+		}
+		if r < rows && rowPtr[r] < c && c < rowPtr[r+1] && r != prevRow {
+			count++
+			prevRow = r
+		}
+	}
+	return count
+}

@@ -1,0 +1,112 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+func TestComputeRowSkewBasics(t *testing.T) {
+	// 4 rows: lengths 0, 1, 3, 8 → nnz 12.
+	rowPtr := []int{0, 0, 1, 4, 12}
+	s := ComputeRowSkew(rowPtr)
+	if s.Rows != 4 || s.MaxRowNNZ != 8 {
+		t.Fatalf("rows %d max %d, want 4/8", s.Rows, s.MaxRowNNZ)
+	}
+	if s.MeanRowNNZ != 3 {
+		t.Fatalf("mean %v, want 3", s.MeanRowNNZ)
+	}
+	if s.MaxShare != 8.0/12 {
+		t.Fatalf("max share %v, want %v", s.MaxShare, 8.0/12)
+	}
+	// Sorted lengths 0,1,3,8: G = 2*(0+2+9+32)/(4*12) - 5/4 = 0.541666…
+	if want := 2*43.0/48 - 1.25; math.Abs(s.Gini-want) > 1e-12 {
+		t.Fatalf("gini %v, want %v", s.Gini, want)
+	}
+
+	if s := ComputeRowSkew([]int{0}); s != (RowSkew{}) {
+		t.Fatalf("empty matrix skew %+v, want zero", s)
+	}
+	if s := ComputeRowSkew([]int{0, 0, 0}); s.Gini != 0 || s.MaxShare != 0 {
+		t.Fatalf("all-empty skew %+v", s)
+	}
+	// Perfectly even rows: Gini exactly 0.
+	if s := ComputeRowSkew([]int{0, 5, 10, 15, 20}); s.Gini != 0 {
+		t.Fatalf("even rows gini %v, want 0", s.Gini)
+	}
+}
+
+// The counting-sort Gini must agree with sparse.ComputeRowStats'
+// sort-based one on arbitrary matrices (different summation orders, so
+// tolerance rather than bit equality).
+func TestRowSkewGiniMatchesRowStats(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		rows := 1 + r.Intn(500)
+		a := gen.Spec{
+			Name: "g", Rows: rows, Cols: 1 + r.Intn(500),
+			TargetNNZ: 1 + r.Intn(rows*10),
+			Dist:      gen.PowerLen{Min: 1, Max: 200, Gamma: 1.5},
+			Place:     gen.Placement(r.Intn(4)),
+			Seed:      int64(trial),
+		}.Generate()
+		want := sparse.ComputeRowStats(a)
+		got := ComputeRowSkew(a.RowPtr)
+		if math.Abs(got.Gini-want.Gini) > 1e-9 {
+			t.Fatalf("trial %d: gini %v, want %v", trial, got.Gini, want.Gini)
+		}
+		if got.MaxRowNNZ != want.MaxRowLen {
+			t.Fatalf("trial %d: max %d, want %d", trial, got.MaxRowNNZ, want.MaxRowLen)
+		}
+	}
+}
+
+func TestPreferSegSum(t *testing.T) {
+	// Hub shape: one row holds 30% of nnz — any multi-core run wants the
+	// parallel patch.
+	hub := RowSkew{Rows: 100, MaxRowNNZ: 300, MeanRowNNZ: 10, MaxShare: 0.3, Gini: 0.4}
+	if !hub.PreferSegSum(8) {
+		t.Error("hub shape rejected at 8 cores")
+	}
+	if hub.PreferSegSum(1) {
+		t.Error("single core accepted (no cut rows exist)")
+	}
+	// Power-law shape: short typical rows, high inequality.
+	pl := RowSkew{Rows: 1 << 20, MaxRowNNZ: 5000, MeanRowNNZ: 4, MaxShare: 0.001, Gini: 0.75}
+	if !pl.PreferSegSum(8) {
+		t.Error("power-law shape rejected")
+	}
+	// Regular FEM shape: even rows, moderate length.
+	fem := RowSkew{Rows: 1 << 20, MaxRowNNZ: 60, MeanRowNNZ: 55, MaxShare: 1e-6, Gini: 0.02}
+	if fem.PreferSegSum(8) {
+		t.Error("regular shape accepted")
+	}
+	if (RowSkew{}).PreferSegSum(8) {
+		t.Error("zero skew accepted")
+	}
+}
+
+func TestRowsSpanningCores(t *testing.T) {
+	// One row holding everything: every interior cut lands inside it,
+	// but it is a single spanning row.
+	if got := RowsSpanningCores([]int{0, 100}, 8); got != 1 {
+		t.Fatalf("single row: %d, want 1", got)
+	}
+	// Even rows aligned with the cuts: no row spans.
+	if got := RowsSpanningCores([]int{0, 25, 50, 75, 100}, 4); got != 0 {
+		t.Fatalf("aligned rows: %d, want 0", got)
+	}
+	// Rows of 3 over 10 nnz cut at 5: the middle row spans.
+	if got := RowsSpanningCores([]int{0, 3, 6, 9, 10}, 2); got != 1 {
+		t.Fatalf("offset rows: %d, want 1", got)
+	}
+	if got := RowsSpanningCores([]int{0, 10}, 1); got != 0 {
+		t.Fatalf("one core: %d, want 0", got)
+	}
+	if got := RowsSpanningCores([]int{0, 0, 0}, 4); got != 0 {
+		t.Fatalf("empty matrix: %d, want 0", got)
+	}
+}

@@ -196,7 +196,12 @@ func (s Spec) Generate() *sparse.CSR {
 		panic(fmt.Sprintf("gen: invalid spec dims %dx%d", s.Rows, s.Cols))
 	}
 	r := rand.New(rand.NewSource(s.Seed))
-	lens := s.rowLengths(r)
+	return s.materialize(r, s.rowLengths(r))
+}
+
+// materialize builds the CSR for the given per-row lengths using the
+// Spec's placement and column count (shared with the Zipf generator).
+func (s Spec) materialize(r *rand.Rand, lens []int) *sparse.CSR {
 	a := &sparse.CSR{Rows: s.Rows, Cols: s.Cols, RowPtr: make([]int, s.Rows+1)}
 	total := 0
 	for i, l := range lens {

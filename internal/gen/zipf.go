@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"haspmv/internal/sparse"
+)
+
+// ZipfSpec describes a rank-law (Zipf) power-law matrix: the r-th
+// longest row holds a share of the nonzeros proportional to 1/r^S, the
+// degree law of web and social graphs. Unlike PowerLen — which draws
+// row lengths i.i.d. from a truncated Pareto and only *probably*
+// produces extreme rows — the rank law pins the whole length profile,
+// so the hub row's nnz share is a deterministic function of (Rows,
+// Cols, TargetNNZ, S). At the default S, ~1/3 of the nonzeros land on
+// rank 1 before the column clamp, which is exactly the
+// one-mega-row-cut-across-many-cores shape the segmented-sum execution
+// mode targets; tests and benches can rely on that share being there.
+//
+// Column placement is Skewed (hub columns at low indices, as in link
+// graphs) and generation is deterministic for a given spec.
+type ZipfSpec struct {
+	Name string
+	Rows int
+	Cols int
+	// TargetNNZ is the exact total nonzero count to produce (after
+	// clamping each row to Cols; the clamp's overflow is pushed down the
+	// rank tail).
+	TargetNNZ int
+	// S is the Zipf exponent; 0 selects the default 1.4 (between the
+	// ~1.2 of web host graphs and the ~1.6 of word frequencies).
+	S    float64
+	Seed int64
+}
+
+// defaultZipfS is the rank-law exponent used when ZipfSpec.S is unset.
+const defaultZipfS = 1.4
+
+// Generate materializes the Zipf matrix. Row ranks are shuffled over
+// row indices (seeded), so the hub rows sit at arbitrary positions the
+// way crawl ordering leaves them — the HACSR reorder, not the
+// generator, is what groups them.
+func (z ZipfSpec) Generate() *sparse.CSR {
+	sp := Spec{Name: z.Name, Rows: z.Rows, Cols: z.Cols, Place: Skewed}
+	if z.Rows < 0 || z.Cols <= 0 {
+		// Delegate the panic path so the error message is uniform.
+		return sp.Generate()
+	}
+	r := rand.New(rand.NewSource(z.Seed))
+	return sp.materialize(r, z.rowLengths(r))
+}
+
+// rowLengths pins the rank-law profile: scale 1/r^S shares to
+// TargetNNZ, clamp to Cols, repair rounding and clamp losses down the
+// tail so the total is exact, then shuffle ranks over row indices.
+func (z ZipfSpec) rowLengths(r *rand.Rand) []int {
+	n := z.Rows
+	lens := make([]int, n)
+	if n == 0 || z.TargetNNZ <= 0 {
+		return lens
+	}
+	s := z.S
+	if s <= 0 {
+		s = defaultZipfS
+	}
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -s)
+		total += w[i]
+	}
+	sum := 0
+	for i := range lens {
+		l := int(math.Round(float64(z.TargetNNZ) * w[i] / total))
+		if l > z.Cols {
+			l = z.Cols
+		}
+		lens[i] = l
+		sum += l
+	}
+	// Exact repair: sweep the rank tail upward (or downward) one entry
+	// per row per pass until the total matches. The hub ranks are
+	// touched last, so the head of the profile survives intact.
+	for sum != z.TargetNNZ {
+		moved := false
+		for i := n - 1; i >= 0 && sum != z.TargetNNZ; i-- {
+			if sum < z.TargetNNZ && lens[i] < z.Cols {
+				lens[i]++
+				sum++
+				moved = true
+			} else if sum > z.TargetNNZ && lens[i] > 0 {
+				lens[i]--
+				sum--
+				moved = true
+			}
+		}
+		if !moved {
+			break // target infeasible (> Rows*Cols or < 0); best effort
+		}
+	}
+	r.Shuffle(n, func(i, j int) { lens[i], lens[j] = lens[j], lens[i] })
+	return lens
+}

@@ -16,11 +16,13 @@ package kernel
 // serving batcher's coalescing contract and the fuzz bit-equality stage
 // both depend on.
 
-// ColIndex is the set of compressed column-index element types. The
-// generic kernels are stenciled separately for uint16 and uint32 (they
-// are different gcshapes), so neither pays a boxing or interface cost.
+// ColIndex is the set of column-index element types the generic kernel
+// bodies walk: the compressed uint16/uint32 streams plus the []int
+// reference (which the segmented-sum kernels reuse the shared bodies
+// for, with base 0). Each type is a distinct gcshape, so no variant
+// pays a boxing or interface cost.
 type ColIndex interface {
-	~uint16 | ~uint32
+	~uint16 | ~uint32 | ~int
 }
 
 // DotRange32 computes sum(val[k]*x[col[k]]) for k in [lo, hi) over a
