@@ -424,6 +424,31 @@ func BenchmarkAdaptSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetServe measures closed-loop serving throughput through
+// the in-process shard group at several shard counts. Each shard count
+// reports its aggregate request rate as a "shards:<n>-rps" metric, which
+// benchdiff gates higher-is-better per shard count (a sharded
+// configuration regressing to single-worker speed is a real regression
+// even when ns/op noise hides it).
+func BenchmarkFleetServe(b *testing.B) {
+	cfg := benchConfig()
+	m := amp.IntelI912900KF()
+	shardCounts := []int{1, 2, 4}
+	rps := map[int]float64{}
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.FleetSweep(cfg, m, "dawson5", shardCounts, 32, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			rps[r.Shards] = r.RPS
+		}
+	}
+	for _, n := range shardCounts {
+		b.ReportMetric(rps[n], fmt.Sprintf("shards:%d-rps", n))
+	}
+}
+
 // BenchmarkHostTriad measures the host's real triad bandwidth (the native
 // counterpart of Figure 3's model curves).
 func BenchmarkHostTriad(b *testing.B) {

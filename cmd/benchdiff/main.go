@@ -110,10 +110,21 @@ var procSuffix = regexp.MustCompile(`-\d+$`)
 // regression to the stage that moved (see compare).
 const stageSep = "/stage:"
 
+// shardSep joins a benchmark name with one of its per-shard-count
+// throughput metrics ("BenchmarkFleetServe/shards:4"). Unlike stage
+// entries these ARE gated — higher is better, so a drop beyond the
+// threshold fails the gate (a sharded configuration collapsing to
+// single-worker speed is a real regression even when the benchmark's
+// own ns/op hides it).
+const shardSep = "/shards:"
+
 // parseBench extracts min ns/op per normalized benchmark name, plus any
 // custom per-stage metrics the benchmark reported (units of the form
 // "<stage>-ns/op", e.g. b.ReportMetric(q, "queue-ns/op")), stored as
-// "<name>/stage:<stage>" entries.
+// "<name>/stage:<stage>" entries, and per-shard-count throughputs
+// (units of the form "shards:<n>-rps") stored as "<name>/shards:<n>".
+// ns/op keeps the minimum across -count runs, rps the maximum — each is
+// the least noisy point estimate for its direction.
 func parseBench(r io.Reader) (map[string]float64, error) {
 	snap := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -127,11 +138,15 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		for i := 2; i+1 < len(fields); i++ {
 			unit := fields[i+1]
 			key := ""
+			keepMax := false
 			switch {
 			case unit == "ns/op":
 				key = name
 			case strings.HasSuffix(unit, "-ns/op"):
 				key = name + stageSep + strings.TrimSuffix(unit, "-ns/op")
+			case strings.HasPrefix(unit, "shards:") && strings.HasSuffix(unit, "-rps"):
+				key = name + shardSep + strings.TrimSuffix(strings.TrimPrefix(unit, "shards:"), "-rps")
+				keepMax = true
 			default:
 				continue
 			}
@@ -139,7 +154,7 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bad %s %q for %s", unit, fields[i], name)
 			}
-			if old, ok := snap[key]; !ok || v < old {
+			if old, ok := snap[key]; !ok || (keepMax && v > old) || (!keepMax && v < old) {
 				snap[key] = v
 			}
 		}
@@ -204,9 +219,16 @@ func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float
 		if strings.Contains(name, stageSep) {
 			continue
 		}
+		// Shard-throughput entries are gated in the opposite direction:
+		// a drop beyond the threshold is the regression.
+		higherBetter := strings.Contains(name, shardSep)
+		unit := "ns/op"
+		if higherBetter {
+			unit = "rps"
+		}
 		oldV, ok := oldSnap[name]
 		if !ok {
-			fmt.Fprintf(out, "  new       %-60s %12.0f ns/op\n", name, newSnap[name])
+			fmt.Fprintf(out, "  new       %-60s %12.0f %s\n", name, newSnap[name], unit)
 			continue
 		}
 		if oldV <= 0 {
@@ -219,17 +241,21 @@ func compare(out io.Writer, oldSnap, newSnap map[string]float64, threshold float
 			mark = "ungated"
 		} else {
 			compared++
-			if delta > threshold {
+			regressed := delta > threshold
+			if higherBetter {
+				regressed = delta < -threshold
+			}
+			if regressed {
 				mark = "REGRESSED"
-				reg := fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, threshold %.0f%%)",
-					name, oldV, newSnap[name], delta, threshold)
+				reg := fmt.Sprintf("%s: %.0f -> %.0f %s (%+.1f%%, threshold %.0f%%)",
+					name, oldV, newSnap[name], unit, delta, threshold)
 				if attr := stageAttribution(oldSnap, newSnap, name); attr != "" {
 					reg += "\n    " + attr
 				}
 				regressions = append(regressions, reg)
 			}
 		}
-		fmt.Fprintf(out, "  %-9s %-60s %12.0f -> %12.0f ns/op  %+.1f%%\n", mark, name, oldV, newSnap[name], delta)
+		fmt.Fprintf(out, "  %-9s %-60s %12.0f -> %12.0f %s  %+.1f%%\n", mark, name, oldV, newSnap[name], unit, delta)
 	}
 	// A baseline entry absent from the current run means the gate silently
 	// stopped covering it (renamed benchmark, dropped sub-benchmark, bench

@@ -222,6 +222,60 @@ func TestGateAttributesRegressionToStages(t *testing.T) {
 	}
 }
 
+func TestParseBenchCapturesShardMetrics(t *testing.T) {
+	const withShards = `goos: linux
+BenchmarkFleetServe-8   	       1	  50000000 ns/op	     19210 shards:1-rps	     30744 shards:2-rps
+BenchmarkFleetServe-8   	       1	  48000000 ns/op	     19500 shards:1-rps	     29000 shards:2-rps
+PASS
+`
+	snap, err := parseBench(strings.NewReader(withShards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ns/op keeps the min; rps keeps the max (each the least noisy
+	// estimate for its direction).
+	want := map[string]float64{
+		"BenchmarkFleetServe":          48000000,
+		"BenchmarkFleetServe/shards:1": 19500,
+		"BenchmarkFleetServe/shards:2": 30744,
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("parsed %v, want %v", snap, want)
+	}
+	for name, v := range want {
+		if snap[name] != v {
+			t.Errorf("%s = %v, want %v", name, snap[name], v)
+		}
+	}
+}
+
+// TestGateShardThroughputHigherIsBetter: shard-throughput entries fail
+// the gate when they DROP beyond the threshold, and a rise — which
+// would fail a ns/op gate — passes.
+func TestGateShardThroughputHigherIsBetter(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", map[string]float64{
+		"BenchmarkFleetServe/shards:1": 20000,
+		"BenchmarkFleetServe/shards:4": 60000,
+	})
+	newPath := writeSnap(t, dir, "new.json", map[string]float64{
+		"BenchmarkFleetServe/shards:1": 27000, // +35%: faster, must pass
+		"BenchmarkFleetServe/shards:4": 30000, // -50%: sharding collapsed
+	})
+	var out bytes.Buffer
+	err := run([]string{"-old", oldPath, "-new", newPath, "-threshold", "15"}, &out)
+	if err == nil {
+		t.Fatalf("throughput collapse passed the gate:\n%s", out.String())
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "shards:4") || !strings.Contains(msg, "rps") {
+		t.Errorf("gate error does not name the collapsed shard count in rps:\n%s", msg)
+	}
+	if strings.Contains(msg, "shards:1") {
+		t.Errorf("a throughput improvement failed the gate:\n%s", msg)
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	var out bytes.Buffer
 	for _, args := range [][]string{

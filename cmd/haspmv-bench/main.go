@@ -19,6 +19,7 @@
 //	haspmv-bench -exp index           # compressed index streams vs []int reference (host)
 //	haspmv-bench -exp segsum          # segmented-sum vs serial-epilogue execution (host)
 //	haspmv-bench -exp serve           # closed-loop serving: batcher vs solo (host)
+//	haspmv-bench -exp fleet           # closed-loop serving across row-shards (host)
 //	haspmv-bench -exp adapt           # online repartitioning recovery from miscalibration
 //	haspmv-bench -exp all             # everything, in paper order
 //
@@ -102,7 +103,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("haspmv-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, index, segsum, serve, adapt, selfcheck, all)")
+	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, index, segsum, serve, fleet, adapt, selfcheck, all)")
 	corpus := fs.Int("corpus", 0, "corpus size (default from harness)")
 	maxNNZ := fs.Int("maxnnz", 0, "largest corpus matrix nnz")
 	scale := fs.Int("scale", 0, "representative matrix scale divisor (1 = published size)")
@@ -113,6 +114,7 @@ func run(args []string) error {
 	clients := fs.Int("clients", 64, "concurrent closed-loop clients for the serve experiment")
 	perClient := fs.Int("perclient", 6, "requests per client for the serve experiment")
 	lingers := fs.String("lingers", "0,50us,200us,1ms", "comma-separated coalescing windows for the serve experiment")
+	shards := fs.String("shards", "1,2,4", "comma-separated shard counts for the fleet experiment")
 	perturbs := fs.String("perturb", "0.5,2,4", "comma-separated P-group miscalibration factors for the adapt experiment")
 	adaptSteps := fs.Int("adapt-steps", 10, "multiplies the adapt experiment lets the feedback loop observe")
 	seed := fs.Int64("seed", 0, "corpus seed override")
@@ -363,6 +365,21 @@ func run(args []string) error {
 			a := gen.Representative(*matrix, cfg.RepScale)
 			bench.PrintServe(out, m, *matrix, a.NNZ(), rows)
 			if err := writeCSV("serve", func(w io.Writer) error { return bench.ServeCSV(w, m.Name, *matrix, rows) }); err != nil {
+				return err
+			}
+		case "fleet":
+			counts, err := parseInts(*shards)
+			if err != nil {
+				return fmt.Errorf("-shards: %w", err)
+			}
+			m := cfg.Machines[0]
+			rows, err := bench.FleetSweep(cfg, m, *matrix, counts, *clients, *perClient)
+			if err != nil {
+				return err
+			}
+			a := gen.Representative(*matrix, cfg.RepScale)
+			bench.PrintFleet(out, m, *matrix, a.NNZ(), rows)
+			if err := writeCSV("fleet", func(w io.Writer) error { return bench.FleetCSV(w, m.Name, *matrix, rows) }); err != nil {
 				return err
 			}
 		case "adapt":

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/fleet"
+	"haspmv/internal/gen"
+	"haspmv/internal/server"
+)
+
+// FleetRow is one closed-loop fleet measurement: the same client
+// population as the serving sweep, but requests go through an
+// in-process shard group — K independent batcher pipelines over K row
+// slices — instead of one matrix-wide batcher. Shards = 1 is the
+// single-worker baseline.
+type FleetRow struct {
+	Shards   int
+	Clients  int
+	Requests int
+	WallMs   float64
+	// RPS is completed requests per second of wall time, aggregated
+	// across shards (each request touches every shard).
+	RPS float64
+	// P50Us/P99Us are client-observed end-to-end latencies (scatter,
+	// per-shard batching, gather).
+	P50Us float64
+	P99Us float64
+	// MeanBatch is the average flush width across the shard batchers.
+	MeanBatch float64
+	// Imbalance is max/mean of the shards' measured per-request compute
+	// times at the end of the run (1.0 = perfectly balanced).
+	Imbalance float64
+}
+
+// FleetSweep prepares one representative matrix and measures the
+// closed-loop serving throughput of an in-process shard group at each
+// shard count. Every response is checked against the group's own
+// unloaded answer bit-for-bit (scatter-gather over a fixed plan is
+// deterministic) and against the serial reference within tolerance
+// (cut rows re-associate).
+func FleetSweep(cfg Config, m *amp.Machine, matrix string, shardCounts []int, clients, perClient int) ([]FleetRow, error) {
+	if clients < 1 {
+		clients = 64
+	}
+	if perClient < 1 {
+		perClient = 6
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, 4}
+	}
+	a := gen.Representative(matrix, cfg.RepScale)
+
+	const patterns = 8
+	X := make([][]float64, patterns)
+	for p := 0; p < patterns; p++ {
+		X[p] = make([]float64, a.Cols)
+		for i := range X[p] {
+			X[p][i] = 1 + float64((i+3*p)%11)/11
+		}
+	}
+
+	var rows []FleetRow
+	for _, count := range shardCounts {
+		g, err := fleet.NewGroup(m, a, count, fleet.GroupOptions{
+			Batcher: server.BatcherOptions{Linger: 200 * time.Microsecond},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Unloaded references through the same group: the loaded run must
+		// reproduce them bit-for-bit.
+		refs := make([][]float64, patterns)
+		for p := 0; p < patterns; p++ {
+			refs[p] = make([]float64, a.Rows)
+			if err := g.Multiply(context.Background(), refs[p], X[p]); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+
+		lat := make([]time.Duration, clients*perClient)
+		errCh := make(chan error, clients)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				y := make([]float64, a.Rows)
+				<-start
+				for j := 0; j < perClient; j++ {
+					p := (c + j) % patterns
+					t0 := time.Now()
+					if err := g.Multiply(context.Background(), y, X[p]); err != nil {
+						errCh <- err
+						return
+					}
+					lat[c*perClient+j] = time.Since(t0)
+					for i := range y {
+						if y[i] != refs[p][i] {
+							errCh <- fmt.Errorf("client %d request %d: y[%d] = %x, unloaded group gives %x",
+								c, j, i, y[i], refs[p][i])
+							return
+						}
+					}
+				}
+			}(c)
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		wall := time.Since(t0)
+		select {
+		case err = <-errCh:
+		default:
+		}
+		imb := g.Imbalance()
+		flushes, served := int64(0), int64(0)
+		for _, s := range g.Stats() {
+			flushes += s.Stats.Flushes
+			served += s.Stats.Coalesced + s.Stats.Solo
+		}
+		g.Close()
+		if err != nil {
+			return nil, err
+		}
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		n := len(lat)
+		r := FleetRow{
+			Shards: count, Clients: clients, Requests: n,
+			WallMs:    float64(wall.Nanoseconds()) / 1e6,
+			P50Us:     float64(lat[n/2].Nanoseconds()) / 1e3,
+			P99Us:     float64(lat[n*99/100].Nanoseconds()) / 1e3,
+			Imbalance: imb,
+		}
+		if s := wall.Seconds(); s > 0 {
+			r.RPS = float64(n) / s
+		}
+		if flushes > 0 {
+			r.MeanBatch = float64(served) / float64(flushes)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FleetSpeedup returns best-sharded-over-single throughput (0 when the
+// sweep lacks a 1-shard baseline).
+func FleetSpeedup(rows []FleetRow) float64 {
+	base, best := 0.0, 0.0
+	for _, r := range rows {
+		if r.Shards == 1 {
+			base = r.RPS
+		} else if r.RPS > best {
+			best = r.RPS
+		}
+	}
+	if base == 0 {
+		return 0
+	}
+	return best / base
+}
+
+// PrintFleet renders a fleet sweep.
+func PrintFleet(w io.Writer, m *amp.Machine, matrix string, nnz int, rows []FleetRow) {
+	fmt.Fprintf(w, "\n# Closed-loop fleet serving on %s (%d nnz, machine model %s split across shards)\n", matrix, nnz, m.Name)
+	fmt.Fprintln(w, "note: each shard is an independent batcher over a row slice; 1 shard = single-worker baseline")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "shards\tclients\treq/s\tp50(us)\tp99(us)\tmean batch\timbalance")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%.2f\n",
+			r.Shards, r.Clients, r.RPS, r.P50Us, r.P99Us, r.MeanBatch, r.Imbalance)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "sharded/single throughput: %.2fx\n", FleetSpeedup(rows))
+}
+
+// FleetCSV emits machine,matrix,shards,clients,requests,wall_ms,rps,
+// p50_us,p99_us,mean_batch,imbalance per row.
+func FleetCSV(w io.Writer, machine, matrix string, rowsIn []FleetRow) error {
+	cw := csv.NewWriter(w)
+	rows := [][]string{{"machine", "matrix", "shards", "clients", "requests", "wall_ms", "rps", "p50_us", "p99_us", "mean_batch", "imbalance"}}
+	for _, r := range rowsIn {
+		rows = append(rows, []string{
+			machine, matrix, d(r.Shards), d(r.Clients), d(r.Requests),
+			f(r.WallMs), f(r.RPS), f(r.P50Us), f(r.P99Us), f(r.MeanBatch), f(r.Imbalance),
+		})
+	}
+	return writeAll(cw, rows)
+}

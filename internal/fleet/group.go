@@ -1,0 +1,376 @@
+// Package fleet scales the HASpMV serving stack past one process: a
+// Supervisor spawns and babysits N haspmv-serve workers, a Router
+// consistent-hashes matrices across them and retries around crashed or
+// draining workers, and matrices too large (or too hot) for one worker
+// are row-sharded — the router splits x by each shard's column window,
+// fans out partial SpMVs, and gathers with the extraY merge discipline
+// from internal/core (fragments of a cut row added in ascending shard
+// order).
+//
+// Group is the in-process incarnation of the same topology: K shards of
+// one matrix, each with its own dynamic batcher and its own slice of
+// the machine model, behind a scatter-gather Multiply. Tests and the
+// fleet-mode bench sweep use it to exercise sharding without processes;
+// the HTTP Router reuses the identical plan/gather code, so what Group
+// proves (bit-stable scatter-gather, balanced cuts) transfers to the
+// process fleet.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/core"
+	"haspmv/internal/fleet/shard"
+	"haspmv/internal/server"
+	"haspmv/internal/sparse"
+	"haspmv/internal/telemetry"
+)
+
+var (
+	gInprocShards    = telemetry.NewGauge("fleet_inproc_shards")
+	cGroupRebalances = telemetry.NewCounter("fleet_rebalances")
+)
+
+// GroupOptions tunes an in-process shard group.
+type GroupOptions struct {
+	// Batcher is applied to every shard's dynamic batcher.
+	Batcher server.BatcherOptions
+	// WholeMachine prepares every shard against the full machine model
+	// instead of a proportional slice of its core groups. The default
+	// (false) divides the machine: shard k gets ~1/K of the P-cores and
+	// ~1/K of the E-cores, and the nnz cut follows each slice's modeled
+	// capability — the paper's heterogeneity-aware split, lifted from
+	// cores to workers.
+	WholeMachine bool
+	// RebalanceMin is the minimum served requests per shard before
+	// Rebalance trusts the measured compute means. Default 8.
+	RebalanceMin int64
+}
+
+func (o GroupOptions) withDefaults() GroupOptions {
+	if o.RebalanceMin <= 0 {
+		o.RebalanceMin = 8
+	}
+	return o
+}
+
+// groupShard is one in-process worker: a prepared submatrix behind its
+// own batcher, on its own machine slice.
+type groupShard struct {
+	desc    shard.Desc
+	machine *amp.Machine
+	batcher *server.Batcher
+}
+
+// Group is an in-process row-sharded serving unit for one matrix.
+type Group struct {
+	machine *amp.Machine
+	mat     *sparse.CSR
+	opts    GroupOptions
+	rows    int
+
+	mu     sync.RWMutex
+	plan   []shard.Desc
+	shards []*groupShard
+
+	rebalances atomic.Int64
+	closed     atomic.Bool
+}
+
+// NewGroup shards the matrix count ways and starts one batcher per
+// shard. The caller must Close the group. The matrix is retained (and
+// must not be mutated) so Rebalance can re-slice it.
+func NewGroup(m *amp.Machine, a *sparse.CSR, count int, opts GroupOptions) (*Group, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("fleet: shard count %d, want >= 1", count)
+	}
+	g := &Group{machine: m, mat: a, opts: opts.withDefaults(), rows: a.Rows}
+	machines := g.shardMachines(count)
+	plan, err := shard.Plan(a, count, machineWeights(machines))
+	if err != nil {
+		return nil, err
+	}
+	shards, err := g.buildShards(plan, machines)
+	if err != nil {
+		return nil, err
+	}
+	g.plan, g.shards = plan, shards
+	gInprocShards.Set(int64(count))
+	return g, nil
+}
+
+// shardMachines returns each shard's machine model: the full machine
+// for every shard under WholeMachine, or near-equal slices of both core
+// groups otherwise (every slice keeps at least one core per group, so
+// the heterogeneity-aware level-1 split still applies inside a shard).
+func (g *Group) shardMachines(count int) []*amp.Machine {
+	out := make([]*amp.Machine, count)
+	if g.opts.WholeMachine || count == 1 {
+		for i := range out {
+			out[i] = g.machine
+		}
+		return out
+	}
+	split := func(total, i int) int {
+		n := total / count
+		if i < total%count {
+			n++
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	for i := range out {
+		sub := *g.machine
+		sub.Name = fmt.Sprintf("%s/shard%d.%d", g.machine.Name, i, count)
+		sub.Groups[0].Cores = split(g.machine.Groups[0].Cores, i)
+		sub.Groups[1].Cores = split(g.machine.Groups[1].Cores, i)
+		out[i] = &sub
+	}
+	return out
+}
+
+// machineWeights prices each shard machine the way core.DefaultProportion
+// prices a core group: capability = sqrt(compute rate x per-core DRAM
+// bandwidth) x cores, summed over groups. The nnz cut follows these
+// weights, so an asymmetric split of the machine yields an asymmetric
+// split of the matrix — the fleet-level P_proportion.
+func machineWeights(machines []*amp.Machine) []float64 {
+	w := make([]float64, len(machines))
+	for i, m := range machines {
+		for gi := range m.Groups {
+			grp := &m.Groups[gi]
+			compute := grp.FreqGHz * float64(grp.SIMDLanes)
+			w[i] += math.Sqrt(compute*grp.MemBWGBps) * float64(grp.Cores)
+		}
+	}
+	return w
+}
+
+// buildShards prepares and starts a batcher for every non-empty shard
+// of the plan (an empty shard — possible only when count > nnz — gets
+// no batcher and contributes an empty fragment).
+func (g *Group) buildShards(plan []shard.Desc, machines []*amp.Machine) ([]*groupShard, error) {
+	shards := make([]*groupShard, len(plan))
+	for k, d := range plan {
+		gs := &groupShard{desc: d, machine: machines[k]}
+		if d.Rows() > 0 {
+			sub := shard.Slice(g.mat, d)
+			prep, err := core.New(core.Options{}).Prepare(machines[k], sub)
+			if err != nil {
+				for _, built := range shards[:k] {
+					if built != nil && built.batcher != nil {
+						built.batcher.Close()
+					}
+				}
+				return nil, fmt.Errorf("fleet: prepare shard %d/%d: %w", k, len(plan), err)
+			}
+			gs.batcher = server.NewBatcher(prep, g.opts.Batcher)
+		}
+		shards[k] = gs
+	}
+	return shards, nil
+}
+
+// Multiply computes y = A*x through the shard group: x is split by each
+// shard's column window, the partial SpMVs run concurrently through the
+// per-shard batchers (so concurrent Multiply calls coalesce per shard),
+// and the fragments are gathered with the extraY merge discipline. The
+// result is bit-deterministic for a fixed plan: batching never changes
+// a shard's bits (the core ComputeBatch guarantee) and the gather order
+// is fixed.
+func (g *Group) Multiply(ctx context.Context, y, x []float64) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(y) != g.rows {
+		return fmt.Errorf("fleet: y has length %d, want %d", len(y), g.rows)
+	}
+	if len(x) != g.mat.Cols {
+		return fmt.Errorf("fleet: x has length %d, want %d", len(x), g.mat.Cols)
+	}
+	plan, shards := g.plan, g.shards
+	frags := make([][]float64, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for k, sh := range shards {
+		if sh.batcher == nil {
+			frags[k] = make([]float64, 0)
+			continue
+		}
+		frags[k] = make([]float64, sh.desc.Rows())
+		xs := x[sh.desc.ColLo:sh.desc.ColHi]
+		if k == len(shards)-1 {
+			_, errs[k] = sh.batcher.Submit(ctx, frags[k], xs)
+			continue
+		}
+		wg.Add(1)
+		go func(k int, sh *groupShard, xs []float64) {
+			defer wg.Done()
+			_, errs[k] = sh.batcher.Submit(ctx, frags[k], xs)
+		}(k, sh, xs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return shard.Gather(y, plan, frags)
+}
+
+// ShardStats is one shard's snapshot for listings and the rebalancer.
+type ShardStats struct {
+	Desc    shard.Desc
+	Machine string
+	Stats   server.BatcherStats
+}
+
+// Stats snapshots every shard.
+func (g *Group) Stats() []ShardStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]ShardStats, len(g.shards))
+	for k, sh := range g.shards {
+		out[k] = ShardStats{Desc: sh.desc, Machine: sh.machine.Name}
+		if sh.batcher != nil {
+			out[k].Stats = sh.batcher.Stats()
+		}
+	}
+	return out
+}
+
+// Imbalance returns max/mean of the shards' measured per-request
+// compute times (1.0 = perfectly balanced, 0 = not enough data): the
+// fleet-level analogue of the adapter's per-core imbalance signal.
+func (g *Group) Imbalance() float64 {
+	stats := g.Stats()
+	var means []float64
+	for _, s := range stats {
+		served := s.Stats.Coalesced + s.Stats.Solo
+		if served < g.opts.RebalanceMin {
+			return 0
+		}
+		if s.Desc.Rows() <= 0 {
+			continue
+		}
+		means = append(means, float64(s.Stats.ComputeNs)/float64(served))
+	}
+	if len(means) < 2 {
+		return 0
+	}
+	sum, maxv := 0.0, 0.0
+	for _, m := range means {
+		sum += m
+		if m > maxv {
+			maxv = m
+		}
+	}
+	mean := sum / float64(len(means))
+	if mean <= 0 {
+		return 0
+	}
+	return maxv / mean
+}
+
+// Rebalance re-cuts the plan from measured per-shard compute rates:
+// each shard's new weight is its observed nnz-per-nanosecond, so a
+// shard that proved slower (contended cores, unlucky structure) sheds
+// nonzeros to its neighbours — the fleet-level version of the adapter's
+// boundary moves. Returns true when a new plan was installed. In-flight
+// Multiply calls finish on the old shards; new calls see the new plan.
+func (g *Group) Rebalance() (bool, error) {
+	stats := g.Stats()
+	weights := make([]float64, len(stats))
+	for k, s := range stats {
+		served := s.Stats.Coalesced + s.Stats.Solo
+		if s.Desc.Rows() <= 0 || served < g.opts.RebalanceMin || s.Stats.ComputeNs <= 0 {
+			return false, nil // not enough signal yet
+		}
+		meanNs := float64(s.Stats.ComputeNs) / float64(served)
+		weights[k] = float64(s.Desc.NNZ()) / meanNs
+	}
+	g.mu.RLock()
+	machines := make([]*amp.Machine, len(g.shards))
+	for k, sh := range g.shards {
+		machines[k] = sh.machine
+	}
+	oldPlan := g.plan
+	g.mu.RUnlock()
+
+	newPlan, err := shard.Plan(g.mat, len(weights), weights)
+	if err != nil {
+		return false, err
+	}
+	if planClose(oldPlan, newPlan, g.mat.NNZ()) {
+		return false, nil
+	}
+	shards, err := g.buildShards(newPlan, machines)
+	if err != nil {
+		return false, err
+	}
+	g.mu.Lock()
+	old := g.shards
+	g.plan, g.shards = newPlan, shards
+	g.mu.Unlock()
+	for _, sh := range old {
+		if sh.batcher != nil {
+			go sh.batcher.Close()
+		}
+	}
+	g.rebalances.Add(1)
+	cGroupRebalances.Add(1)
+	return true, nil
+}
+
+// Rebalances reports how many plan swaps Rebalance has installed.
+func (g *Group) Rebalances() int64 { return g.rebalances.Load() }
+
+// planClose reports whether every boundary moved less than 2% of nnz —
+// below that, rebuilding shards costs more than the imbalance.
+func planClose(a, b []shard.Desc, nnz int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	tol := nnz / 50
+	for k := range a {
+		if abs(a[k].Lo-b[k].Lo) > tol || abs(a[k].Hi-b[k].Hi) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Close drains every shard batcher. The group must not be used after.
+func (g *Group) Close() {
+	if !g.closed.CompareAndSwap(false, true) {
+		return
+	}
+	g.mu.Lock()
+	shards := g.shards
+	g.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		if sh.batcher == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(b *server.Batcher) {
+			defer wg.Done()
+			b.Close()
+		}(sh.batcher)
+	}
+	wg.Wait()
+}

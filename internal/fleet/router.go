@@ -1,0 +1,459 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"haspmv/internal/fleet/shard"
+	"haspmv/internal/telemetry"
+)
+
+var (
+	cRouterRequests = telemetry.NewCounter("fleet_router_requests")
+	cRouterRetries  = telemetry.NewCounter("fleet_router_retries")
+	cRouterScatter  = telemetry.NewCounter("fleet_router_sharded_requests")
+	cRouterFailed   = telemetry.NewCounter("fleet_router_failed")
+)
+
+// RouterOptions configures the fleet front-end.
+type RouterOptions struct {
+	// Backends returns the live worker addresses (Supervisor.Endpoints).
+	// Called per request; the hash ring is rebuilt only when the set
+	// changes. Required.
+	Backends func() []string
+	// Status, when set, backs GET /v1/fleet (Supervisor.Snapshot).
+	Status func() []WorkerInfo
+	// Shards maps "name@scale" to a shard count: requests for those
+	// matrices take the scatter-gather path across the fleet instead of
+	// landing on one worker.
+	Shards map[string]int
+	// DefaultScale keys shard lookups for requests that omit a scale
+	// (must match the workers' -scale). Default 16.
+	DefaultScale int
+	// VNodes is the virtual nodes per backend on the hash ring (default 64).
+	VNodes int
+	// Attempts bounds how many distinct backends a request tries before
+	// failing (default 3; transport errors, 429 and draining 503s move to
+	// the next ring candidate). Capped at the live backend count.
+	Attempts int
+	// Client issues the proxied requests (default: 30s timeout).
+	Client *http.Client
+	// Logf, when set, receives one line per retry and failure.
+	Logf func(format string, args ...any)
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.DefaultScale <= 0 {
+		o.DefaultScale = 16
+	}
+	if o.VNodes <= 0 {
+		o.VNodes = 64
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Router is the fleet front-end: it consistent-hashes each matrix to a
+// worker (so every matrix's requests coalesce in one worker's batcher
+// and its prepared form stays resident in one cache), fails over around
+// dead or draining workers, and scatter-gathers configured matrices
+// across row-shards — slicing x by each shard's column window and
+// merging the fragments with the extraY discipline.
+type Router struct {
+	opts RouterOptions
+	mux  *http.ServeMux
+
+	ringMu  sync.Mutex
+	ringKey string
+	ring    *hashRing
+
+	planMu sync.Mutex
+	plans  map[string][]shard.Desc
+}
+
+// NewRouter builds the front-end handler.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	opts = opts.withDefaults()
+	if opts.Backends == nil {
+		return nil, fmt.Errorf("fleet: router needs a Backends source")
+	}
+	rt := &Router{opts: opts, plans: map[string][]shard.Desc{}}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/v1/multiply", rt.handleMultiply)
+	rt.mux.HandleFunc("/v1/fleet", rt.handleFleet)
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// --- consistent hash ring ---
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+type hashRing struct {
+	points   []ringPoint
+	backends []string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return h.Sum64()
+}
+
+func newHashRing(backends []string, vnodes int) *hashRing {
+	r := &hashRing{backends: backends}
+	for _, b := range backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", b, v)), b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// candidates returns the distinct backends for key in ring order
+// starting at its owner — the failover sequence.
+func (r *hashRing) candidates(key string, max int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}
+
+// ringFor rebuilds the ring only when the backend set changed.
+func (rt *Router) ringFor(backends []string) *hashRing {
+	key := strings.Join(backends, ",")
+	rt.ringMu.Lock()
+	defer rt.ringMu.Unlock()
+	if rt.ring == nil || rt.ringKey != key {
+		rt.ring = newHashRing(backends, rt.opts.VNodes)
+		rt.ringKey = key
+	}
+	return rt.ring
+}
+
+// --- request routing ---
+
+type routeError struct {
+	status int
+	body   []byte
+	header http.Header
+}
+
+func (e *routeError) Error() string { return fmt.Sprintf("upstream status %d", e.status) }
+
+// forward POSTs body to one backend for key, walking the failover
+// candidates on transport errors and retryable statuses (429, and 503 —
+// the draining signal). A non-retryable upstream answer is returned as
+// a routeError so the caller can relay it verbatim.
+func (rt *Router) forward(ctx context.Context, key, path string, body []byte, reqID string) ([]byte, error) {
+	backends := rt.opts.Backends()
+	if len(backends) == 0 {
+		return nil, &routeError{status: http.StatusServiceUnavailable, body: []byte(`{"error":"no live workers"}`)}
+	}
+	attempts := rt.opts.Attempts
+	if attempts > len(backends) {
+		attempts = len(backends)
+	}
+	cands := rt.ringFor(backends).candidates(key, attempts)
+	var lastErr error
+	for i, addr := range cands {
+		if i > 0 {
+			cRouterRetries.Add(1)
+			rt.opts.Logf("fleet: retrying %s on %s (%v)", key, addr, lastErr)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		resp, err := rt.opts.Client.Do(req)
+		if err != nil {
+			// Transport error: the worker died or is mid-restart. The next
+			// ring candidate owns the key now.
+			lastErr = err
+			continue
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return respBody, nil
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			// Draining or shedding: honor the signal by moving on.
+			lastErr = fmt.Errorf("%s: status %d", addr, resp.StatusCode)
+			continue
+		default:
+			return nil, &routeError{status: resp.StatusCode, body: respBody, header: resp.Header}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no candidates")
+	}
+	return nil, fmt.Errorf("fleet: %s failed on all %d candidates: %w", key, len(cands), lastErr)
+}
+
+func (rt *Router) handleMultiply(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	cRouterRequests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req struct {
+		Matrix string    `json:"matrix"`
+		Scale  int       `json:"scale"`
+		X      []float64 `json:"x"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = rt.opts.DefaultScale
+	}
+	key := fmt.Sprintf("%s@%d", req.Matrix, req.Scale)
+	reqID := r.Header.Get("X-Request-ID")
+	if count := rt.opts.Shards[key]; count > 1 {
+		rt.scatterMultiply(w, r, key, count, req.Matrix, req.Scale, req.X, reqID)
+		return
+	}
+	resp, err := rt.forward(r.Context(), key, "/v1/multiply", body, reqID)
+	if err != nil {
+		rt.relayError(w, key, err)
+		return
+	}
+	writeJSONBytes(w, reqID, resp)
+}
+
+// scatterMultiply fans one multiply out across the matrix's row-shards:
+// shard i goes to the ring owner of "key#i/count" with the usual
+// failover, carrying only the x slice its column window needs, and the
+// returned fragments gather into the full y.
+func (rt *Router) scatterMultiply(w http.ResponseWriter, r *http.Request, key string, count int, matrix string, scale int, x []float64, reqID string) {
+	cRouterScatter.Add(1)
+	plan, err := rt.shardPlan(r.Context(), key, matrix, scale, count)
+	if err != nil {
+		rt.relayError(w, key, err)
+		return
+	}
+	rows := 0
+	for _, d := range plan {
+		if d.Row1+1 > rows {
+			rows = d.Row1 + 1
+		}
+	}
+	type fragResult struct {
+		resp struct {
+			Y    []float64 `json:"y"`
+			Row0 int       `json:"row0"`
+		}
+		err error
+	}
+	frags := make([]fragResult, count)
+	var wg sync.WaitGroup
+	for i, d := range plan {
+		if d.ColHi > len(x) {
+			httpError(w, http.StatusBadRequest, "x has %d elements; shard %d needs columns up to %d", len(x), i, d.ColHi)
+			return
+		}
+		wg.Add(1)
+		go func(i int, d shard.Desc) {
+			defer wg.Done()
+			sub, err := json.Marshal(map[string]any{
+				"matrix": matrix, "scale": scale,
+				"shard_index": i, "shard_count": count,
+				"x": x[d.ColLo:d.ColHi],
+			})
+			if err != nil {
+				frags[i].err = err
+				return
+			}
+			respBody, err := rt.forward(r.Context(), fmt.Sprintf("%s#%d/%d", key, i, count), "/v1/multiply", sub, reqID)
+			if err != nil {
+				frags[i].err = err
+				return
+			}
+			frags[i].err = json.Unmarshal(respBody, &frags[i].resp)
+		}(i, d)
+	}
+	wg.Wait()
+	parts := make([][]float64, count)
+	for i := range frags {
+		if frags[i].err != nil {
+			rt.relayError(w, key, frags[i].err)
+			return
+		}
+		parts[i] = frags[i].resp.Y
+	}
+	y := make([]float64, rows)
+	if err := shard.Gather(y, plan, parts); err != nil {
+		rt.relayError(w, key, err)
+		return
+	}
+	out, _ := json.Marshal(map[string]any{
+		"matrix": matrix, "scale": scale,
+		"rows": rows, "cols": len(x),
+		"shard_count": count,
+		"y":           y,
+	})
+	writeJSONBytes(w, reqID, out)
+}
+
+// shardPlan fetches (and caches) the matrix's shard plan from any
+// worker — plans are a pure function of the matrix, so every worker
+// reports the identical one.
+func (rt *Router) shardPlan(ctx context.Context, key, matrix string, scale, count int) ([]shard.Desc, error) {
+	cacheKey := fmt.Sprintf("%s/%d", key, count)
+	rt.planMu.Lock()
+	plan, ok := rt.plans[cacheKey]
+	rt.planMu.Unlock()
+	if ok {
+		return plan, nil
+	}
+	backends := rt.opts.Backends()
+	if len(backends) == 0 {
+		return nil, &routeError{status: http.StatusServiceUnavailable, body: []byte(`{"error":"no live workers"}`)}
+	}
+	var lastErr error
+	for _, addr := range rt.ringFor(backends).candidates(cacheKey, len(backends)) {
+		url := fmt.Sprintf("http://%s/v1/shardplan?matrix=%s&scale=%d&count=%d", addr, matrix, scale, count)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rt.opts.Client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				lastErr = fmt.Errorf("%s: draining", addr)
+				continue
+			}
+			return nil, &routeError{status: resp.StatusCode, body: body, header: resp.Header}
+		}
+		var pr struct {
+			Shards []shard.Desc `json:"shards"`
+		}
+		if err := json.Unmarshal(body, &pr); err != nil {
+			lastErr = err
+			continue
+		}
+		if len(pr.Shards) != count {
+			return nil, fmt.Errorf("fleet: worker returned %d shards, want %d", len(pr.Shards), count)
+		}
+		rt.planMu.Lock()
+		rt.plans[cacheKey] = pr.Shards
+		rt.planMu.Unlock()
+		return pr.Shards, nil
+	}
+	return nil, fmt.Errorf("fleet: shard plan for %s unavailable: %w", key, lastErr)
+}
+
+func (rt *Router) handleFleet(w http.ResponseWriter, r *http.Request) {
+	type fleetStatus struct {
+		Workers  []WorkerInfo `json:"workers"`
+		Backends []string     `json:"backends"`
+	}
+	st := fleetStatus{Backends: rt.opts.Backends()}
+	if rt.opts.Status != nil {
+		st.Workers = rt.opts.Status()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if len(rt.opts.Backends()) == 0 {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "no live workers")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// relayError maps a routing failure onto the client response: upstream
+// answers pass through with their status, exhaustion becomes 502.
+func (rt *Router) relayError(w http.ResponseWriter, key string, err error) {
+	cRouterFailed.Add(1)
+	rt.opts.Logf("fleet: %s failed: %v", key, err)
+	if re, ok := err.(*routeError); ok {
+		if ra := re.header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(re.status)
+		w.Write(re.body)
+		return
+	}
+	httpError(w, http.StatusBadGateway, "%v", err)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSONBytes(w http.ResponseWriter, reqID string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if reqID != "" {
+		w.Header().Set("X-Request-ID", reqID)
+	}
+	w.Write(body)
+}

@@ -1,0 +1,317 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/core"
+	"haspmv/internal/gen"
+	"haspmv/internal/server"
+)
+
+// newWorker boots a real in-process haspmv-serve handler — the router
+// tests exercise the identical wire protocol the process fleet speaks.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(server.New(server.Config{
+		Machine:   amp.IntelI912900KF(),
+		Algorithm: core.New(core.Options{}),
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func workerAddr(s *httptest.Server) string {
+	return strings.TrimPrefix(s.URL, "http://")
+}
+
+func postMultiply(t *testing.T, rt *Router, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/multiply", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	var out map[string]any
+	if w.Body.Len() > 0 {
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatalf("bad response JSON %q: %v", w.Body.String(), err)
+		}
+	}
+	return w, out
+}
+
+func TestRouterHashStickiness(t *testing.T) {
+	// Counting fronts over one real worker: the same matrix must always
+	// land on the same backend; distinct matrices should spread.
+	worker := newWorker(t)
+	hits := make([]int, 3)
+	var mu sync.Mutex
+	fronts := make([]*httptest.Server, 3)
+	for i := range fronts {
+		i := i
+		fronts[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			mu.Lock()
+			hits[i]++
+			mu.Unlock()
+			r.URL.Host = workerAddr(worker)
+			resp, err := http.Post(worker.URL+r.URL.Path, "application/json", r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadGateway)
+				return
+			}
+			defer resp.Body.Close()
+			w.WriteHeader(resp.StatusCode)
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			w.Write(buf.Bytes())
+		}))
+		defer fronts[i].Close()
+	}
+	backends := []string{workerAddr(fronts[0]), workerAddr(fronts[1]), workerAddr(fronts[2])}
+	rt, err := NewRouter(RouterOptions{Backends: func() []string { return backends }})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := gen.Representative("dawson5", 16)
+	x := make([]float64, a.Cols)
+	body := mustBody(t, "dawson5", 16, x)
+	for i := 0; i < 10; i++ {
+		w, _ := postMultiply(t, rt, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, w.Code, w.Body.String())
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	owners := 0
+	for _, h := range hits {
+		if h > 0 {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("one matrix hit %d backends (%v), want sticky routing to 1", owners, hits)
+	}
+}
+
+func mustBody(t *testing.T, name string, scale int, x []float64) string {
+	t.Helper()
+	b, err := json.Marshal(map[string]any{"matrix": name, "scale": scale, "x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestRouterFailover(t *testing.T) {
+	worker := newWorker(t)
+	// A dead backend (listener closed) and a draining backend: every
+	// attempt at either must fail over to the live worker.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := workerAddr(dead)
+	dead.Close()
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer draining.Close()
+
+	backends := []string{deadAddr, workerAddr(draining), workerAddr(worker)}
+	rt, err := NewRouter(RouterOptions{
+		Backends: func() []string { return backends },
+		Attempts: 3,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen.Representative("dawson5", 16)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%7) + 1
+	}
+	// Many matrices so keys hash across all three candidates.
+	for i := 0; i < 12; i++ {
+		w, out := postMultiply(t, rt, mustBody(t, "dawson5", 16, x))
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, w.Code, w.Body.String())
+		}
+		if _, ok := out["y"]; !ok {
+			t.Fatalf("request %d: no y in %v", i, out)
+		}
+	}
+}
+
+func TestRouterRelaysUpstreamErrors(t *testing.T) {
+	worker := newWorker(t)
+	backends := []string{workerAddr(worker)}
+	rt, err := NewRouter(RouterOptions{Backends: func() []string { return backends }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown matrix: worker's 404 must pass through, not become a 502.
+	w, _ := postMultiply(t, rt, mustBody(t, "no-such-matrix", 16, []float64{1}))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d for unknown matrix, want 404: %s", w.Code, w.Body.String())
+	}
+	// Malformed body: rejected at the router.
+	w2, _ := postMultiply(t, rt, "{not json")
+	if w2.Code != http.StatusBadRequest {
+		t.Fatalf("status %d for bad JSON, want 400", w2.Code)
+	}
+}
+
+func TestRouterNoBackends(t *testing.T) {
+	rt, err := NewRouter(RouterOptions{Backends: func() []string { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := httptest.NewRecorder()
+	rt.ServeHTTP(hw, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if hw.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz %d with no backends, want 503", hw.Code)
+	}
+	if hw.Header().Get("Retry-After") == "" {
+		t.Fatal("healthz 503 without Retry-After")
+	}
+	w, _ := postMultiply(t, rt, mustBody(t, "dawson5", 16, []float64{1}))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("multiply %d with no backends, want 503", w.Code)
+	}
+}
+
+func TestRouterScatterGather(t *testing.T) {
+	workers := []*httptest.Server{newWorker(t), newWorker(t), newWorker(t)}
+	var backends []string
+	for _, s := range workers {
+		backends = append(backends, workerAddr(s))
+	}
+	const name, scale, shards = "dawson5", 16, 3
+	rt, err := NewRouter(RouterOptions{
+		Backends: func() []string { return backends },
+		Shards:   map[string]int{fmt.Sprintf("%s@%d", name, scale): shards},
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := gen.Representative(name, scale)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%11)*0.5
+	}
+	want := serialMultiply(a, x)
+
+	w, out := postMultiply(t, rt, mustBody(t, name, scale, x))
+	if w.Code != http.StatusOK {
+		t.Fatalf("scatter multiply: status %d body %s", w.Code, w.Body.String())
+	}
+	if got := out["shard_count"]; got != float64(shards) {
+		t.Fatalf("shard_count %v, want %d", got, shards)
+	}
+	y := out["y"].([]any)
+	if len(y) != a.Rows {
+		t.Fatalf("y has %d rows, want %d", len(y), a.Rows)
+	}
+	for i := range want {
+		got := y[i].(float64)
+		if diff := math.Abs(got - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("row %d: got %v want %v", i, got, want[i])
+		}
+	}
+
+	// A second call reuses the cached plan and must still agree.
+	w2, out2 := postMultiply(t, rt, mustBody(t, name, scale, x))
+	if w2.Code != http.StatusOK {
+		t.Fatalf("second scatter multiply: status %d", w2.Code)
+	}
+	y2 := out2["y"].([]any)
+	for i := range y {
+		if y[i].(float64) != y2[i].(float64) {
+			t.Fatalf("row %d: scatter result not reproducible", i)
+		}
+	}
+}
+
+func TestRouterScatterSurvivesWorkerLoss(t *testing.T) {
+	workers := []*httptest.Server{newWorker(t), newWorker(t), newWorker(t)}
+	var mu sync.Mutex
+	backends := []string{workerAddr(workers[0]), workerAddr(workers[1]), workerAddr(workers[2])}
+	const name, scale, shards = "dawson5", 16, 2
+	rt, err := NewRouter(RouterOptions{
+		Backends: func() []string {
+			mu.Lock()
+			defer mu.Unlock()
+			return append([]string(nil), backends...)
+		},
+		Shards: map[string]int{fmt.Sprintf("%s@%d", name, scale): shards},
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gen.Representative(name, scale)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%5) + 1
+	}
+	want := serialMultiply(a, x)
+	check := func(tag string) {
+		t.Helper()
+		w, out := postMultiply(t, rt, mustBody(t, name, scale, x))
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: status %d body %s", tag, w.Code, w.Body.String())
+		}
+		y := out["y"].([]any)
+		for i := range want {
+			if diff := math.Abs(y[i].(float64) - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s row %d: got %v want %v", tag, i, y[i], want[i])
+			}
+		}
+	}
+	check("before loss")
+	// Kill one worker; the ring fails its shards over to survivors.
+	workers[1].Close()
+	check("after loss")
+	// The supervisor notices and shrinks the backend set; still fine.
+	mu.Lock()
+	backends = []string{workerAddr(workers[0]), workerAddr(workers[2])}
+	mu.Unlock()
+	check("after backend update")
+}
+
+func TestRouterFleetStatus(t *testing.T) {
+	rt, err := NewRouter(RouterOptions{
+		Backends: func() []string { return []string{"127.0.0.1:1"} },
+		Status: func() []WorkerInfo {
+			return []WorkerInfo{{Index: 0, Pid: 42, State: StateUp, Addr: "127.0.0.1:1"}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/fleet", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("fleet status %d", w.Code)
+	}
+	var st struct {
+		Workers  []WorkerInfo `json:"workers"`
+		Backends []string     `json:"backends"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Workers) != 1 || st.Workers[0].Pid != 42 || len(st.Backends) != 1 {
+		t.Fatalf("bad status: %+v", st)
+	}
+}

@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+// serialMultiply is the bit-precise reference: each row summed left to
+// right in CSR order, the association every kernel in the repository
+// reproduces.
+func serialMultiply(a *sparse.CSR, x []float64) []float64 {
+	y := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// shardMultiply computes each shard's fragment with the same serial
+// walk over the sliced submatrix and gathers.
+func shardMultiply(t *testing.T, a *sparse.CSR, plan []Desc, x []float64) []float64 {
+	t.Helper()
+	frags := make([][]float64, len(plan))
+	for k, d := range plan {
+		sub := Slice(a, d)
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("shard %d slice invalid: %v", k, err)
+		}
+		frags[k] = serialMultiply(sub, x[d.ColLo:d.ColHi])
+	}
+	y := make([]float64, a.Rows)
+	if err := Gather(y, plan, frags); err != nil {
+		t.Fatalf("gather: %v", err)
+	}
+	return y
+}
+
+func randomCSR(rng *rand.Rand, rows, cols, nnzPerRow int) *sparse.CSR {
+	a := &sparse.CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	for i := 0; i < rows; i++ {
+		n := rng.Intn(nnzPerRow + 1)
+		if rng.Intn(7) == 0 {
+			n = 0 // empty rows exercise the ownership chain
+		}
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			c := rng.Intn(cols)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			a.ColIdx = append(a.ColIdx, c)
+			a.Val = append(a.Val, 1+rng.Float64())
+		}
+		a.RowPtr[i+1] = len(a.ColIdx)
+	}
+	return a
+}
+
+func TestPlanCoversAndGathers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a := randomCSR(rng, 1+rng.Intn(60), 1+rng.Intn(40), 5)
+		count := 1 + rng.Intn(6)
+		plan, err := Plan(a, count, nil)
+		if err != nil {
+			t.Fatalf("plan: %v", err)
+		}
+		if err := Check(a, plan); err != nil {
+			t.Fatalf("trial %d (rows=%d nnz=%d count=%d): %v", trial, a.Rows, a.NNZ(), count, err)
+		}
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = 1 + rng.Float64()
+		}
+		got := shardMultiply(t, a, plan, x)
+		want := serialMultiply(a, x)
+		split := make([]bool, a.Rows)
+		for _, d := range plan {
+			if d.Rows() <= 0 {
+				continue
+			}
+			if d.SplitFirst {
+				split[d.Row0] = true
+			}
+			if d.SplitLast {
+				split[d.Row1] = true
+			}
+		}
+		for i := range want {
+			if split[i] {
+				// A cut row's fragments re-associate the sum; only a small
+				// rounding difference is allowed.
+				if diff := math.Abs(got[i] - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("trial %d split row %d: got %v want %v", trial, i, got[i], want[i])
+				}
+			} else if got[i] != want[i] {
+				// Uncut rows see the identical left-to-right chain over the
+				// identical values: bit equality is required.
+				t.Fatalf("trial %d row %d: got %x want %x (not bit-identical)", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a := gen.Representative("dawson5", 64)
+	p1, err := Plan(a, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Plan(a.Clone(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("plans differ across identical inputs:\n%v\n%v", p1, p2)
+	}
+}
+
+func TestPlanWeights(t *testing.T) {
+	a := gen.Representative("dawson5", 64)
+	plan, err := Plan(a, 2, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(a, plan); err != nil {
+		t.Fatal(err)
+	}
+	n0, n1 := plan[0].NNZ(), plan[1].NNZ()
+	if n0 <= n1 {
+		t.Fatalf("weight 3 shard has %d nnz, weight 1 shard %d — want the heavier worker to carry more", n0, n1)
+	}
+	ratio := float64(n0) / float64(n0+n1)
+	if ratio < 0.70 || ratio > 0.80 {
+		t.Fatalf("3:1 weights gave nnz share %.3f, want ~0.75", ratio)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	a := randomCSR(rand.New(rand.NewSource(1)), 10, 10, 3)
+	if _, err := Plan(a, 0, nil); err == nil {
+		t.Fatal("count 0 accepted")
+	}
+	if _, err := Plan(a, 2, []float64{1}); err == nil {
+		t.Fatal("weight/count mismatch accepted")
+	}
+	if _, err := Plan(a, 2, []float64{0, 0}); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+	if _, err := Plan(a, 2, []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestPlanMoreShardsThanRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomCSR(rng, 3, 8, 4)
+	plan, err := Plan(a, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(a, plan); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	got := shardMultiply(t, a, plan, x)
+	want := serialMultiply(a, x)
+	for i := range want {
+		if diff := math.Abs(got[i] - want[i]); diff > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSliceColumnWindow(t *testing.T) {
+	a := gen.Representative("dawson5", 64)
+	plan, err := Plan(a, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range plan {
+		sub := Slice(a, d)
+		if sub.Cols != d.Cols() {
+			t.Fatalf("shard %d: sliced Cols %d, window %d", d.Index, sub.Cols, d.Cols())
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("shard %d: %v", d.Index, err)
+		}
+		if sub.NNZ() != d.NNZ() {
+			t.Fatalf("shard %d: sliced nnz %d, desc %d", d.Index, sub.NNZ(), d.NNZ())
+		}
+	}
+}
+
+func TestGatherErrors(t *testing.T) {
+	a := randomCSR(rand.New(rand.NewSource(5)), 10, 10, 3)
+	plan, err := Plan(a, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, a.Rows)
+	if err := Gather(y, plan, make([][]float64, 1)); err == nil {
+		t.Fatal("fragment count mismatch accepted")
+	}
+	frags := [][]float64{make([]float64, plan[0].Rows()+1), make([]float64, plan[1].Rows())}
+	if err := Gather(y, plan, frags); err == nil {
+		t.Fatal("fragment length mismatch accepted")
+	}
+}

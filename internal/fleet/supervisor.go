@@ -1,0 +1,503 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"haspmv/internal/telemetry"
+)
+
+var (
+	cWorkerRestarts = telemetry.NewCounter("fleet_worker_restarts")
+	gWorkersUp      = telemetry.NewGauge("fleet_workers_up")
+)
+
+// Proc is one running worker as the supervisor sees it: an address to
+// health-check and route to, a signal channel for drains, and a Wait
+// that reports its exit.
+type Proc interface {
+	// Addr returns the worker's host:port once it is serving.
+	Addr() string
+	// Pid identifies the process for status listings (fakes may invent one).
+	Pid() int
+	// Signal delivers sig (SIGTERM asks for a graceful drain).
+	Signal(sig os.Signal) error
+	// Kill terminates immediately.
+	Kill() error
+	// Wait blocks until the worker exits and returns its exit error.
+	Wait() error
+}
+
+// Launcher starts workers. ExecLauncher spawns real haspmv-serve
+// processes; tests substitute in-process fakes.
+type Launcher interface {
+	Launch(ctx context.Context, index int) (Proc, error)
+}
+
+// WorkerState is a worker's position in the supervision lifecycle.
+type WorkerState string
+
+const (
+	StateStarting  WorkerState = "starting"  // launched, not yet passing health checks
+	StateUp        WorkerState = "up"        // serving, /healthz 200
+	StateDraining  WorkerState = "draining"  // /healthz 503: finishing in-flight work
+	StateUnhealthy WorkerState = "unhealthy" // alive but failing health checks
+	StateDown      WorkerState = "down"      // exited, waiting out restart backoff
+	StateStopped   WorkerState = "stopped"   // supervisor shut it down for good
+)
+
+// WorkerInfo is one worker's status snapshot.
+type WorkerInfo struct {
+	Index    int         `json:"index"`
+	Addr     string      `json:"addr,omitempty"`
+	Pid      int         `json:"pid,omitempty"`
+	State    WorkerState `json:"state"`
+	Restarts int64       `json:"restarts"`
+	LastExit string      `json:"last_exit,omitempty"`
+}
+
+// SupervisorOptions configures a worker fleet.
+type SupervisorOptions struct {
+	// Workers is the fleet size. Required, >= 1.
+	Workers int
+	// Launcher starts each worker. Required.
+	Launcher Launcher
+	// BackoffBase is the first restart delay after a crash; each
+	// consecutive crash doubles it up to BackoffCap, and a worker that
+	// stayed healthy for ResetAfter starts over at the base. Defaults:
+	// 100ms base, 5s cap, 10s reset.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	ResetAfter  time.Duration
+	// HealthEvery is the /healthz polling period (default 250ms);
+	// HealthTimeout bounds each probe (default 1s).
+	HealthEvery   time.Duration
+	HealthTimeout time.Duration
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (o SupervisorOptions) withDefaults() SupervisorOptions {
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 5 * time.Second
+	}
+	if o.ResetAfter <= 0 {
+		o.ResetAfter = 10 * time.Second
+	}
+	if o.HealthEvery <= 0 {
+		o.HealthEvery = 250 * time.Millisecond
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// worker is one supervised slot: the slot survives crashes, the Proc in
+// it does not.
+type worker struct {
+	index int
+
+	mu       sync.Mutex
+	proc     Proc
+	state    WorkerState
+	lastExit string
+
+	restarts  atomic.Int64
+	replacing atomic.Bool // next exit is intentional: restart immediately
+	gauge     *telemetry.Gauge
+}
+
+// Supervisor runs N workers, restarts the ones that die (exponential
+// backoff, reset after sustained health), health-checks them, and
+// drains them all on shutdown. It is the parent process's half of the
+// fleet; the Router consumes its Endpoints.
+type Supervisor struct {
+	opts    SupervisorOptions
+	workers []*worker
+	client  *http.Client
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	started  atomic.Bool
+	draining atomic.Bool
+}
+
+// NewSupervisor validates the options; Start launches the fleet.
+func NewSupervisor(opts SupervisorOptions) (*Supervisor, error) {
+	opts = opts.withDefaults()
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("fleet: %d workers, want >= 1", opts.Workers)
+	}
+	if opts.Launcher == nil {
+		return nil, fmt.Errorf("fleet: no launcher")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Supervisor{
+		opts:   opts,
+		client: &http.Client{Timeout: opts.HealthTimeout},
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.workers = append(s.workers, &worker{
+			index: i,
+			state: StateDown,
+			gauge: telemetry.NewGauge(fmt.Sprintf("fleet_worker%d_up", i)),
+		})
+	}
+	return s, nil
+}
+
+// Start launches every worker slot's manager goroutine.
+func (s *Supervisor) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go func(w *worker) {
+			defer s.wg.Done()
+			s.manage(w)
+		}(w)
+	}
+}
+
+// manage owns one worker slot: launch, watch, restart with backoff,
+// forever — until the supervisor drains.
+func (s *Supervisor) manage(w *worker) {
+	backoff := s.opts.BackoffBase
+	for {
+		if s.ctx.Err() != nil {
+			s.setState(w, StateStopped, "")
+			return
+		}
+		proc, err := s.opts.Launcher.Launch(s.ctx, w.index)
+		if err != nil {
+			s.opts.Logf("fleet: worker %d launch failed: %v (retry in %s)", w.index, err, backoff)
+			s.setState(w, StateDown, err.Error())
+			if !s.sleep(backoff) {
+				s.setState(w, StateStopped, "")
+				return
+			}
+			backoff = s.nextBackoff(backoff)
+			continue
+		}
+		w.mu.Lock()
+		w.proc = proc
+		w.mu.Unlock()
+		s.setState(w, StateStarting, "")
+		s.opts.Logf("fleet: worker %d up at %s (pid %d)", w.index, proc.Addr(), proc.Pid())
+
+		start := time.Now()
+		exitCh := make(chan error, 1)
+		go func() { exitCh <- proc.Wait() }()
+		pingCtx, stopPing := context.WithCancel(s.ctx)
+		pingDone := make(chan struct{})
+		go func() {
+			defer close(pingDone)
+			s.ping(pingCtx, w, proc)
+		}()
+
+		var exitErr error
+		select {
+		case exitErr = <-exitCh:
+		case <-s.ctx.Done():
+			// Shutdown: ask the worker to drain and wait for it.
+			_ = proc.Signal(syscall.SIGTERM)
+			exitErr = <-exitCh
+			stopPing()
+			<-pingDone
+			s.setState(w, StateStopped, exitString(exitErr))
+			s.opts.Logf("fleet: worker %d drained (%v)", w.index, exitErr)
+			return
+		}
+		stopPing()
+		<-pingDone
+
+		uptime := time.Since(start)
+		intentional := w.replacing.CompareAndSwap(true, false)
+		w.restarts.Add(1)
+		cWorkerRestarts.Add(1)
+		s.setState(w, StateDown, exitString(exitErr))
+		if intentional || uptime >= s.opts.ResetAfter {
+			backoff = s.opts.BackoffBase
+		}
+		if intentional {
+			s.opts.Logf("fleet: worker %d replaced after %s", w.index, uptime.Round(time.Millisecond))
+			continue // no backoff for an operator-requested replace
+		}
+		s.opts.Logf("fleet: worker %d exited after %s: %v (restart in %s)", w.index, uptime.Round(time.Millisecond), exitErr, backoff)
+		if !s.sleep(backoff) {
+			s.setState(w, StateStopped, exitString(exitErr))
+			return
+		}
+		backoff = s.nextBackoff(backoff)
+	}
+}
+
+// ping polls the worker's /healthz until ctx ends, mapping 200 to up,
+// 503 to draining, anything else (or no answer) to unhealthy.
+func (s *Supervisor) ping(ctx context.Context, w *worker, proc Proc) {
+	t := time.NewTicker(s.opts.HealthEvery)
+	defer t.Stop()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+proc.Addr()+"/healthz", nil)
+		if err != nil {
+			return
+		}
+		resp, err := s.client.Do(req)
+		if ctx.Err() != nil {
+			return
+		}
+		switch {
+		case err != nil:
+			s.setState(w, StateUnhealthy, "")
+		case resp.StatusCode == http.StatusOK:
+			s.setState(w, StateUp, "")
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			s.setState(w, StateDraining, "")
+		default:
+			s.setState(w, StateUnhealthy, "")
+		}
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (s *Supervisor) setState(w *worker, st WorkerState, lastExit string) {
+	w.mu.Lock()
+	w.state = st
+	if lastExit != "" {
+		w.lastExit = lastExit
+	}
+	w.mu.Unlock()
+	if st == StateUp {
+		w.gauge.Set(1)
+	} else {
+		w.gauge.Set(0)
+	}
+	up := int64(0)
+	for _, o := range s.workers {
+		o.mu.Lock()
+		if o.state == StateUp {
+			up++
+		}
+		o.mu.Unlock()
+	}
+	gWorkersUp.Set(up)
+}
+
+// sleep waits d or until shutdown; false means shutdown won.
+func (s *Supervisor) sleep(d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-s.ctx.Done():
+		return false
+	}
+}
+
+func (s *Supervisor) nextBackoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > s.opts.BackoffCap {
+		d = s.opts.BackoffCap
+	}
+	return d
+}
+
+func exitString(err error) string {
+	if err == nil {
+		return "exit 0"
+	}
+	return err.Error()
+}
+
+// Snapshot reports every worker slot.
+func (s *Supervisor) Snapshot() []WorkerInfo {
+	out := make([]WorkerInfo, len(s.workers))
+	for i, w := range s.workers {
+		w.mu.Lock()
+		info := WorkerInfo{
+			Index:    w.index,
+			State:    w.state,
+			Restarts: w.restarts.Load(),
+			LastExit: w.lastExit,
+		}
+		if w.proc != nil {
+			info.Addr = w.proc.Addr()
+			info.Pid = w.proc.Pid()
+		}
+		w.mu.Unlock()
+		out[i] = info
+	}
+	return out
+}
+
+// Endpoints returns the addresses of workers currently serving (state
+// up) — the Router's backend set. Order is stable by worker index.
+func (s *Supervisor) Endpoints() []string {
+	var out []string
+	for _, w := range s.workers {
+		w.mu.Lock()
+		if w.state == StateUp && w.proc != nil {
+			out = append(out, w.proc.Addr())
+		}
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// Replace drains worker index and lets its manager relaunch it without
+// backoff: the drain-and-replace path for rolling restarts. It returns
+// once the signal is delivered; the replacement comes up asynchronously.
+func (s *Supervisor) Replace(index int) error {
+	if index < 0 || index >= len(s.workers) {
+		return fmt.Errorf("fleet: no worker %d", index)
+	}
+	w := s.workers[index]
+	w.mu.Lock()
+	proc := w.proc
+	st := w.state
+	w.mu.Unlock()
+	if proc == nil || st == StateDown || st == StateStopped {
+		return fmt.Errorf("fleet: worker %d is not running", index)
+	}
+	w.replacing.Store(true)
+	return proc.Signal(syscall.SIGTERM)
+}
+
+// Drain shuts the fleet down: every worker gets SIGTERM and its
+// manager waits for a clean exit, bounded by ctx. After Drain returns
+// the supervisor is finished.
+func (s *Supervisor) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		for _, w := range s.workers {
+			w.mu.Lock()
+			if w.proc != nil {
+				w.proc.Kill()
+			}
+			w.mu.Unlock()
+		}
+		<-done
+		return fmt.Errorf("fleet: drain timed out; workers killed")
+	}
+}
+
+// --- real process launcher ---
+
+// readyLine matches haspmv-serve's startup line on stderr.
+var readyLine = regexp.MustCompile(`serving on http://(\S+)`)
+
+// ExecLauncher spawns haspmv-serve worker processes on loopback
+// ephemeral ports, parsing the ready line from each worker's stderr and
+// forwarding the rest of its output line-by-line with a worker prefix.
+type ExecLauncher struct {
+	// Bin is the haspmv-serve binary path. Required.
+	Bin string
+	// Args are appended to "-addr 127.0.0.1:0" (e.g. -machine, -preload).
+	Args []string
+	// Stderr receives the workers' forwarded output (default os.Stderr).
+	Stderr io.Writer
+	// ReadyTimeout bounds the wait for the ready line (default 30s —
+	// preloading large matrices happens before the listener opens).
+	ReadyTimeout time.Duration
+}
+
+type execProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (p *execProc) Addr() string { return p.addr }
+func (p *execProc) Pid() int     { return p.cmd.Process.Pid }
+func (p *execProc) Signal(sig os.Signal) error {
+	return p.cmd.Process.Signal(sig)
+}
+func (p *execProc) Kill() error { return p.cmd.Process.Kill() }
+func (p *execProc) Wait() error { return p.cmd.Wait() }
+
+// Launch starts one worker and blocks until it prints its ready line.
+func (l *ExecLauncher) Launch(ctx context.Context, index int) (Proc, error) {
+	out := l.Stderr
+	if out == nil {
+		out = os.Stderr
+	}
+	timeout := l.ReadyTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	args := append([]string{"-addr", "127.0.0.1:0"}, l.Args...)
+	cmd := exec.Command(l.Bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stdout = out
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := readyLine.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			fmt.Fprintf(out, "[worker%d] %s\n", index, line)
+		}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		return &execProc{cmd: cmd, addr: addr}, nil
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		go cmd.Wait()
+		return nil, fmt.Errorf("fleet: worker %d produced no ready line within %s", index, timeout)
+	case <-ctx.Done():
+		cmd.Process.Kill()
+		go cmd.Wait()
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// fakeProc is an in-process stand-in for a haspmv-serve worker: a real
+// HTTP server (so the health pinger exercises the same code paths) with
+// a controllable exit.
+type fakeProc struct {
+	pid  int
+	srv  *httptest.Server
+	exit chan error
+	once sync.Once
+
+	mu       sync.Mutex
+	draining bool
+	sigterms int
+}
+
+func newFakeProc(pid int) *fakeProc {
+	p := &fakeProc{pid: pid, exit: make(chan error, 1)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		p.mu.Lock()
+		d := p.draining
+		p.mu.Unlock()
+		if d {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	p.srv = httptest.NewServer(mux)
+	return p
+}
+
+func (p *fakeProc) Addr() string { return p.srv.Listener.Addr().String() }
+func (p *fakeProc) Pid() int     { return p.pid }
+
+func (p *fakeProc) Signal(sig os.Signal) error {
+	if sig == syscall.SIGTERM {
+		p.mu.Lock()
+		p.sigterms++
+		p.mu.Unlock()
+		p.terminate(nil) // a fake worker drains instantly
+	}
+	return nil
+}
+
+func (p *fakeProc) Kill() error {
+	p.terminate(errors.New("killed"))
+	return nil
+}
+
+func (p *fakeProc) Wait() error { return <-p.exit }
+
+// crash simulates the worker dying on its own (the kill -9 case).
+func (p *fakeProc) crash() { p.terminate(errors.New("signal: killed")) }
+
+func (p *fakeProc) terminate(err error) {
+	p.once.Do(func() {
+		p.srv.Close()
+		p.exit <- err
+	})
+}
+
+// fakeLauncher hands out fakeProcs and records every launch time.
+type fakeLauncher struct {
+	mu       sync.Mutex
+	launches []time.Time
+	procs    []*fakeProc
+}
+
+func (l *fakeLauncher) Launch(ctx context.Context, index int) (Proc, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := newFakeProc(1000 + len(l.procs))
+	l.launches = append(l.launches, time.Now())
+	l.procs = append(l.procs, p)
+	return p, nil
+}
+
+func (l *fakeLauncher) latest() *fakeProc {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.procs[len(l.procs)-1]
+}
+
+func (l *fakeLauncher) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.procs)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func testSupervisor(t *testing.T, workers int) (*Supervisor, *fakeLauncher) {
+	t.Helper()
+	l := &fakeLauncher{}
+	s, err := NewSupervisor(SupervisorOptions{
+		Workers:     workers,
+		Launcher:    l,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffCap:  80 * time.Millisecond,
+		ResetAfter:  time.Hour, // never reset inside a test
+		HealthEvery: 10 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, l
+}
+
+func allUp(s *Supervisor, n int) func() bool {
+	return func() bool { return len(s.Endpoints()) == n }
+}
+
+func TestSupervisorBringsFleetUp(t *testing.T) {
+	s, l := testSupervisor(t, 3)
+	s.Start()
+	waitFor(t, "3 workers up", allUp(s, 3))
+	if got := l.count(); got != 3 {
+		t.Fatalf("%d launches for 3 workers", got)
+	}
+	for _, info := range s.Snapshot() {
+		if info.State != StateUp || info.Addr == "" || info.Pid == 0 {
+			t.Fatalf("worker %d not healthy in snapshot: %+v", info.Index, info)
+		}
+	}
+}
+
+func TestSupervisorRestartsCrashWithBackoff(t *testing.T) {
+	s, l := testSupervisor(t, 1)
+	s.Start()
+	waitFor(t, "worker up", allUp(s, 1))
+
+	// Crash it three times; each restart must come after a growing delay.
+	for i := 0; i < 3; i++ {
+		l.latest().crash()
+		want := i + 2 // initial launch + i+1 restarts
+		waitFor(t, fmt.Sprintf("relaunch %d", want), func() bool { return l.count() >= want })
+		waitFor(t, "worker back up", allUp(s, 1))
+	}
+	info := s.Snapshot()[0]
+	if info.Restarts != 3 {
+		t.Fatalf("restarts = %d, want 3", info.Restarts)
+	}
+	if info.LastExit == "" {
+		t.Fatal("crash left no LastExit")
+	}
+
+	// Backoff must grow: the gap before restart 3 strictly exceeds the
+	// gap before restart 1 (10ms vs 40ms base progression leaves slack
+	// even with scheduling noise).
+	l.mu.Lock()
+	gap1 := l.launches[1].Sub(l.launches[0])
+	gap3 := l.launches[3].Sub(l.launches[2])
+	l.mu.Unlock()
+	if gap3 <= gap1 {
+		t.Fatalf("backoff did not grow: first gap %s, third gap %s", gap1, gap3)
+	}
+}
+
+func TestSupervisorReplace(t *testing.T) {
+	s, l := testSupervisor(t, 2)
+	s.Start()
+	waitFor(t, "2 workers up", allUp(s, 2))
+
+	old := s.Snapshot()[0].Pid
+	if err := s.Replace(0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "replacement up", func() bool {
+		infos := s.Snapshot()
+		return infos[0].State == StateUp && infos[0].Pid != old
+	})
+	// The old proc must have been asked to drain, not killed.
+	l.mu.Lock()
+	var first *fakeProc
+	for _, p := range l.procs {
+		if p.pid == old {
+			first = p
+		}
+	}
+	l.mu.Unlock()
+	first.mu.Lock()
+	sigterms := first.sigterms
+	first.mu.Unlock()
+	if sigterms == 0 {
+		t.Fatal("replace did not SIGTERM the old worker")
+	}
+	if err := s.Replace(99); err == nil {
+		t.Fatal("replacing unknown worker accepted")
+	}
+}
+
+func TestSupervisorDetectsDraining(t *testing.T) {
+	s, l := testSupervisor(t, 1)
+	s.Start()
+	waitFor(t, "worker up", allUp(s, 1))
+
+	p := l.latest()
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+	waitFor(t, "draining state", func() bool { return s.Snapshot()[0].State == StateDraining })
+	// A draining worker must leave the router's backend set.
+	if eps := s.Endpoints(); len(eps) != 0 {
+		t.Fatalf("draining worker still in endpoints: %v", eps)
+	}
+}
+
+func TestSupervisorDrain(t *testing.T) {
+	l := &fakeLauncher{}
+	s, err := NewSupervisor(SupervisorOptions{
+		Workers:     2,
+		Launcher:    l,
+		HealthEvery: 10 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	waitFor(t, "2 workers up", allUp(s, 2))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, info := range s.Snapshot() {
+		if info.State != StateStopped {
+			t.Fatalf("worker %d state %s after drain, want stopped", info.Index, info.State)
+		}
+	}
+	for _, p := range l.procs {
+		p.mu.Lock()
+		n := p.sigterms
+		p.mu.Unlock()
+		if n == 0 {
+			t.Fatalf("worker pid %d never received SIGTERM", p.pid)
+		}
+	}
+}
+
+func TestSupervisorOptionErrors(t *testing.T) {
+	if _, err := NewSupervisor(SupervisorOptions{Workers: 0, Launcher: &fakeLauncher{}}); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if _, err := NewSupervisor(SupervisorOptions{Workers: 1}); err == nil {
+		t.Fatal("nil launcher accepted")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"haspmv/internal/amp"
 	haspmvcore "haspmv/internal/core"
 	"haspmv/internal/exec"
+	"haspmv/internal/fleet/shard"
 	"haspmv/internal/gen"
 	"haspmv/internal/sparse"
 	"haspmv/internal/telemetry"
@@ -94,6 +95,12 @@ type Entry struct {
 	PrepareMs  float64
 	Batcher    *Batcher
 	Prep       exec.Prepared
+	// Shard describes which row-shard of the matrix this entry serves
+	// (Shard.Count <= 1 means the whole matrix). For a shard entry,
+	// Rows/Cols/NNZ describe the sliced submatrix: Rows covers the
+	// shard's owned row range and Cols its column window, so the HTTP
+	// layer validates the router's sliced x against Cols as usual.
+	Shard shard.Desc
 	// Adapter is the entry's online repartitioning loop (nil unless
 	// RegistryOptions.Adapt is set and the algorithm is HASpMV).
 	Adapter *haspmvcore.Adapter
@@ -132,11 +139,49 @@ func NewRegistry(m *amp.Machine, alg exec.Algorithm, opts RegistryOptions) *Regi
 // Key is the registry's cache key format.
 func Key(name string, scale int) string { return fmt.Sprintf("%s@%d", name, scale) }
 
+// ShardKey is the cache key of one row-shard of a matrix. count <= 1
+// collapses to the whole-matrix Key.
+func ShardKey(name string, scale, index, count int) string {
+	if count <= 1 {
+		return Key(name, scale)
+	}
+	return fmt.Sprintf("%s@%d#%d/%d", name, scale, index, count)
+}
+
 // Get returns the resident entry for (name, scale), building it if
 // necessary. Exactly one caller runs the build; the rest wait on it (or
 // give up when ctx ends — the build itself continues and is cached).
 func (r *Registry) Get(ctx context.Context, name string, scale int) (*Entry, error) {
-	key := Key(name, scale)
+	return r.GetShard(ctx, name, scale, 0, 1)
+}
+
+// ShardPlan regenerates the matrix and returns the deterministic
+// count-way shard plan the fleet router scatters against. Any worker
+// (and the router itself) computes the identical plan from the same
+// arguments, so the plan never needs to be distributed.
+func (r *Registry) ShardPlan(name string, scale, count int) ([]shard.Desc, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("server: shard count %d, want >= 1", count)
+	}
+	mat, err := r.opts.Source(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return shard.Plan(mat, count, nil)
+}
+
+// GetShard returns the resident entry serving shard index of a
+// count-way split of (name, scale); the whole matrix when count <= 1.
+// The shard's submatrix is sliced from the deterministic plan shared
+// with ShardPlan, then prepared like any other matrix.
+func (r *Registry) GetShard(ctx context.Context, name string, scale, index, count int) (*Entry, error) {
+	if count < 1 {
+		count = 1
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("server: shard index %d outside 0..%d", index, count-1)
+	}
+	key := ShardKey(name, scale, index, count)
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -171,6 +216,16 @@ func (r *Registry) Get(ctx context.Context, name string, scale int) (*Entry, err
 	}
 
 	mat, err := r.opts.Source(name, scale)
+	if err == nil && count > 1 {
+		// Slice this worker's shard from the deterministic plan. The full
+		// matrix is released right after; only the submatrix stays
+		// resident.
+		var plan []shard.Desc
+		if plan, err = shard.Plan(mat, count, nil); err == nil {
+			e.Shard = plan[index]
+			mat = shard.Slice(mat, e.Shard)
+		}
+	}
 	var prep exec.Prepared
 	var prepMs float64
 	if err == nil {

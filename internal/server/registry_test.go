@@ -259,3 +259,90 @@ func TestRegistryAdaptationWiring(t *testing.T) {
 		t.Fatal("baseline entry unexpectedly carries an adapter")
 	}
 }
+
+// TestRegistryShardKeysAndGetShard: shard entries cache under distinct
+// keys, carry their Desc, and the sliced dimensions match the plan.
+func TestRegistryShardKeysAndGetShard(t *testing.T) {
+	if ShardKey("a", 16, 0, 1) != Key("a", 16) {
+		t.Fatal("single-shard key must collapse to the plain key")
+	}
+	if ShardKey("a", 16, 1, 3) == ShardKey("a", 16, 2, 3) {
+		t.Fatal("distinct shards share a key")
+	}
+
+	r := NewRegistry(amp.IntelI912900KF(), core.New(core.Options{}), RegistryOptions{
+		MaxEntries: 8,
+		Batcher:    BatcherOptions{Linger: ExplicitZeroLinger},
+	})
+	t.Cleanup(r.Close)
+	plan, err := r.ShardPlan("dawson5", 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("%d shards, want 3", len(plan))
+	}
+	for i, d := range plan {
+		e, err := r.GetShard(context.Background(), "dawson5", 64, i, 3)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if e.Shard != d {
+			t.Fatalf("shard %d entry desc %+v != plan %+v", i, e.Shard, d)
+		}
+		if e.Rows != d.Rows() || e.Cols != d.Cols() || e.NNZ != d.NNZ() {
+			t.Fatalf("shard %d dims %d x %d (%d nnz) disagree with desc", i, e.Rows, e.Cols, e.NNZ)
+		}
+	}
+	if _, err := r.GetShard(context.Background(), "dawson5", 64, 3, 3); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := r.GetShard(context.Background(), "dawson5", 64, -1, 3); err == nil {
+		t.Fatal("negative shard index accepted")
+	}
+}
+
+// TestRegistryEvictionRacesSingleFlight is the supervisor-restart
+// scenario: a worker re-warming its cache races the LRU evicting the
+// same keys (capacity 1 forces an eviction on every other build). Every
+// Get must return a usable entry whose batcher still answers, no matter
+// how build, eviction, and concurrent single-flight joins interleave.
+func TestRegistryEvictionRacesSingleFlight(t *testing.T) {
+	src := &countingSource{size: 8}
+	r := newTestRegistry(t, src.source(t), 1)
+
+	names := []string{"a", "b", "c"}
+	const workers, iters = 8, 30
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			x := make([]float64, 8)
+			y := make([]float64, 8)
+			for i := range x {
+				x[i] = float64(i + 1)
+			}
+			for i := 0; i < iters; i++ {
+				name := names[(w+i)%len(names)]
+				e, err := r.Get(context.Background(), name, 16)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// The entry may be evicted from the map at any moment, but a
+				// handed-out batcher must finish work already submitted.
+				if _, err := e.Batcher.Submit(context.Background(), y, x); err != nil && !errors.Is(err, ErrDraining) {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}

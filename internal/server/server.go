@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"haspmv/internal/amp"
 	"haspmv/internal/exec"
+	"haspmv/internal/fleet/shard"
 	"haspmv/internal/gen"
 	"haspmv/internal/telemetry/tracing"
 )
@@ -101,6 +103,7 @@ func New(cfg Config) *Server {
 		anomaly: &anomalyPolicy{rec: cfg.Recorder, sloNs: int64(cfg.SLO)},
 	}
 	s.mux.HandleFunc("/v1/multiply", s.handleMultiply)
+	s.mux.HandleFunc("/v1/shardplan", s.handleShardPlan)
 	s.mux.HandleFunc("/v1/matrices", s.handleMatrices)
 	s.mux.HandleFunc("/v1/debug/flightrecorder", s.handleFlightRecorder)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -234,6 +237,12 @@ type multiplyRequest struct {
 	Scale     int       `json:"scale"`
 	X         []float64 `json:"x"`
 	TimeoutMs int       `json:"timeout_ms"`
+	// ShardIndex/ShardCount select one row-shard of a ShardCount-way
+	// split (the fleet router's scatter path). Zero count (or 1) is a
+	// whole-matrix request; x must then have the shard's column-window
+	// width instead of the full column count.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 }
 
 type multiplyResponse struct {
@@ -243,6 +252,11 @@ type multiplyResponse struct {
 	Cols    int       `json:"cols"`
 	BatchNV int       `json:"batch_nv"`
 	Y       []float64 `json:"y"`
+	// Shard echo: which row range the fragment in Y covers (the gather
+	// epilogue's sanity check). Present only on shard requests.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+	Row0       int `json:"row0,omitempty"`
 }
 
 type errorResponse struct {
@@ -256,6 +270,7 @@ type matrixInfo struct {
 	Rows      int     `json:"rows"`
 	Cols      int     `json:"cols"`
 	NNZ       int     `json:"nnz"`
+	Shard     string  `json:"shard,omitempty"`
 	PrepareMs float64 `json:"prepare_ms"`
 	Requests  int64   `json:"requests"`
 	Flushes   int64   `json:"flushes"`
@@ -268,6 +283,15 @@ type matrixInfo struct {
 	Rebalances int64   `json:"rebalances,omitempty"`
 	Imbalance  float64 `json:"imbalance,omitempty"`
 	Proportion float64 `json:"proportion,omitempty"`
+}
+
+// shardLabel renders a shard desc as "i/n" for listings ("" for a
+// whole-matrix entry).
+func shardLabel(d shard.Desc) string {
+	if d.Count <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", d.Index, d.Count)
 }
 
 type matricesResponse struct {
@@ -334,10 +358,15 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	if tr != nil {
-		tr.Matrix = Key(req.Matrix, req.Scale)
+	if req.ShardCount < 0 || (req.ShardCount > 0 && (req.ShardIndex < 0 || req.ShardIndex >= req.ShardCount)) {
+		s.reject(w, http.StatusBadRequest,
+			fmt.Sprintf("shard %d/%d out of range", req.ShardIndex, req.ShardCount))
+		return
 	}
-	e, err := s.reg.Get(ctx, req.Matrix, req.Scale)
+	if tr != nil {
+		tr.Matrix = ShardKey(req.Matrix, req.Scale, req.ShardIndex, req.ShardCount)
+	}
+	e, err := s.reg.GetShard(ctx, req.Matrix, req.Scale, req.ShardIndex, req.ShardCount)
 	if err != nil {
 		if tr != nil {
 			tr.Err = err.Error()
@@ -385,11 +414,78 @@ func (s *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(multiplyResponse{
+	resp := multiplyResponse{
 		Matrix: req.Matrix, Scale: req.Scale,
 		Rows: e.Rows, Cols: e.Cols, BatchNV: nv, Y: y,
+	}
+	if e.Shard.Count > 1 {
+		resp.ShardIndex = e.Shard.Index
+		resp.ShardCount = e.Shard.Count
+		resp.Row0 = e.Shard.Row0
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleShardPlan serves the deterministic shard plan of a matrix:
+//
+//	GET /v1/shardplan?matrix=NAME&scale=S&count=N
+//
+// The router fetches this once per sharded matrix to learn each shard's
+// row range and column window (the x slice to scatter); any worker
+// returns the identical plan, so the endpoint is freely load-balanced.
+func (s *Server) handleShardPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("matrix")
+	if name == "" {
+		s.reject(w, http.StatusBadRequest, `missing "matrix"`)
+		return
+	}
+	scale := s.cfg.DefaultScale
+	if v := q.Get("scale"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.reject(w, http.StatusBadRequest, "scale must be a positive integer")
+			return
+		}
+		scale = n
+	}
+	count := 1
+	if v := q.Get("count"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.reject(w, http.StatusBadRequest, "count must be a positive integer")
+			return
+		}
+		count = n
+	}
+	plan, err := s.reg.ShardPlan(name, scale, count)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownMatrix):
+			s.reject(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrMatrixTooLarge):
+			s.reject(w, http.StatusRequestEntityTooLarge, err.Error())
+		default:
+			s.reject(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(shardPlanResponse{
+		Matrix: name, Scale: scale, Count: count, Shards: plan,
 	})
+}
+
+type shardPlanResponse struct {
+	Matrix string       `json:"matrix"`
+	Scale  int          `json:"scale"`
+	Count  int          `json:"count"`
+	Shards []shard.Desc `json:"shards"`
 }
 
 func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
@@ -403,6 +499,7 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 		mi := matrixInfo{
 			Key: e.Key, Matrix: e.Name, Scale: e.Scale,
 			Rows: e.Rows, Cols: e.Cols, NNZ: e.NNZ, PrepareMs: e.PrepareMs,
+			Shard:    shardLabel(e.Shard),
 			Requests: st.Requests, Flushes: st.Flushes,
 			Coalesced: st.Coalesced, Solo: st.Solo,
 			Shed: st.Shed, Expired: st.Expired,
@@ -531,6 +628,10 @@ func (a *anomalyPolicy) onServed(totalNs int64) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if s.Draining() {
+		// 503 with Retry-After tells the fleet router (and any load
+		// balancer) to stop routing here and when to probe again — a
+		// draining worker must not look healthy.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.cfg.RetryAfter))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
 		return
