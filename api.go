@@ -132,6 +132,31 @@ const (
 	ExecSegSum = haspmvcore.ExecSegSum
 )
 
+// IndexMode selects the column-index stream policy (see core.IndexMode).
+type IndexMode = haspmvcore.IndexMode
+
+// Index-stream policies: auto per-region selection over the compressed
+// streams, the []int reference oracle, u32 only, or forced DIA-style
+// diagonal execution.
+const (
+	IndexAuto      = haspmvcore.IndexAuto
+	IndexReference = haspmvcore.IndexReference
+	IndexU32       = haspmvcore.IndexU32
+	IndexForceDia  = haspmvcore.IndexForceDia
+)
+
+// ValueMode selects the value stream policy (see core.ValueMode).
+type ValueMode = haspmvcore.ValueMode
+
+// Value-stream policies: auto palette compression (bit-exact), the
+// []float64 reference, or the lossy f32 stream (which additionally
+// requires Options.AllowF32Values).
+const (
+	ValueAuto      = haspmvcore.ValueAuto
+	ValueReference = haspmvcore.ValueReference
+	ValueForceF32  = haspmvcore.ValueForceF32
+)
+
 // ModelParams are the performance-model calibration constants.
 type ModelParams = costmodel.Params
 

@@ -20,6 +20,7 @@ import (
 	"haspmv/internal/costmodel"
 	"haspmv/internal/exec"
 	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
 	"haspmv/internal/stream"
 	"haspmv/internal/telemetry/tracing"
 
@@ -165,9 +166,14 @@ func BenchmarkSpMVCompute(b *testing.B) {
 // BenchmarkCompute isolates the compressed-index execution streams on a
 // >1.5M-nnz power-law matrix: the same partition (proportion and base
 // pinned) multiplied through the []int reference, the u32 absolute
-// stream, and the auto u16/u32 mix. SpMV is stream bound, so narrowing
-// the 8-byte []int indices is the whole effect; the committed bench
-// baseline records the u32 win and cmd/benchdiff gates it.
+// stream, and the auto u16/u32/dia mix. SpMV is stream bound, so
+// narrowing the 8-byte []int indices is the whole effect; the committed
+// bench baseline records the u32 win and cmd/benchdiff gates it. The
+// stencil-* and graph01-* subtests cover the pluggable per-region
+// formats on the matrices where they engage — diagonal run descriptors
+// on a 9-point stencil with a trace of defect rows, the one-byte
+// palette stream on a 0/1 adjacency matrix — and refuse to run if the
+// new hot paths allocate or the format failed to engage.
 func BenchmarkCompute(b *testing.B) {
 	m := haspmv.IntelI912900KF()
 	a := haspmv.Representative("webbase-1M", 2)
@@ -200,6 +206,59 @@ func BenchmarkCompute(b *testing.B) {
 			b.ReportMetric(2*float64(a.NNZ())*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
 		})
 	}
+
+	runFormat := func(name string, fa *sparse.CSR, opts haspmvcore.Options, check func(b *testing.B, hp *haspmvcore.Prepared)) {
+		b.Run(name, func(b *testing.B) {
+			opts.PProportion = haspmvcore.ProportionFor(m, fa)
+			opts.Base = haspmvcore.AutoBase(fa)
+			prep, err := haspmvcore.New(opts).Prepare(m, fa)
+			if err != nil {
+				b.Fatal(err)
+			}
+			xs := make([]float64, fa.Cols)
+			for i := range xs {
+				xs[i] = 1 + float64(i%7)/7
+			}
+			ys := make([]float64, fa.Rows)
+			prep.Compute(ys, xs) // warm the scratch and worker pools
+			if check != nil {
+				check(b, prep.(*haspmvcore.Prepared))
+				if n := testing.AllocsPerRun(20, func() { prep.Compute(ys, xs) }); n != 0 {
+					b.Fatalf("%s Compute allocates %.1f/op, want 0", name, n)
+				}
+			}
+			b.SetBytes(int64(12 * fa.NNZ()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prep.Compute(ys, xs)
+			}
+			b.ReportMetric(2*float64(fa.NNZ())*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlops")
+		})
+	}
+	sten := gen.StencilSpec{
+		Name: "stencil9", Rows: 500_000, Cols: 500_000,
+		Diagonals: 9, NoiseFrac: 0.002, Seed: 20260801,
+	}.Generate()
+	runFormat("stencil-u32", sten, haspmvcore.Options{Index: haspmvcore.IndexU32, Value: haspmvcore.ValueReference}, nil)
+	runFormat("stencil-auto", sten, haspmvcore.Options{}, func(b *testing.B, hp *haspmvcore.Prepared) {
+		if share := float64(hp.IndexStats().NNZByFormat[haspmvcore.IndexDia]) / float64(sten.NNZ()); share < 0.9 {
+			b.Fatalf("stencil auto dia share = %v, want >= 0.9", share)
+		}
+	})
+	graph := gen.Spec{
+		Name: "graph01", Rows: 200_000, Cols: 200_000,
+		Dist:  gen.NormalLen{Mean: 16, Std: 4, Min: 1, Max: 32},
+		Place: gen.Random, Seed: 20260802,
+	}.Generate()
+	for k := range graph.Val {
+		graph.Val[k] = 1 // adjacency: every stored value exactly 1.0
+	}
+	runFormat("graph01-u32", graph, haspmvcore.Options{Index: haspmvcore.IndexU32, Value: haspmvcore.ValueReference}, nil)
+	runFormat("graph01-palette", graph, haspmvcore.Options{Index: haspmvcore.IndexU32}, func(b *testing.B, hp *haspmvcore.Prepared) {
+		if f := hp.ValueStats().Format; f != haspmvcore.ValPalette {
+			b.Fatalf("graph01 value stream = %s, want palette", f)
+		}
+	})
 }
 
 // BenchmarkComputeSegSum isolates the execution-mode choice on the

@@ -43,6 +43,29 @@ func TestRepresentativeGeneration(t *testing.T) {
 	}
 }
 
+func TestStencilGeneration(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-dir", dir, "-stencil", "-rows", "2000", "-cols", "2000",
+		"-diags", "9", "-noise", "0.01", "-palette", "4"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	a, err := mmio.ReadFile(filepath.Join(dir, "stencil-2000x2000-d9.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, v := range a.Val {
+		distinct[v] = true
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("palette 4 produced %d distinct values", len(distinct))
+	}
+}
+
 func TestFlagErrors(t *testing.T) {
 	if err := run(nil); err == nil {
 		t.Fatal("missing -dir accepted")

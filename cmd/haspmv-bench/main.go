@@ -17,6 +17,7 @@
 //	haspmv-bench -exp host            # real host wall-clock (caveats apply)
 //	haspmv-bench -exp batch           # fused multi-vector SpMV vs repeated (host)
 //	haspmv-bench -exp index           # compressed index streams vs []int reference (host)
+//	haspmv-bench -exp format          # execution formats: int/u32/auto/dia/palette (host)
 //	haspmv-bench -exp segsum          # segmented-sum vs serial-epilogue execution (host)
 //	haspmv-bench -exp serve           # closed-loop serving: batcher vs solo (host)
 //	haspmv-bench -exp fleet           # closed-loop serving across row-shards (host)
@@ -103,7 +104,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("haspmv-bench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, index, segsum, serve, fleet, adapt, selfcheck, all)")
+	exp := fs.String("exp", "all", "experiment id (table1, table2, fig3, fig4, fig5, fig8, fig9, fig10, fig11, energy, phases, breakdown, host, batch, index, format, segsum, serve, fleet, adapt, selfcheck, all)")
 	corpus := fs.Int("corpus", 0, "corpus size (default from harness)")
 	maxNNZ := fs.Int("maxnnz", 0, "largest corpus matrix nnz")
 	scale := fs.Int("scale", 0, "representative matrix scale divisor (1 = published size)")
@@ -340,6 +341,16 @@ func run(args []string) error {
 			}
 			bench.PrintIndex(out, m, *matrix, rows)
 			if err := writeCSV("index", func(w io.Writer) error { return bench.IndexCSV(w, m.Name, *matrix, rows) }); err != nil {
+				return err
+			}
+		case "format":
+			m := cfg.Machines[0]
+			rows, err := bench.FormatSweep(cfg, m, *matrix, 5)
+			if err != nil {
+				return err
+			}
+			bench.PrintFormat(out, m, rows)
+			if err := writeCSV("format", func(w io.Writer) error { return bench.FormatCSV(w, m.Name, rows) }); err != nil {
 				return err
 			}
 		case "segsum":

@@ -57,6 +57,26 @@ func TestRunBatchExperiment(t *testing.T) {
 	}
 }
 
+func TestRunFormatExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-exp", "format", "-scale", "256", "-matrix", "dawson5", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "format.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.HasPrefix(s, "machine,matrix,config,") {
+		t.Fatalf("csv header: %q", s[:40])
+	}
+	for _, want := range []string{"stencil9", "graph01", "dawson5", ",dia,", ",palette,"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("format CSV missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	err := run([]string{"-exp", "fig9", "-csv", dir})

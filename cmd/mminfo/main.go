@@ -61,6 +61,18 @@ func run(args []string) error {
 	}
 	fmt.Printf("index-width=u%d max-row-col-span=%d u16-delta-rows=%d/%d u16-delta-nnz=%.1f%%\n",
 		sparse.IndexWidthBits(a.Cols), sp.MaxSpan, sp.Rows16, a.Rows, nnz16Pct)
+	// Diagonal structure and value-stream compressibility — what the
+	// diagonal run-descriptor format and the palette value stream would
+	// get out of this matrix.
+	ds := sparse.ComputeDiagStats(a, 8)
+	fmt.Printf("diagonals=%d top%d-diag-nnz=%.1f%% runs=%d mean-run-len=%.2f max-run-len=%d run-hist[%s]\n",
+		ds.Diagonals, ds.TopD, 100*ds.TopShare, ds.Runs, ds.MeanRunLen, ds.MaxRunLen, ds.HistString())
+	vs := sparse.ComputeValueStats(a)
+	distinct := fmt.Sprintf("%d", vs.Distinct)
+	if vs.Capped {
+		distinct = fmt.Sprintf(">%d", vs.Distinct-1)
+	}
+	fmt.Printf("distinct-values=%s palette-eligible=%v\n", distinct, vs.PaletteEligible())
 	// Row-length skew — the same numbers the execution-mode dispatch
 	// reads, so segmented-sum eligibility is predictable from this line:
 	// hub share (max-row-nnz over nnz), Gini, and how many rows an

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,6 +40,37 @@ func TestInfoAndConvert(t *testing.T) {
 	}
 	if a.NNZ() != 7 {
 		t.Fatalf("converted nnz %d", a.NNZ())
+	}
+}
+
+func TestDiagAndValueLines(t *testing.T) {
+	path := writeTestMatrix(t)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{path})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The 3x3 tridiagonal test matrix: 3 diagonals carry all nnz, every
+	// row is one contiguous run, values {4,-1} are palette eligible.
+	for _, want := range []string{
+		"diagonals=3", "top8-diag-nnz=100.0%", "runs=3",
+		"distinct-values=2", "palette-eligible=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"haspmv/internal/amp"
+)
+
+func TestFormatSweepBattery(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RepScale = 256
+	m := amp.IntelI912900KF()
+	rows, err := FormatSweep(cfg, m, "rma10", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("got %d rows, want 3 matrices x 5 configs", len(rows))
+	}
+	byKey := map[string]FormatRow{}
+	for _, r := range rows {
+		byKey[r.Matrix+"/"+r.Config] = r
+		if r.TimeUs <= 0 || r.GFlops <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s/%s: non-positive measurement %+v", r.Matrix, r.Config, r)
+		}
+	}
+
+	// The stencil is near-perfectly diagonal: auto and forced-dia must
+	// execute (almost) everything from run descriptors and stream far
+	// fewer index bytes than u32's flat 4/nnz; the defect rows ride the
+	// u32 fallback. Continuous values keep the palette out.
+	sten := byKey["stencil9/auto"]
+	if sten.DiaNNZShare < 0.9 {
+		t.Errorf("stencil auto dia share = %v, want >= 0.9", sten.DiaNNZShare)
+	}
+	if sten.IdxBytesPerNNZ >= 2 {
+		t.Errorf("stencil auto idx bytes/nnz = %v, want < 2 (descriptors beat u16)", sten.IdxBytesPerNNZ)
+	}
+	if sten.ValueFormat != "f64" {
+		t.Errorf("stencil auto value stream = %s, want f64 (continuous values)", sten.ValueFormat)
+	}
+	if dia := byKey["stencil9/dia"]; dia.DiaNNZShare < 0.9 {
+		t.Errorf("stencil forced-dia share = %v, want >= 0.9", dia.DiaNNZShare)
+	}
+
+	// The 0/1 graph has exactly one distinct value: the palette engages
+	// under both auto and the palette config (1 byte/nnz + the 8-byte
+	// table), while its scattered columns keep the diagonal format out.
+	g := byKey["graph01/palette"]
+	if g.ValueFormat != "palette" {
+		t.Errorf("graph01 palette value stream = %s, want palette", g.ValueFormat)
+	}
+	if g.ValBytesPerNNZ >= 1.5 {
+		t.Errorf("graph01 palette val bytes/nnz = %v, want ~1", g.ValBytesPerNNZ)
+	}
+	if ga := byKey["graph01/auto"]; ga.ValueFormat != "palette" || ga.DiaNNZShare > 0.05 {
+		t.Errorf("graph01 auto: value %s dia share %v, want palette with ~no dia", ga.ValueFormat, ga.DiaNNZShare)
+	}
+	if gi := byKey["graph01/int"]; gi.ValueFormat != "f64" || gi.IdxBytesPerNNZ != 8 {
+		t.Errorf("graph01 int reference: %+v, want f64 at 8 idx bytes", gi)
+	}
+
+	// Reference speedups are exactly 1 by construction.
+	for _, mx := range []string{"stencil9", "graph01", "rma10"} {
+		if s := byKey[mx+"/int"].Speedup; s != 1 {
+			t.Errorf("%s int speedup = %v, want exactly 1", mx, s)
+		}
+	}
+
+	var out bytes.Buffer
+	PrintFormat(&out, m, rows)
+	if !strings.Contains(out.String(), "dia nnz share") {
+		t.Fatalf("report missing header:\n%s", out.String())
+	}
+	out.Reset()
+	if err := FormatCSV(&out, m.Name, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 16 {
+		t.Fatalf("CSV has %d lines, want header + 15 rows:\n%s", lines, out.String())
+	}
+}

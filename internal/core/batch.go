@@ -79,8 +79,7 @@ func (s *batchScratch) run(id int) {
 	}
 	tel := s.tel
 	t0 := time.Now()
-	h, mat, Y, X, nv := p.h, p.mat, s.Y, s.X, s.nv
-	st := &p.streams
+	h, Y, X, nv := p.h, s.Y, s.X, s.nv
 	un := p.unroll[id]
 	extra := s.extraVal[id*s.nvCap : id*s.nvCap+nv]
 	sums := s.sums[id*kernel.MaxBlock : (id+1)*kernel.MaxBlock]
@@ -108,26 +107,12 @@ func (s *batchScratch) run(id int) {
 				if w > kernel.MaxBlock {
 					w = kernel.MaxBlock
 				}
-				// Per-region format dispatch, same arm for every fragment
+				// Per-region format dispatch, same arms for every fragment
 				// and block of the region (bit-exact across formats).
 				if w == 1 {
-					switch reg.Format {
-					case Index32:
-						sums[0] = kernel.DotRange32(mat.Val, st.col32, X[v0], lo, hi, un)
-					case Index16:
-						sums[0] = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r], X[v0], lo, hi, un)
-					default:
-						sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], lo, hi, un)
-					}
+					sums[0] = p.dotFragment(reg.Format, reg.Val, r, lo, hi, un, X[v0])
 				} else {
-					switch reg.Format {
-					case Index32:
-						kernel.DotRangeBlock32(mat.Val, st.col32, X[v0:], sums[:w], lo, hi, un)
-					case Index16:
-						kernel.DotRangeBlock16Delta(mat.Val, st.col16, st.rowBase[r], X[v0:], sums[:w], lo, hi, un)
-					default:
-						kernel.DotRangeBlock(mat.Val, mat.ColIdx, X[v0:], sums[:w], lo, hi, un)
-					}
+					p.dotFragmentBlock(reg.Format, reg.Val, r, lo, hi, un, X[v0:], sums[:w])
 				}
 				if first {
 					for j := 0; j < w; j++ {
@@ -154,6 +139,7 @@ func (s *batchScratch) run(id int) {
 	p.accum[id].nnz.Add(int64(nnzDone))
 	s.durNs[id] = int64(dur)
 	cNNZFormat[reg.Format].Add(int64(nnzDone))
+	cNNZValue[reg.Val].Add(int64(nnzDone))
 	if tel != nil {
 		ex := 0
 		if s.extraRow[id] >= 0 {

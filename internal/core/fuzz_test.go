@@ -47,9 +47,10 @@ func fuzzMatrix(data []byte) (*sparse.CSR, byte) {
 
 // fuzzOptions maps the option byte onto the ablation space: reorder
 // on/off, one- vs two-level partition, a handful of explicit base
-// thresholds around the short/long boundary, the index-stream mode, and
-// (bit 7) forced segmented-sum execution — the oracle instance always
-// pins ExecSerial, so that bit turns every bit-equality stage into
+// thresholds around the short/long boundary, the index-stream mode
+// (bits 5-6: auto, u32, reference, forced-diagonal), and (bit 7) forced
+// segmented-sum execution — the oracle instance always pins ExecSerial,
+// so that bit turns every bit-equality stage into
 // segsum-vs-serial-epilogue.
 func fuzzOptions(b byte) Options {
 	var mode IndexMode
@@ -58,6 +59,8 @@ func fuzzOptions(b byte) Options {
 		mode = IndexU32
 	case 2:
 		mode = IndexReference
+	case 3:
+		mode = IndexForceDia
 	}
 	var ex ExecMode
 	if b&128 != 0 {
@@ -72,18 +75,37 @@ func fuzzOptions(b byte) Options {
 	}
 }
 
+// fuzzValueOptions maps a second input byte (data[3], which doubles as
+// the first entry's row byte) onto the value-stream ablation space:
+// auto / pinned-reference / forced-f32 value modes and the AllowF32Values
+// opt-in. Forced f32 without the opt-in deliberately behaves like auto —
+// that non-engagement is part of the contract under test.
+func fuzzValueOptions(o *Options, b byte) {
+	switch b & 3 {
+	case 1:
+		o.Value = ValueReference
+	case 2:
+		o.Value = ValueForceF32
+	}
+	o.AllowF32Values = b&4 != 0
+}
+
 // referencePrepared builds the []int oracle instance for a prepared
-// compressed instance: same options, reference index mode, serial
-// epilogue execution, and the resolved proportion pinned so both cut
-// identical regions (the auto proportion is stream-aware, so leaving it
-// auto could move boundaries). Pinning ExecSerial means a primary
-// instance running segmented-sum is checked bit-for-bit against the
-// extraY serial-epilogue path it replaces.
+// compressed instance: same options, reference index mode, reference
+// (uncompressed f64) value mode, serial epilogue execution, and the
+// resolved proportion pinned so both cut identical regions (the auto
+// proportion is stream-aware, so leaving it auto could move boundaries).
+// Pinning ExecSerial means a primary instance running segmented-sum is
+// checked bit-for-bit against the extraY serial-epilogue path it
+// replaces; pinning ValueReference means a palette instance is checked
+// against the matrix's own value array.
 func referencePrepared(t *testing.T, hp *Prepared, a *sparse.CSR, opts Options) *Prepared {
 	t.Helper()
 	refOpts := opts
 	refOpts.Index = IndexReference
 	refOpts.Exec = ExecSerial
+	refOpts.Value = ValueReference
+	refOpts.AllowF32Values = false
 	refOpts.PProportion = hp.Plan().PProportion
 	ref, err := New(refOpts).Prepare(amp.IntelI912900KF(), a)
 	if err != nil {
@@ -103,6 +125,52 @@ func segsumMegaRowSeed() []byte {
 	return append(data, 0, 1, 9, 1, 3, 8, 3, 5, 7)
 }
 
+// diaDefectSeed builds the banded-with-defect fuzz seed: option bits 5-6
+// force the diagonal format, rows 0-7 are 8-long contiguous runs
+// (descriptor eligible) and row 5 is an off-band defect row of isolated
+// entries, so diagonal regions mix descriptor rows with the per-row u32
+// fallback. The first entry's row byte is 0, leaving the value stream on
+// auto (the small distinct-value set palettes).
+func diaDefectSeed() []byte {
+	data := []byte{7, 30, 96}
+	for i := 0; i < 8; i++ {
+		if i == 5 {
+			continue
+		}
+		// 8-wide bands: a single run long enough to clear diaMinRunLen.
+		for j := 0; j < 8; j++ {
+			data = append(data, byte(i), byte(3*i+j), byte(4+i+j))
+		}
+	}
+	return append(data, 5, 0, 8, 5, 9, 9, 5, 20, 10, 5, 28, 11, 5, 14, 12)
+}
+
+// adjacencySeed builds the 0/1 adjacency fuzz seed: every value byte is
+// 4 (stored value exactly 1.0), so the palette stream engages with a
+// single entry, and row 3 holds 16 of the nonzeros so the equal-nnz cut
+// straddles a region boundary through palette-format regions.
+func adjacencySeed() []byte {
+	data := []byte{31, 31, 0}
+	for j := 0; j < 16; j++ {
+		data = append(data, 3, byte(2*j), 4)
+	}
+	for i := 0; i < 32; i++ {
+		if i == 3 {
+			continue
+		}
+		data = append(data, byte(i), byte(i), 4, byte(i), byte((i*7+3)%32), 4)
+	}
+	return data
+}
+
+// f32Seed activates the rounded value stream: the first entry's row byte
+// is 6 (ValueForceF32 + AllowF32Values), so the bit-equality stages are
+// skipped and the naive comparison runs at f32 tolerance.
+func f32Seed() []byte {
+	return []byte{7, 15, 0,
+		6, 0, 13, 6, 1, 14, 0, 2, 15, 1, 4, 9, 2, 6, 7, 3, 8, 5, 4, 10, 3, 5, 12, 90, 7, 14, 33}
+}
+
 // FuzzPrepareCompute feeds random small matrices through the full
 // HASpMV pipeline — HACSR reorder, cost partition, conflict-resolving
 // executor — checks the result against the naive reference multiply plus
@@ -110,10 +178,13 @@ func segsumMegaRowSeed() []byte {
 // plan and re-checks both. Seed corpus under
 // testdata/fuzz/FuzzPrepareCompute covers the structural extremes:
 // all-empty rows, a single dense row, all-short rows, all-long rows, a
-// weighted repartition after reorder on a mostly-empty matrix, and two
+// weighted repartition after reorder on a mostly-empty matrix, two
 // forced-segsum shapes (option bit 7): an all-one-row matrix and a
 // mega-row holding most of the nonzeros, both of which cut one row
-// across several regions so the parallel fragment patch is exercised.
+// across several regions so the parallel fragment patch is exercised,
+// and the pluggable-format shapes: a forced-diagonal banded matrix with
+// an off-band defect row, a 0/1 adjacency matrix whose single-entry
+// palette straddles a region boundary, and an explicit f32 opt-in.
 func FuzzPrepareCompute(f *testing.F) {
 	f.Add([]byte{7, 7, 0})                                                                                                                 // 8x8, all rows empty
 	f.Add([]byte{0, 15, 1, 0, 0, 8, 0, 5, 16, 0, 11, 200})                                                                                 // single row, reorder off
@@ -124,6 +195,9 @@ func FuzzPrepareCompute(f *testing.F) {
 	f.Add([]byte{0, 255, 0, 0, 0, 10, 0, 252, 20, 0, 100, 30})                                                                             // wide: single row spanning past 2^16 columns
 	f.Add([]byte{0, 15, 128, 0, 0, 8, 0, 5, 16, 0, 11, 200, 0, 3, 7, 0, 7, 9, 0, 13, 11, 0, 1, 5, 0, 9, 3})                                // forced segsum: the whole matrix is one row, cut across many regions
 	f.Add(segsumMegaRowSeed())                                                                                                             // forced segsum: one mega-row spanning 3+ regions among short rows
+	f.Add(diaDefectSeed())                                                                                                                 // forced dia: banded rows + one off-band defect row on the u32 fallback
+	f.Add(adjacencySeed())                                                                                                                 // 0/1 adjacency: single-entry palette across a region boundary
+	f.Add(f32Seed())                                                                                                                       // explicit f32 opt-in: rounded stream, loosened comparison
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			return // keep Prepare cost bounded
@@ -133,6 +207,9 @@ func FuzzPrepareCompute(f *testing.F) {
 			return
 		}
 		opts := fuzzOptions(optByte)
+		if len(data) > 3 {
+			fuzzValueOptions(&opts, data[3])
+		}
 		prep, err := New(opts).Prepare(amp.IntelI912900KF(), a)
 		if err != nil {
 			t.Fatalf("Prepare failed on a valid %dx%d matrix (%d nnz, opts %+v): %v",
@@ -140,6 +217,19 @@ func FuzzPrepareCompute(f *testing.F) {
 		}
 		if err := exec.CheckAssignments(a, prep.Assignments()); err != nil {
 			t.Fatalf("assignment coverage broken (opts %+v): %v", opts, err)
+		}
+		hp := prep.(*Prepared)
+		// Only the explicit f32 opt-in rounds values: there the result
+		// cannot be bit-identical to the f64 oracle, so the bit-equality
+		// stages are skipped and the naive comparison loosens to f32
+		// precision. Every other value mode must stay exact.
+		f32Active := hp.ValueStats().Format == ValF32
+		tol := 1e-9
+		if f32Active {
+			if !opts.AllowF32Values {
+				t.Fatalf("f32 value stream engaged without AllowF32Values (opts %+v)", opts)
+			}
+			tol = 1e-5
 		}
 
 		x := make([]float64, a.Cols)
@@ -152,23 +242,25 @@ func FuzzPrepareCompute(f *testing.F) {
 		a.MulVec(want, x)
 		for i := range y {
 			diff := math.Abs(y[i] - want[i])
-			if diff > 1e-9*(1+math.Abs(want[i])) {
+			if diff > tol*(1+math.Abs(want[i])) {
 				t.Fatalf("y[%d] = %v, naive reference %v (matrix %dx%d nnz %d, opts %+v)",
 					i, y[i], want[i], a.Rows, a.Cols, a.NNZ(), opts)
 			}
 		}
 
-		// Bit-equality against the []int reference streams: index
-		// compression is only legal because on the same partition it
-		// reproduces the reference kernels' float64 bits exactly.
-		hp := prep.(*Prepared)
-		refPrep := referencePrepared(t, hp, a, opts)
+		// Bit-equality against the []int/f64 reference streams: index and
+		// palette compression are only legal because on the same partition
+		// they reproduce the reference kernels' float64 bits exactly.
+		var refPrep *Prepared
 		ref := make([]float64, a.Rows)
-		refPrep.Compute(ref, x)
-		for i := range y {
-			if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
-				t.Fatalf("compressed y[%d] = %x, []int reference %x (matrix %dx%d nnz %d, opts %+v)",
-					i, math.Float64bits(y[i]), math.Float64bits(ref[i]), a.Rows, a.Cols, a.NNZ(), opts)
+		if !f32Active {
+			refPrep = referencePrepared(t, hp, a, opts)
+			refPrep.Compute(ref, x)
+			for i := range y {
+				if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("compressed y[%d] = %x, []int reference %x (matrix %dx%d nnz %d, opts %+v)",
+						i, math.Float64bits(y[i]), math.Float64bits(ref[i]), a.Rows, a.Cols, a.NNZ(), opts)
+				}
 			}
 		}
 
@@ -177,8 +269,8 @@ func FuzzPrepareCompute(f *testing.F) {
 		// any valid proportion/weight combination, including on matrices
 		// with empty rows after a reorder.
 		var pb byte
-		if len(data) > 3 {
-			pb = data[3]
+		if len(data) > 4 {
+			pb = data[4]
 		}
 		plan := Plan{PProportion: 0.05 + 0.9*float64(pb)/255}
 		if pb&1 != 0 {
@@ -198,7 +290,7 @@ func FuzzPrepareCompute(f *testing.F) {
 		hp.Compute(y, x)
 		for i := range y {
 			diff := math.Abs(y[i] - want[i])
-			if diff > 1e-9*(1+math.Abs(want[i])) {
+			if diff > tol*(1+math.Abs(want[i])) {
 				t.Fatalf("after repartition: y[%d] = %v, reference %v (plan %+v, opts %+v)",
 					i, y[i], want[i], plan, opts)
 			}
@@ -207,15 +299,18 @@ func FuzzPrepareCompute(f *testing.F) {
 		// The same boundary move on the reference instance must keep the two
 		// bit-identical: Repartition re-picks per-region formats without
 		// rebuilding streams, and a region that drifts across a u16-delta
-		// eligibility edge must fall back to a wider format, not drift bits.
-		if err := refPrep.Repartition(plan); err != nil {
-			t.Fatalf("reference Repartition(%+v) failed: %v", plan, err)
-		}
-		refPrep.Compute(ref, x)
-		for i := range y {
-			if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
-				t.Fatalf("after repartition: compressed y[%d] = %x, []int reference %x (plan %+v, opts %+v)",
-					i, math.Float64bits(y[i]), math.Float64bits(ref[i]), plan, opts)
+		// or diagonal eligibility edge must fall back to a wider format,
+		// not drift bits.
+		if !f32Active {
+			if err := refPrep.Repartition(plan); err != nil {
+				t.Fatalf("reference Repartition(%+v) failed: %v", plan, err)
+			}
+			refPrep.Compute(ref, x)
+			for i := range y {
+				if math.Float64bits(y[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("after repartition: compressed y[%d] = %x, []int reference %x (plan %+v, opts %+v)",
+						i, math.Float64bits(y[i]), math.Float64bits(ref[i]), plan, opts)
+				}
 			}
 		}
 	})
@@ -235,6 +330,9 @@ func FuzzComputeBatch(f *testing.F) {
 	f.Add([]byte{7, 200, 0, 0, 10, 40, 0, 20, 41, 1, 0, 42, 1, 252, 43, 2, 0, 44, 2, 251, 45}, byte(5))                                                                                                        // wide: u16-delta region boundary, block path
 	f.Add([]byte{0, 15, 128, 0, 0, 8, 0, 5, 16, 0, 11, 200, 0, 3, 7, 0, 7, 9, 0, 13, 11, 0, 1, 5, 0, 9, 3}, byte(5))                                                                                           // forced segsum: all-one-row matrix, batched fragment patch
 	f.Add(segsumMegaRowSeed(), byte(9))                                                                                                                                                                        // forced segsum: mega-row spanning 3+ regions, batched
+	f.Add(diaDefectSeed(), byte(6))                                                                                                                                                                            // forced dia with defect row, block kernels
+	f.Add(adjacencySeed(), byte(8))                                                                                                                                                                            // 0/1 adjacency palette across a region boundary, full block
+	f.Add(f32Seed(), byte(4))                                                                                                                                                                                  // explicit f32 opt-in, block kernels
 	f.Fuzz(func(t *testing.T, data []byte, nvByte byte) {
 		if len(data) > 1<<12 {
 			return
@@ -245,6 +343,9 @@ func FuzzComputeBatch(f *testing.F) {
 		}
 		nv := 1 + int(nvByte)%10
 		opts := fuzzOptions(optByte)
+		if len(data) > 3 {
+			fuzzValueOptions(&opts, data[3])
+		}
 		prep, err := New(opts).Prepare(amp.IntelI912900KF(), a)
 		if err != nil {
 			t.Fatalf("Prepare: %v", err)
@@ -275,8 +376,13 @@ func FuzzComputeBatch(f *testing.F) {
 			}
 		}
 
-		// The compressed block kernels must also match the []int reference
-		// block kernels bit for bit on the same partition.
+		// The compressed block kernels must also match the []int/f64
+		// reference block kernels bit for bit on the same partition. The
+		// explicit f32 opt-in rounds values, so only the batch-vs-solo
+		// equality above (same instance, same streams) applies there.
+		if prep.(*Prepared).ValueStats().Format == ValF32 {
+			return
+		}
 		refPrep := referencePrepared(t, prep.(*Prepared), a, opts)
 		refY := make([][]float64, nv)
 		for v := range refY {

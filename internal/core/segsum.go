@@ -84,6 +84,13 @@ func (p *Prepared) buildSegments() {
 	if p.opts.Exec == ExecSerial {
 		return
 	}
+	// The segmented interior kernels stream the matrix's own []float64
+	// (bit-identical under a palette — the table entry is the stored
+	// float64 — but not under the rounded f32 stream), so an f32 instance
+	// stays on the fragment walk everywhere.
+	if p.values.format == ValF32 {
+		return
+	}
 	h := p.h
 	if h.NNZ() > math.MaxInt32 || h.Rows > math.MaxInt32 {
 		return
@@ -244,16 +251,7 @@ func (s *computeScratch) runSegSum(id int, reg Region) {
 		}
 		o := h.RowBeginNNZ[r0]
 		klo, khi := o+(reg.Lo-rowStart), o+(fragEnd-rowStart)
-		var sum float64
-		switch reg.Format {
-		case Index32:
-			sum = kernel.DotRange32(mat.Val, st.col32, x, klo, khi, un)
-		case Index16:
-			sum = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r0], x, klo, khi, un)
-		default:
-			sum = kernel.DotRange(mat.Val, mat.ColIdx, x, klo, khi, un)
-		}
-		s.extraVal[id] = sum
+		s.extraVal[id] = p.dotFragment(reg.Format, reg.Val, r0, klo, khi, un, x)
 		if !reg.PatchCont {
 			s.extraRow[id] = h.Perm[r0]
 		}
@@ -269,9 +267,13 @@ func (s *computeScratch) runSegSum(id int, reg Region) {
 		rLast = r1 - 1
 	}
 	if r0 <= rLast {
+		// Interior rows always stream the f64 values (bit-identical under
+		// a palette; f32 instances never reach segmented mode). A diagonal
+		// region's interior runs on the u32 stream — descriptors amortize
+		// over long rows, segmented regions are short-row by selection.
 		segs := p.segs[r0 : rLast+1]
 		switch reg.Format {
-		case Index32:
+		case Index32, IndexDia:
 			frags += kernel.SegSum32(mat.Val, st.col32, x, y, segs, un)
 		case Index16:
 			frags += kernel.SegSum16Delta(mat.Val, st.col16, st.rowBase[r0:rLast+1], x, y, segs, un)
@@ -282,19 +284,10 @@ func (s *computeScratch) runSegSum(id int, reg Region) {
 	if tailClip {
 		o := h.RowBeginNNZ[r1]
 		khi := o + (reg.Hi - h.RowPtr[r1])
-		var sum float64
-		switch reg.Format {
-		case Index32:
-			sum = kernel.DotRange32(mat.Val, st.col32, x, o, khi, un)
-		case Index16:
-			sum = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r1], x, o, khi, un)
-		default:
-			sum = kernel.DotRange(mat.Val, mat.ColIdx, x, o, khi, un)
-		}
 		// This region owns the cut row's first fragment: direct store,
 		// exactly like the serial walk's pos==rowStart arm. The patch
 		// (or the epilogue) adds the continuations on top.
-		y[h.Perm[r1]] = sum
+		y[h.Perm[r1]] = p.dotFragment(reg.Format, reg.Val, r1, o, khi, un, x)
 		frags++
 	}
 	if reg.PatchCont {
@@ -309,6 +302,7 @@ func (s *computeScratch) runSegSum(id int, reg Region) {
 	p.accum[id].nnz.Add(int64(nnzDone))
 	s.durNs[id] = int64(dur)
 	cNNZFormat[reg.Format].Add(int64(nnzDone))
+	cNNZValue[reg.Val].Add(int64(nnzDone))
 	if tel != nil {
 		extra := 0
 		if reg.PatchCont || s.extraRow[id] >= 0 {
@@ -375,23 +369,9 @@ func (s *batchScratch) runSegSum(id int, reg Region) {
 				w = kernel.MaxBlock
 			}
 			if w == 1 {
-				switch reg.Format {
-				case Index32:
-					sums[0] = kernel.DotRange32(mat.Val, st.col32, X[v0], klo, khi, un)
-				case Index16:
-					sums[0] = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r0], X[v0], klo, khi, un)
-				default:
-					sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], klo, khi, un)
-				}
+				sums[0] = p.dotFragment(reg.Format, reg.Val, r0, klo, khi, un, X[v0])
 			} else {
-				switch reg.Format {
-				case Index32:
-					kernel.DotRangeBlock32(mat.Val, st.col32, X[v0:], sums[:w], klo, khi, un)
-				case Index16:
-					kernel.DotRangeBlock16Delta(mat.Val, st.col16, st.rowBase[r0], X[v0:], sums[:w], klo, khi, un)
-				default:
-					kernel.DotRangeBlock(mat.Val, mat.ColIdx, X[v0:], sums[:w], klo, khi, un)
-				}
+				p.dotFragmentBlock(reg.Format, reg.Val, r0, klo, khi, un, X[v0:], sums[:w])
 			}
 			copy(extra[v0:v0+w], sums[:w])
 			v0 += w
@@ -416,7 +396,7 @@ func (s *batchScratch) runSegSum(id int, reg Region) {
 			}
 			var done int
 			switch reg.Format {
-			case Index32:
+			case Index32, IndexDia:
 				done = kernel.SegSumBlock32(mat.Val, st.col32, X[v0:], Y[v0:], sums[:w], segs, un)
 			case Index16:
 				done = kernel.SegSumBlock16Delta(mat.Val, st.col16, st.rowBase[r0:rLast+1], X[v0:], Y[v0:], sums[:w], segs, un)
@@ -439,23 +419,9 @@ func (s *batchScratch) runSegSum(id int, reg Region) {
 				w = kernel.MaxBlock
 			}
 			if w == 1 {
-				switch reg.Format {
-				case Index32:
-					sums[0] = kernel.DotRange32(mat.Val, st.col32, X[v0], o, khi, un)
-				case Index16:
-					sums[0] = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r1], X[v0], o, khi, un)
-				default:
-					sums[0] = kernel.DotRange(mat.Val, mat.ColIdx, X[v0], o, khi, un)
-				}
+				sums[0] = p.dotFragment(reg.Format, reg.Val, r1, o, khi, un, X[v0])
 			} else {
-				switch reg.Format {
-				case Index32:
-					kernel.DotRangeBlock32(mat.Val, st.col32, X[v0:], sums[:w], o, khi, un)
-				case Index16:
-					kernel.DotRangeBlock16Delta(mat.Val, st.col16, st.rowBase[r1], X[v0:], sums[:w], o, khi, un)
-				default:
-					kernel.DotRangeBlock(mat.Val, mat.ColIdx, X[v0:], sums[:w], o, khi, un)
-				}
+				p.dotFragmentBlock(reg.Format, reg.Val, r1, o, khi, un, X[v0:], sums[:w])
 			}
 			for j := 0; j < w; j++ {
 				Y[v0+j][orig] = sums[j]
@@ -476,6 +442,7 @@ func (s *batchScratch) runSegSum(id int, reg Region) {
 	p.accum[id].nnz.Add(int64(nnzDone))
 	s.durNs[id] = int64(dur)
 	cNNZFormat[reg.Format].Add(int64(nnzDone))
+	cNNZValue[reg.Val].Add(int64(nnzDone))
 	if tel != nil {
 		ex := 0
 		if reg.PatchCont || s.extraRow[id] >= 0 {

@@ -57,8 +57,15 @@ type Options struct {
 	// cost equally across all cores (ablation).
 	OneLevel bool
 	// Index selects the column-index stream policy (default IndexAuto:
-	// compressed u32/u16 streams with per-region dispatch).
+	// compressed u32/u16/diagonal streams with per-region dispatch).
 	Index IndexMode
+	// Value selects the value stream policy (default ValueAuto: a 1-byte
+	// palette stream when the matrix has at most PaletteMax distinct
+	// values — bit-exact — and the []float64 reference otherwise).
+	Value ValueMode
+	// AllowF32Values permits the lossy float32 value stream. Off by
+	// default: no mode reduces precision without this explicit opt-in.
+	AllowF32Values bool
 	// Exec selects how rows cut across cores are resolved (default
 	// ExecAuto: segmented-sum execution with a parallel patch when the
 	// row-length skew predicts the serial extraY epilogue or the
@@ -108,14 +115,15 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 		t0 = time.Now()
 	}
 	streams := buildStreams(mat, h, opts.Index)
+	values := buildValues(mat, opts.Value, opts.AllowF32Values)
 	if tel != nil {
 		tel.RecordPhase(telemetry.PhaseStreams, time.Since(t0))
 		t0 = time.Now()
 	}
 	// The auto level-1 proportion prices the working set the kernels will
-	// actually stream, so it sees the compressed index width.
+	// actually stream, so it sees the compressed index and value widths.
 	if opts.PProportion <= 0 || opts.PProportion >= 1 {
-		opts.PProportion = proportionForBytes(m, mat, streams.effIdxBytes(mat.NNZ()))
+		opts.PProportion = proportionForBytes(m, mat, streams.effIdxBytes(mat.NNZ()), values.effValBytes())
 	}
 	cs := costSum(mat, h, opts.Metric)
 	if tel != nil {
@@ -141,7 +149,7 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	p := &Prepared{
 		mat: mat, h: h, machine: m,
 		opts: opts, emptyRows: empty, unroll: unroll,
-		cs: cs, cores: cores, streams: streams,
+		cs: cs, cores: cores, streams: streams, values: values,
 		accum: make([]coreAccum, len(regions)),
 	}
 	for _, c := range cores {
@@ -215,6 +223,9 @@ type Prepared struct {
 	// streams holds the compressed column-index streams built once at
 	// Prepare; Repartition only re-picks per-region formats over them.
 	streams indexStreams
+	// values holds the compressed value stream (palette or f32), also
+	// built once at Prepare and shared by every region.
+	values valueStreams
 	// segs is the per-reordered-row segment descriptor stream for
 	// segmented-sum execution (nil when the mode is off for this
 	// instance); like streams it is built once at Prepare and survives
@@ -369,8 +380,7 @@ func (s *computeScratch) run(id int) {
 	}
 	tel := s.tel
 	t0 := time.Now()
-	h, mat, y, x := p.h, p.mat, s.y, s.x
-	st := &p.streams
+	h, y, x := p.h, s.y, s.x
 	un := p.unroll[id]
 	nnzDone, frags := 0, 0
 	r := reg.StartRow
@@ -384,17 +394,9 @@ func (s *computeScratch) run(id int) {
 		if fragEnd > pos {
 			o := h.RowBeginNNZ[r]
 			klo, khi := o+(pos-rowStart), o+(fragEnd-rowStart)
-			// Per-region format dispatch: the branch takes the same arm
-			// for every fragment of the region, so it predicts perfectly.
-			var sum float64
-			switch reg.Format {
-			case Index32:
-				sum = kernel.DotRange32(mat.Val, st.col32, x, klo, khi, un)
-			case Index16:
-				sum = kernel.DotRange16Delta(mat.Val, st.col16, st.rowBase[r], x, klo, khi, un)
-			default:
-				sum = kernel.DotRange(mat.Val, mat.ColIdx, x, klo, khi, un)
-			}
+			// Per-region format dispatch: the branches take the same arm
+			// for every fragment of the region, so they predict perfectly.
+			sum := p.dotFragment(reg.Format, reg.Val, r, klo, khi, un, x)
 			if pos == rowStart {
 				// This core owns the row's first fragment: direct
 				// store (Algorithm 5's y[pl[id]] = kernel(...)).
@@ -418,6 +420,7 @@ func (s *computeScratch) run(id int) {
 	p.accum[id].nnz.Add(int64(nnzDone))
 	s.durNs[id] = int64(dur)
 	cNNZFormat[reg.Format].Add(int64(nnzDone))
+	cNNZValue[reg.Val].Add(int64(nnzDone))
 	if tel != nil {
 		extra := 0
 		if s.extraRow[id] >= 0 {
@@ -511,7 +514,7 @@ func (p *Prepared) computeWith(y, x []float64, bd *tracing.ComputeBreakdown) {
 func (p *Prepared) fillBreakdown(bd *tracing.ComputeBreakdown, regs []Region, durNs []int64, bytes int64) {
 	bd.Cores = len(regs)
 	bd.MaxCoreNs = 0
-	bd.NNZByFormat = [3]int64{}
+	bd.NNZByFormat = [4]int64{}
 	for i := range regs {
 		if durNs[i] > bd.MaxCoreNs {
 			bd.MaxCoreNs = durNs[i]
@@ -548,11 +551,22 @@ func (p *Prepared) Assignments() []costmodel.Assignment {
 		// Tell the model which index width this region streams; the []int
 		// reference keeps the zero value (the model then prices the
 		// paper's 4-byte baseline, as before this representation existed).
+		// Diagonal regions have no per-nonzero width — their index-side
+		// traffic is the total descriptor plus fallback bytes, reported
+		// through DiagBytes instead.
 		switch reg.Format {
 		case Index32:
 			asg.IdxBytes = 4
 		case Index16:
 			asg.IdxBytes = 2
+		case IndexDia:
+			runsIn, inel := p.regionDiaParts(reg)
+			asg.DiagBytes = int(8*runsIn + 4*inel)
+		}
+		// And which value width (palette/f32); ValF64 keeps the zero value
+		// so the model's default ValBytes applies.
+		if reg.Val != ValF64 {
+			asg.ValBytes = reg.Val.BytesPerValue()
 		}
 		if reg.Lo < reg.Hi {
 			r := reg.StartRow

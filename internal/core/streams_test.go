@@ -59,8 +59,10 @@ func TestIndexStatsPerMode(t *testing.T) {
 }
 
 // A hub row spanning past 2^16 columns must push the regions that touch
-// it to the u32 fallback while the narrow rows keep the delta stream,
-// and the mixed dispatch must still reproduce the reference multiply.
+// it off the delta stream — to u32, or to the diagonal format whose
+// per-row fallback walks the hub through u32 indices — while the narrow
+// rows keep the delta stream, and the mixed dispatch must still
+// reproduce the reference multiply.
 func TestRegionFormatFallbackOnWideRow(t *testing.T) {
 	const cols = 70000
 	c := &sparse.COO{Rows: 200, Cols: cols}
@@ -87,13 +89,14 @@ func TestRegionFormatFallbackOnWideRow(t *testing.T) {
 	if st.NNZByFormat[IndexInt] != 0 {
 		t.Errorf("auto left %d nnz on the []int path", st.NNZByFormat[IndexInt])
 	}
-	if st.NNZByFormat[Index32] < hubLen {
-		t.Errorf("u32 nnz = %d, want at least the hub row's %d", st.NNZByFormat[Index32], hubLen)
+	if wide := st.NNZByFormat[Index32] + st.NNZByFormat[IndexDia]; wide < hubLen {
+		t.Errorf("u32+dia nnz = %d, want at least the hub row's %d (split %v)",
+			wide, hubLen, st.NNZByFormat)
 	}
 	if st.NNZByFormat[Index16] == 0 {
 		t.Error("no region kept the u16 stream despite 200 narrow rows")
 	}
-	if st.NNZByFormat[0]+st.NNZByFormat[1]+st.NNZByFormat[2] != nnz {
+	if st.NNZByFormat[0]+st.NNZByFormat[1]+st.NNZByFormat[2]+st.NNZByFormat[3] != nnz {
 		t.Errorf("format split %v does not cover %d nnz", st.NNZByFormat, nnz)
 	}
 
@@ -134,7 +137,7 @@ func TestRepartitionReassignsFormats(t *testing.T) {
 			t.Fatal(err)
 		}
 		st := p.IndexStats()
-		if got := st.NNZByFormat[0] + st.NNZByFormat[1] + st.NNZByFormat[2]; got != a.NNZ() {
+		if got := st.NNZByFormat[0] + st.NNZByFormat[1] + st.NNZByFormat[2] + st.NNZByFormat[3]; got != a.NNZ() {
 			t.Fatalf("prop %v: format split %v covers %d of %d nnz", prop, st.NNZByFormat, got, a.NNZ())
 		}
 		p.Compute(y, x)

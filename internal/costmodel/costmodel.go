@@ -84,6 +84,15 @@ type Assignment struct {
 	// column-index streams (HASpMV's u32/u16 execution streams) price
 	// each region at the width it actually moves.
 	IdxBytes int
+	// ValBytes, when positive, overrides Params.ValBytes: compressed
+	// value streams (HASpMV's 1-byte palette and opt-in 4-byte f32)
+	// price each multiply at the width the kernels actually stream.
+	ValBytes int
+	// DiagBytes, when positive, replaces the per-nonzero index term
+	// entirely with this total: a DIA-style region streams 8-byte run
+	// descriptors plus u32 fallback indices for its non-diagonal rows,
+	// which has no meaningful per-nonzero width.
+	DiagBytes int
 }
 
 // NNZ returns the total nonzeros assigned.
@@ -168,7 +177,15 @@ func EstimateSpMV(m *amp.Machine, p Params, a *sparse.CSR, asgs []Assignment) Re
 		if asg.IdxBytes > 0 {
 			idxBytes = asg.IdxBytes
 		}
-		streamBytes := float64(cc.NNZ*(p.ValBytes+idxBytes) + rows*(p.PtrBytes+8))
+		idxTraffic := cc.NNZ * idxBytes
+		if asg.DiagBytes > 0 {
+			idxTraffic = asg.DiagBytes
+		}
+		valBytes := p.ValBytes
+		if asg.ValBytes > 0 {
+			valBytes = asg.ValBytes
+		}
+		streamBytes := float64(cc.NNZ*valBytes + idxTraffic + rows*(p.PtrBytes+8))
 		caps := effectiveCaches(m, g, activeP, activeE)
 		share := xShare(xBytes, streamBytes, caps)
 

@@ -64,9 +64,9 @@ type Trace struct {
 	Cores     int   `json:"cores,omitempty"`
 	MaxCoreNs int64 `json:"max_core_ns,omitempty"`
 	// NNZByFormat records the per-region IndexFormat picks the multiply
-	// executed with (nonzeros through the []int, u32 and u16-delta
-	// kernels, in that order).
-	NNZByFormat [3]int64 `json:"nnz_by_format,omitempty"`
+	// executed with (nonzeros through the []int, u32, u16-delta and
+	// diagonal kernels, in that order).
+	NNZByFormat [4]int64 `json:"nnz_by_format,omitempty"`
 
 	// AdapterEpoch is the online adapter's epoch count after the epoch
 	// decision that observed this request's flush; AdapterEvent is
@@ -100,8 +100,8 @@ type ComputeBreakdown struct {
 	Cores     int
 	MaxCoreNs int64
 	// NNZByFormat counts nonzeros executed per column-index format
-	// ([]int, u32, u16-delta).
-	NNZByFormat [3]int64
+	// ([]int, u32, u16-delta, diagonal).
+	NNZByFormat [4]int64
 	// Bytes is the modeled memory traffic of the multiply (value, index,
 	// pointer and vector streams at the cost model's widths).
 	Bytes int64

@@ -38,7 +38,7 @@ func TestStageSumNs(t *testing.T) {
 
 func TestComputeBreakdownReset(t *testing.T) {
 	b := ComputeBreakdown{KernelNs: 1, MergeNs: 2, Cores: 3, MaxCoreNs: 4, Bytes: 5}
-	b.NNZByFormat = [3]int64{1, 2, 3}
+	b.NNZByFormat = [4]int64{1, 2, 3, 4}
 	b.Reset()
 	if b != (ComputeBreakdown{}) {
 		t.Fatalf("Reset left non-zero breakdown: %+v", b)
