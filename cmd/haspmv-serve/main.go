@@ -70,6 +70,7 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 	recorderDir := fs.String("recorder-dir", "", "directory where anomaly snapshots are written as flightrecorder-*.json (empty: in-process only)")
 	slo := fs.Duration("slo", 0, "per-request latency objective; >1% of a request window finishing over it snapshots the flight recorder (0 disables)")
 	accessLog := fs.Bool("access-log", false, "log one structured line per request (with stage-attributed latency) to stderr")
+	storeDir := fs.String("store-dir", "", "prepared-matrix store directory: built matrices spill here (atomic, checksummed) and cold starts mmap them back instead of re-preparing")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -102,6 +103,11 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 	if *accessLog {
 		accessw = os.Stderr
 	}
+	if *storeDir != "" {
+		if err := os.MkdirAll(*storeDir, 0o755); err != nil {
+			return fmt.Errorf("-store-dir: %w", err)
+		}
+	}
 	srv := server.New(server.Config{
 		Machine:        m,
 		Algorithm:      core.New(core.Options{}),
@@ -117,7 +123,8 @@ func run(args []string, ready func(addr string), shutdown <-chan struct{}) error
 				Linger:   lingerOpt,
 				QueueCap: *queueCap,
 			},
-			Adapt: adaptOpts,
+			Adapt:    adaptOpts,
+			StoreDir: *storeDir,
 		},
 	})
 

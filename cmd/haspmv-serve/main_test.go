@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -144,5 +145,66 @@ func TestServeDaemonFlagErrors(t *testing.T) {
 	}
 	if err := run([]string{"-h"}, nil, nil); err != nil {
 		t.Errorf("-h should return nil after printing usage, got %v", err)
+	}
+}
+
+// A -store-dir daemon restart cold-starts its preload from the store:
+// the second boot serves the same bits without re-running Prepare.
+func TestServeStoreDirColdStart(t *testing.T) {
+	dir := t.TempDir()
+
+	multiply := func(url string, x []float64) []float64 {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{"matrix": "dawson5", "x": x})
+		resp, err := http.Post(url+"/v1/multiply", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("multiply: status %d", resp.StatusCode)
+		}
+		var mr struct {
+			Y []float64 `json:"y"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			t.Fatal(err)
+		}
+		return mr.Y
+	}
+
+	a := gen.Representative("dawson5", 64)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%5)
+	}
+
+	args := []string{"-preload", "dawson5@64", "-scale", "64", "-store-dir", dir, "-telemetry=false"}
+	url1, shutdown1, done1 := startServe(t, args...)
+	y1 := multiply(url1, x)
+	close(shutdown1)
+	if err := <-done1; err != nil {
+		t.Fatalf("first daemon drain: %v", err)
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("store dir empty after drain: %v %v", ents, err)
+	}
+
+	url2, shutdown2, done2 := startServe(t, args...)
+	y2 := multiply(url2, x)
+	close(shutdown2)
+	if err := <-done2; err != nil {
+		t.Fatalf("second daemon drain: %v", err)
+	}
+
+	if len(y1) != len(y2) {
+		t.Fatalf("response lengths differ: %d vs %d", len(y1), len(y2))
+	}
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("y[%d] differs across store cold start: %x vs %x", i, y1[i], y2[i])
+		}
 	}
 }

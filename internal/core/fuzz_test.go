@@ -90,6 +90,24 @@ func fuzzValueOptions(o *Options, b byte) {
 	o.AllowF32Values = b&4 != 0
 }
 
+// fuzzReorderOptions maps bits 3-5 of the same byte onto the reorder
+// strategy space: default length sort, the autotuner, and the three
+// forced orders. The forced graph modes (RCM, cluster) bypass the
+// autotuner's time-budget gate, so the bipartite traversals run even on
+// fuzz-sized matrices.
+func fuzzReorderOptions(o *Options, b byte) {
+	switch (b >> 3) & 7 {
+	case 1:
+		o.Reorder = ReorderAuto
+	case 2:
+		o.Reorder = ReorderIdentity
+	case 3:
+		o.Reorder = ReorderRCM
+	case 4:
+		o.Reorder = ReorderCluster
+	}
+}
+
 // referencePrepared builds the []int oracle instance for a prepared
 // compressed instance: same options, reference index mode, reference
 // (uncompressed f64) value mode, serial epilogue execution, and the
@@ -163,6 +181,21 @@ func adjacencySeed() []byte {
 	return data
 }
 
+// reorderSeed builds a shuffled-band fuzz seed: a 16-row band written in
+// scrambled row order, with data[3] (the first entry's row byte) carrying
+// the given reorder-mode bits so the seed lands directly on one reorder
+// strategy — 24 forces RCM, 32 forces cluster, 8 runs the autotuner.
+func reorderSeed(modeBits byte) []byte {
+	data := []byte{15, 31, 0, modeBits, byte(2 * (modeBits % 16)), 7}
+	for i := 0; i < 16; i++ {
+		r := (i*7 + 3) % 16
+		for j := 0; j < 3; j++ {
+			data = append(data, byte(r), byte(2*r+j), byte(5+r+j))
+		}
+	}
+	return data
+}
+
 // f32Seed activates the rounded value stream: the first entry's row byte
 // is 6 (ValueForceF32 + AllowF32Values), so the bit-equality stages are
 // skipped and the naive comparison runs at f32 tolerance.
@@ -198,6 +231,9 @@ func FuzzPrepareCompute(f *testing.F) {
 	f.Add(diaDefectSeed())                                                                                                                 // forced dia: banded rows + one off-band defect row on the u32 fallback
 	f.Add(adjacencySeed())                                                                                                                 // 0/1 adjacency: single-entry palette across a region boundary
 	f.Add(f32Seed())                                                                                                                       // explicit f32 opt-in: rounded stream, loosened comparison
+	f.Add(reorderSeed(24))                                                                                                                 // forced RCM over a shuffled band
+	f.Add(reorderSeed(32))                                                                                                                 // forced cluster order over a shuffled band
+	f.Add(reorderSeed(8))                                                                                                                  // reorder autotuner (gated at fuzz sizes: length/identity race)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<12 {
 			return // keep Prepare cost bounded
@@ -209,6 +245,7 @@ func FuzzPrepareCompute(f *testing.F) {
 		opts := fuzzOptions(optByte)
 		if len(data) > 3 {
 			fuzzValueOptions(&opts, data[3])
+			fuzzReorderOptions(&opts, data[3])
 		}
 		prep, err := New(opts).Prepare(amp.IntelI912900KF(), a)
 		if err != nil {
@@ -313,6 +350,54 @@ func FuzzPrepareCompute(f *testing.F) {
 				}
 			}
 		}
+
+		// Reorder bit-identity against the pinned natural-order oracle:
+		// under a row-edge partition (RowCost never cuts inside a row) with
+		// the serial epilogue, every y[i] is one dot product over row i's
+		// entries in column order — so ANY row permutation, graph orders
+		// included, must reproduce the identity ordering bit for bit, before
+		// and after a repartition. This is the contract that makes the
+		// reorder layer pluggable at all.
+		roOpts := Options{
+			Metric: RowCost, Index: IndexReference, Exec: ExecSerial,
+			Value: ValueReference, Base: opts.Base, Reorder: opts.Reorder,
+		}
+		rp, err := New(roOpts).Prepare(amp.IntelI912900KF(), a)
+		if err != nil {
+			t.Fatalf("row-cost Prepare failed (reorder %v): %v", roOpts.Reorder, err)
+		}
+		idOpts := roOpts
+		idOpts.Reorder = ReorderIdentity
+		idOpts.PProportion = rp.(*Prepared).Plan().PProportion
+		ip, err := New(idOpts).Prepare(amp.IntelI912900KF(), a)
+		if err != nil {
+			t.Fatalf("identity-oracle Prepare failed: %v", err)
+		}
+		ry := make([]float64, a.Rows)
+		iy := make([]float64, a.Rows)
+		rp.Compute(ry, x)
+		ip.Compute(iy, x)
+		for i := range ry {
+			if math.Float64bits(ry[i]) != math.Float64bits(iy[i]) {
+				t.Fatalf("reorder %v y[%d] = %x, identity oracle %x (matrix %dx%d nnz %d)",
+					roOpts.Reorder, i, math.Float64bits(ry[i]), math.Float64bits(iy[i]), a.Rows, a.Cols, a.NNZ())
+			}
+		}
+		oplan := Plan{PProportion: plan.PProportion}
+		if err := rp.(*Prepared).Repartition(oplan); err != nil {
+			t.Fatalf("row-cost Repartition(%+v): %v", oplan, err)
+		}
+		if err := ip.(*Prepared).Repartition(oplan); err != nil {
+			t.Fatalf("identity-oracle Repartition(%+v): %v", oplan, err)
+		}
+		rp.Compute(ry, x)
+		ip.Compute(iy, x)
+		for i := range ry {
+			if math.Float64bits(ry[i]) != math.Float64bits(iy[i]) {
+				t.Fatalf("after repartition: reorder %v y[%d] = %x, identity oracle %x (plan %+v)",
+					roOpts.Reorder, i, math.Float64bits(ry[i]), math.Float64bits(iy[i]), oplan)
+			}
+		}
 	})
 }
 
@@ -333,6 +418,8 @@ func FuzzComputeBatch(f *testing.F) {
 	f.Add(diaDefectSeed(), byte(6))                                                                                                                                                                            // forced dia with defect row, block kernels
 	f.Add(adjacencySeed(), byte(8))                                                                                                                                                                            // 0/1 adjacency palette across a region boundary, full block
 	f.Add(f32Seed(), byte(4))                                                                                                                                                                                  // explicit f32 opt-in, block kernels
+	f.Add(reorderSeed(24), byte(7))                                                                                                                                                                            // forced RCM over a shuffled band, block kernels
+	f.Add(reorderSeed(32), byte(8))                                                                                                                                                                            // forced cluster order, full block
 	f.Fuzz(func(t *testing.T, data []byte, nvByte byte) {
 		if len(data) > 1<<12 {
 			return
@@ -345,6 +432,7 @@ func FuzzComputeBatch(f *testing.F) {
 		opts := fuzzOptions(optByte)
 		if len(data) > 3 {
 			fuzzValueOptions(&opts, data[3])
+			fuzzReorderOptions(&opts, data[3])
 		}
 		prep, err := New(opts).Prepare(amp.IntelI912900KF(), a)
 		if err != nil {

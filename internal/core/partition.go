@@ -122,7 +122,7 @@ func AutoBase(a *sparse.CSR) int {
 // each boundary located by binary search over the prefix costs and an
 // in-row walk for the exact nonzero offset. When tel is non-nil the two
 // levels are timed separately (the Fig. 7-style preprocessing breakdown).
-func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, pprop float64, metric CostMetric, oneLevel bool, tel *telemetry.Collector) []Region {
+func partition(a *sparse.CSR, col32 []uint32, h *HACSR, cs []int, m *amp.Machine, cores []int, pprop float64, metric CostMetric, oneLevel bool, tel *telemetry.Collector) []Region {
 	n := len(cores)
 	if n == 0 {
 		return nil
@@ -167,7 +167,7 @@ func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, p
 	cuts := make([]int, n+1)
 	cuts[n] = h.NNZ()
 	for i := 1; i < n; i++ {
-		cuts[i] = costToPosition(a, h, cs, bounds[i], metric)
+		cuts[i] = costToPosition(a, col32, h, cs, bounds[i], metric)
 		if cuts[i] < cuts[i-1] {
 			cuts[i] = cuts[i-1]
 		}
@@ -183,8 +183,12 @@ func partition(a *sparse.CSR, h *HACSR, cs []int, m *amp.Machine, cores []int, p
 }
 
 // costToPosition converts a cost-space boundary into a reordered-nnz
-// position, cutting inside a row when the boundary falls there.
-func costToPosition(a *sparse.CSR, h *HACSR, cs []int, bound float64, metric CostMetric) int {
+// position, cutting inside a row when the boundary falls there. The
+// in-row cache-line walk reads the u32 stream when one exists (a
+// restored instance may not carry the []int reference indices at all),
+// the matrix's own ColIdx otherwise — both hold the same columns, so
+// the cut lands on the same position either way.
+func costToPosition(a *sparse.CSR, col32 []uint32, h *HACSR, cs []int, bound float64, metric CostMetric) int {
 	b := int(bound)
 	// Largest reordered row r with cs[r] <= b.
 	r := sort.SearchInts(cs, b+1) - 1
@@ -214,6 +218,18 @@ func costToPosition(a *sparse.CSR, h *HACSR, cs []int, bound float64, metric Cos
 		o := h.RowBeginNNZ[r]
 		end := o + h.RowLen(r)
 		cnt, ben := 0, -1
+		if col32 != nil {
+			for k := o; k < end; k++ {
+				if line := int(col32[k]) / doublesPerLine; line > ben {
+					cnt++
+					ben = line
+				}
+				if cnt > rem {
+					return h.RowPtr[r] + (k - o)
+				}
+			}
+			return h.RowPtr[r+1]
+		}
 		for k := o; k < end; k++ {
 			if line := a.ColIdx[k] / doublesPerLine; line > ben {
 				cnt++

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; see race_on.go.
+const raceEnabled = false

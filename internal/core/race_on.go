@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is instrumenting this
+// build. Timing-sensitive tests (the reorder speedup gates) read it to
+// skip wall-clock assertions that the ~10x instrumentation slowdown
+// would turn into noise.
+const raceEnabled = true

@@ -1,0 +1,721 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/sparse"
+)
+
+// Pluggable row-reorder strategies. HACSR stores row-level indirection
+// only (Perm, RowPtr, RowBeginNNZ — values and column indices never
+// move), so *any* row permutation composes with the existing
+// segment/descriptor machinery for free: Compute, segmented-sum
+// execution, shard plans and Repartition all read the one reordered row
+// order the permutation defines. The length sort of Algorithm 2 is just
+// one permutation among several useful ones:
+//
+//   - identity keeps the natural order (matrices already banded or
+//     already clustered lose locality under any resort),
+//   - length-sort is the paper's short/long split (power-law matrices),
+//   - RCM runs reverse Cuthill-McKee over the bipartite row-column
+//     graph (rows adjacent when they share a column), recovering band
+//     structure a row shuffle destroyed,
+//   - cluster is a plain BFS over the same graph seeded in ascending
+//     first-column order — cheaper than RCM, same x-locality idea.
+//
+// Because only rows move, classic RCM over the pattern of A (which
+// assumes row i and column i are the same vertex) would be wrong; the
+// bipartite graph is the correct structure for a row-only permutation.
+//
+// Under ReorderAuto every candidate permutation is scored with the same
+// byte accounting the cost model already uses: the region-coherent
+// index-stream bytes a partition over that order would pick
+// (u32/u16/dia per nnz-balanced chunk, mirroring regionFormat), plus an
+// x-gather locality term charging one cache line per distinct x line a
+// row opens that its predecessor did not cover. The cheapest order
+// wins, with a hysteresis margin so length-sort never loses to noise,
+// and a time-budget gate so cheap matrices never pay for the graph
+// traversals.
+
+// ReorderMode selects the HACSR row-reorder strategy. The zero value is
+// the paper's length sort, so existing callers are unchanged;
+// ReorderAuto opts into per-matrix strategy selection.
+type ReorderMode int
+
+const (
+	// ReorderLength is Algorithm 2's short/long length sort (default).
+	ReorderLength ReorderMode = iota
+	// ReorderAuto scores identity, length-sort, RCM and cluster orders
+	// with the cost model's byte accounting and picks the cheapest
+	// (graph strategies only above the time-budget gate).
+	ReorderAuto
+	// ReorderIdentity forces the natural row order.
+	ReorderIdentity
+	// ReorderRCM forces the bipartite reverse Cuthill-McKee order.
+	ReorderRCM
+	// ReorderCluster forces the first-column-seeded BFS cluster order.
+	ReorderCluster
+)
+
+func (m ReorderMode) String() string {
+	switch m {
+	case ReorderLength:
+		return "length"
+	case ReorderAuto:
+		return "auto"
+	case ReorderIdentity:
+		return "identity"
+	case ReorderRCM:
+		return "rcm"
+	case ReorderCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("ReorderMode(%d)", int(m))
+	}
+}
+
+// ReorderStrategy identifies one concrete row ordering (the outcome of
+// a ReorderMode decision).
+type ReorderStrategy uint8
+
+const (
+	StrategyLength ReorderStrategy = iota
+	StrategyIdentity
+	StrategyRCM
+	StrategyCluster
+	numStrategies = 4
+)
+
+func (s ReorderStrategy) String() string {
+	switch s {
+	case StrategyLength:
+		return "length"
+	case StrategyIdentity:
+		return "identity"
+	case StrategyRCM:
+		return "rcm"
+	case StrategyCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("ReorderStrategy(%d)", int(s))
+	}
+}
+
+// ReorderScore is one candidate ordering's modeled cost in bytes.
+type ReorderScore struct {
+	// Evaluated is false when the candidate was never scored (forced
+	// modes, or a graph strategy behind the time-budget gate).
+	Evaluated bool
+	// IndexBytes is the region-coherent index-stream footprint: the
+	// permuted rows split into core-count nnz-balanced chunks, each
+	// priced at the cheapest format all its rows support (mirroring
+	// regionFormat's u32/u16/dia pick).
+	IndexBytes int64
+	// GatherBytes is the x-gather locality term: 64 bytes per distinct
+	// x cache line a row opens, discounted by the fraction of its line
+	// span the previous row already covered.
+	GatherBytes int64
+	// SeekBytes is the stream-scatter term. HACSR reorders by view —
+	// values and indices never move — so a candidate order pays a
+	// restart in the value/index streams at every row that does not
+	// follow its predecessor in the original layout. Identity is free,
+	// length-sort pays only where the short/long split actually moves a
+	// row, and the graph orders pay on nearly every row; a graph order
+	// must win more gather locality than it loses here. Omitted from
+	// JSON when zero so store images written before the term existed
+	// still round-trip byte-identically.
+	SeekBytes int64 `json:",omitempty"`
+	// Total is IndexBytes + GatherBytes + SeekBytes (the pick minimizes
+	// it).
+	Total int64
+}
+
+// ReorderDecision records which strategy Prepare chose and why.
+type ReorderDecision struct {
+	// Mode is the requested ReorderMode.
+	Mode ReorderMode
+	// Strategy is the ordering actually used.
+	Strategy ReorderStrategy
+	// Scores holds the per-strategy byte scores, indexed by
+	// ReorderStrategy (unevaluated entries are zero).
+	Scores [numStrategies]ReorderScore
+	// Gated reports that the time-budget gate excluded the graph
+	// strategies (RCM, cluster) from the auto pick.
+	Gated bool
+	// XResident reports that the x vector fits the machine's last-level
+	// cache with room for the streamed value/index traffic, so the
+	// gather term was discounted to L3-hit cost (see
+	// reorderLLCHitDiscount). Omitted from JSON when false so store
+	// images written before the field existed still round-trip
+	// byte-identically.
+	XResident bool `json:",omitempty"`
+	// AnalysisNs is the time spent scoring candidates (auto mode only).
+	AnalysisNs int64
+}
+
+// reorderAutoMinNNZ is the time-budget gate: under ReorderAuto the
+// graph strategies (one CSC-style adjacency build plus a BFS — a few
+// O(nnz) sweeps, comparable to the rest of Prepare) are only candidates
+// for matrices of at least this many nonzeros. Cheap matrices keep the
+// O(rows) length/identity choice. Forced modes bypass the gate. It is a
+// variable so tests can force the graph paths on small inputs.
+var reorderAutoMinNNZ = 1 << 16
+
+// reorderSeekBytes is the flat per-row stream-restart charge of the
+// scatter term: one cache line each for the value and index streams a
+// discontiguous row starts in. Flat because the restart cost is the
+// seek, not the row length — a long row amortizes it, which the
+// per-row gather/index terms already capture.
+const reorderSeekBytes = 128
+
+// reorderMarginPct is the hysteresis margin of the auto pick: a rival
+// ordering must beat length-sort's score by more than this percentage
+// to displace it, so the default order never loses to model noise.
+const reorderMarginPct = 2
+
+// reorderLLCHitDiscount divides the gather term when the x vector is
+// resident in the machine's last-level cache (8·cols within half the
+// LLC, the other half feeding the streamed values and indices): a
+// "missed" x line is then an L3 hit, roughly an order of magnitude
+// cheaper than the DRAM fetch the full charge models. Without this the
+// model invents gather wins that cache-rich machines cannot observe
+// and pays real stream-seek costs to chase them.
+const reorderLLCHitDiscount = 8
+
+// machineLLCBytes is the last-level cache capacity the reorder model
+// prices x residency against: one pool when the groups share the LLC
+// (Intel), the sum of the populated groups' slices otherwise (AMD
+// CCDs).
+func machineLLCBytes(m *amp.Machine) int64 {
+	p, e := m.PGroup(), m.EGroup()
+	if p.L3SharedWithOtherGroup {
+		return int64(p.L3Bytes)
+	}
+	var b int64
+	if p.Cores > 0 {
+		b += int64(p.L3Bytes)
+	}
+	if e.Cores > 0 {
+		b += int64(e.L3Bytes)
+	}
+	return b
+}
+
+// reorderFor resolves the mode into a concrete HACSR view, the empty
+// rows, and the decision record. nCores sizes the chunk split of the
+// scoring model; llc is the machine's last-level cache capacity for
+// the x-residency discount (0 = unknown, charge gather in full).
+func reorderFor(a *sparse.CSR, base int, mode ReorderMode, nCores int, llc int64) (*HACSR, []int, ReorderDecision) {
+	dec := ReorderDecision{Mode: mode, Strategy: StrategyLength}
+	switch mode {
+	case ReorderLength:
+		h, empty := convert(a, base)
+		return h, empty, dec
+	case ReorderIdentity:
+		dec.Strategy = StrategyIdentity
+		return Identity(a), collectEmptyRows(a), dec
+	case ReorderRCM, ReorderCluster:
+		s := StrategyRCM
+		if mode == ReorderCluster {
+			s = StrategyCluster
+		}
+		perm := graphPerm(a, s)
+		if perm == nil {
+			// Graph order unavailable (>2^31 rows or nonzeros): the
+			// natural order is the only permutation-free fallback.
+			dec.Strategy = StrategyIdentity
+			return Identity(a), collectEmptyRows(a), dec
+		}
+		dec.Strategy = s
+		return fromPerm(a, perm), collectEmptyRows(a), dec
+	}
+	// ReorderAuto: score the candidates and take the cheapest order.
+	t0 := time.Now()
+	var perms [numStrategies][]int
+	dec, perms = autoScores(a, base, nCores, llc, false)
+	dec.AnalysisNs = int64(time.Since(t0))
+	switch dec.Strategy {
+	case StrategyIdentity:
+		return Identity(a), collectEmptyRows(a), dec
+	case StrategyRCM, StrategyCluster:
+		return fromPerm(a, perms[dec.Strategy]), collectEmptyRows(a), dec
+	default:
+		h, empty := convert(a, base)
+		return h, empty, dec
+	}
+}
+
+// autoScores evaluates the candidate orderings and picks one. With
+// includeGated the graph strategies are scored even under the gate
+// (mminfo's report wants the numbers), but the pick still respects the
+// gate so the report matches what Prepare would do.
+func autoScores(a *sparse.CSR, base, nCores int, llc int64, includeGated bool) (ReorderDecision, [numStrategies][]int) {
+	dec := ReorderDecision{Mode: ReorderAuto, Strategy: StrategyLength}
+	var perms [numStrategies][]int
+	if int64(a.NNZ()) > math.MaxInt32 {
+		// The scoring arrays and graph buffers are int32-indexed; a
+		// matrix this large keeps the default order.
+		dec.Gated = true
+		return dec, perms
+	}
+	st := computeReorderStats(a)
+	st.xResident = llc > 0 && 8*int64(a.Cols) <= llc/2
+	dec.XResident = st.xResident
+	perms[StrategyLength] = lengthPerm(a, base)
+	dec.Scores[StrategyLength] = st.score(perms[StrategyLength], nCores)
+	dec.Scores[StrategyIdentity] = st.score(nil, nCores)
+	dec.Gated = a.NNZ() < reorderAutoMinNNZ
+	if !dec.Gated || includeGated {
+		if p := graphPerm(a, StrategyRCM); p != nil {
+			perms[StrategyRCM] = p
+			dec.Scores[StrategyRCM] = st.score(p, nCores)
+		}
+		if p := graphPerm(a, StrategyCluster); p != nil {
+			perms[StrategyCluster] = p
+			dec.Scores[StrategyCluster] = st.score(p, nCores)
+		}
+	}
+	// Length-sort is the incumbent: a rival must beat its score by the
+	// hysteresis margin. Cluster is tried before RCM so a tie between
+	// the two graph orders keeps the cheaper build.
+	lenTotal := dec.Scores[StrategyLength].Total
+	best, bestTotal := StrategyLength, lenTotal
+	for _, s := range [...]ReorderStrategy{StrategyIdentity, StrategyCluster, StrategyRCM} {
+		sc := dec.Scores[s]
+		if !sc.Evaluated {
+			continue
+		}
+		if dec.Gated && (s == StrategyRCM || s == StrategyCluster) {
+			continue
+		}
+		if sc.Total*100 < lenTotal*(100-reorderMarginPct) && sc.Total < bestTotal {
+			best, bestTotal = s, sc.Total
+		}
+	}
+	dec.Strategy = best
+	return dec, perms
+}
+
+// fromPerm builds the HACSR view of a under an explicit row permutation
+// (perm maps reordered position -> original row). Base 0 marks the view
+// as order-agnostic: Validate skips the short/long split check, exactly
+// as it does for Identity.
+func fromPerm(a *sparse.CSR, perm []int) *HACSR {
+	m := a.Rows
+	buf := make([]int, 3*m+1)
+	h := &HACSR{
+		Rows: m, Cols: a.Cols, Base: 0,
+		Perm:        buf[:m:m],
+		RowBeginNNZ: buf[m : 2*m : 2*m],
+		RowPtr:      buf[2*m:],
+		NumShort:    m,
+	}
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o := perm[i]
+			h.Perm[i] = o
+			h.RowBeginNNZ[i] = a.RowPtr[o]
+			h.RowPtr[i+1] = a.RowPtr[o+1] - a.RowPtr[o]
+		}
+	})
+	prefixSum(h.RowPtr[1:])
+	return h
+}
+
+// reorderStats is the per-original-row profile the scoring model reads:
+// length, column extent, distinct x cache lines, and consecutive-column
+// run count. One O(nnz) sweep computes it; every candidate ordering is
+// then scored in O(rows).
+type reorderStats struct {
+	rows, nnz int
+	length    []int32
+	lines     []int32
+	runs      []int32
+	// minCol/maxCol are -1 for empty rows.
+	minCol, maxCol []int
+	// rowPtr aliases the matrix's row pointer for the scatter term
+	// (stream adjacency is an nnz-position question, and empty rows do
+	// not break it).
+	rowPtr []int
+	// xResident discounts the gather term to L3-hit cost (set by
+	// autoScores from the machine's LLC capacity).
+	xResident bool
+}
+
+func computeReorderStats(a *sparse.CSR) *reorderStats {
+	m := a.Rows
+	st := &reorderStats{
+		rows: m, nnz: a.NNZ(),
+		length: make([]int32, m),
+		lines:  make([]int32, m),
+		runs:   make([]int32, m),
+		minCol: make([]int, m),
+		maxCol: make([]int, m),
+		rowPtr: a.RowPtr,
+	}
+	exec.ParallelRanges(m, prepWidth(), prepGrain, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rlo, rhi := a.RowPtr[i], a.RowPtr[i+1]
+			st.length[i] = int32(rhi - rlo)
+			if rlo == rhi {
+				st.minCol[i], st.maxCol[i] = -1, -1
+				continue
+			}
+			mn := a.ColIdx[rlo]
+			mx, prev := mn, mn
+			runs := int32(1)
+			lines := int32(1)
+			ben := mn / doublesPerLine
+			for k := rlo + 1; k < rhi; k++ {
+				c := a.ColIdx[k]
+				if c < mn {
+					mn = c
+				} else if c > mx {
+					mx = c
+				}
+				if c != prev+1 {
+					runs++
+				}
+				prev = c
+				if line := c / doublesPerLine; line > ben {
+					lines++
+					ben = line
+				}
+			}
+			st.minCol[i], st.maxCol[i] = mn, mx
+			st.runs[i], st.lines[i] = runs, lines
+		}
+	})
+	return st
+}
+
+// score prices one candidate ordering (perm nil = identity): the
+// permuted rows are split into nCores nnz-balanced chunks, each chunk
+// priced at the cheapest index format all its rows support (the same
+// u32/u16/dia pick regionFormat makes), plus the x-gather locality term
+// — 64 bytes per distinct x line a row opens, discounted by how much of
+// its line span the previous row in the order already covered — plus
+// the stream-scatter term: reorderSeekBytes for every row whose
+// nonzeros do not follow its predecessor's in the original layout
+// (values and indices never move, so the kernels restart those streams
+// there). Chunk boundaries reset both carries (regions run on
+// different cores).
+func (st *reorderStats) score(perm []int, nCores int) ReorderScore {
+	sc := ReorderScore{Evaluated: true}
+	if nCores < 1 {
+		nCores = 1
+	}
+	target := st.nnz/nCores + 1
+	var idxBytes, seek int64
+	var gather float64
+	chunkNNZ := 0
+	runsIn, inel := int64(0), int64(0)
+	all16 := true
+	flush := func() {
+		n := int64(chunkNNZ)
+		bytes := 4 * n
+		if all16 {
+			if b := 2 * n; b < bytes {
+				bytes = b
+			}
+		}
+		if runsIn > 0 {
+			if b := 8*runsIn + 4*inel; b < bytes {
+				bytes = b
+			}
+		}
+		idxBytes += bytes
+		chunkNNZ, runsIn, inel, all16 = 0, 0, 0, true
+	}
+	acc, bound := 0, target
+	prevLo, prevHi := -1, -1
+	prevEnd := -1
+	for i := 0; i < st.rows; i++ {
+		r := i
+		if perm != nil {
+			r = perm[i]
+		}
+		l := int(st.length[r])
+		if l > 0 {
+			if prevEnd >= 0 && st.rowPtr[r] != prevEnd {
+				seek += reorderSeekBytes
+			}
+			prevEnd = st.rowPtr[r+1]
+			if st.maxCol[r]-st.minCol[r] > maxSpan16 {
+				all16 = false
+			}
+			rc := st.runs[r]
+			if (rc == 1 && l >= diaMinSingleRunLen) || (rc > 1 && l >= diaMinRunLen*int(rc)) {
+				runsIn += int64(rc)
+			} else {
+				inel += int64(l)
+			}
+			lo, hi := st.minCol[r]/doublesPerLine, st.maxCol[r]/doublesPerLine
+			frac := 0.0
+			if prevLo >= 0 {
+				if ov := min(hi, prevHi) - max(lo, prevLo) + 1; ov > 0 {
+					if span := hi - lo + 1; ov >= span {
+						frac = 1
+					} else {
+						frac = float64(ov) / float64(span)
+					}
+				}
+			}
+			gather += 64 * float64(st.lines[r]) * (1 - frac)
+			prevLo, prevHi = lo, hi
+		}
+		chunkNNZ += l
+		acc += l
+		if acc >= bound {
+			flush()
+			bound = acc + target
+			prevLo, prevHi = -1, -1
+			prevEnd = -1
+		}
+	}
+	flush()
+	if st.xResident {
+		gather /= reorderLLCHitDiscount
+	}
+	sc.IndexBytes = idxBytes
+	sc.GatherBytes = int64(gather)
+	sc.SeekBytes = seek
+	sc.Total = sc.IndexBytes + sc.GatherBytes + sc.SeekBytes
+	return sc
+}
+
+// lengthPerm materializes Algorithm 2's length-sort order as a plain
+// permutation (the serial convert loop without the HACSR build), for
+// the scoring model.
+func lengthPerm(a *sparse.CSR, base int) []int {
+	m := a.Rows
+	perm := make([]int, m)
+	front, tail := 0, m-1
+	for i := 0; i < m; i++ {
+		if a.RowPtr[i+1]-a.RowPtr[i] < base {
+			perm[front] = i
+			front++
+		} else {
+			perm[tail] = i
+			tail--
+		}
+	}
+	return perm
+}
+
+// graphPerm builds the RCM or cluster row order over the bipartite
+// row-column graph. Returns nil when the int32 buffers cannot index the
+// matrix (>2^31 rows or nonzeros).
+func graphPerm(a *sparse.CSR, s ReorderStrategy) []int {
+	m, nnz := a.Rows, a.NNZ()
+	if int64(m) > math.MaxInt32 || int64(nnz) > math.MaxInt32 {
+		return nil
+	}
+	perm := make([]int, m)
+	if m == 0 {
+		return perm
+	}
+	colPtr, colRows, colOf := buildColAdjacency(a)
+	var seeds []int32
+	if s == StrategyRCM {
+		seeds = rowsByLength(a)
+	} else {
+		seeds = rowsByFirstCol(a, colOf, len(colPtr)-1)
+	}
+	visitedRow := make([]bool, m)
+	visitedCol := make([]bool, len(colPtr)-1)
+	order := make([]int32, 0, m)
+	var batch []int32
+	head := 0
+	for _, seed := range seeds {
+		if visitedRow[seed] {
+			continue
+		}
+		visitedRow[seed] = true
+		order = append(order, seed)
+		for head < len(order) {
+			r := int(order[head])
+			head++
+			batch = batch[:0]
+			for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+				c := colOf[k]
+				if visitedCol[c] {
+					continue
+				}
+				visitedCol[c] = true
+				for j := colPtr[c]; j < colPtr[c+1]; j++ {
+					if r2 := colRows[j]; !visitedRow[r2] {
+						visitedRow[r2] = true
+						batch = append(batch, r2)
+					}
+				}
+			}
+			if s == StrategyRCM && len(batch) > 1 {
+				// Cuthill-McKee visits neighbors in ascending degree;
+				// ties break on row index for determinism.
+				sort.Slice(batch, func(i, j int) bool {
+					bi, bj := int(batch[i]), int(batch[j])
+					li := a.RowPtr[bi+1] - a.RowPtr[bi]
+					lj := a.RowPtr[bj+1] - a.RowPtr[bj]
+					if li != lj {
+						return li < lj
+					}
+					return bi < bj
+				})
+			}
+			order = append(order, batch...)
+		}
+	}
+	if s == StrategyRCM {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	for i, r := range order {
+		perm[i] = int(r)
+	}
+	return perm
+}
+
+// buildColAdjacency builds the column->rows adjacency of the bipartite
+// graph. Columns are compacted to dense ids when the column space is
+// much larger than the matrix (hypersparse fuzz shapes), in
+// first-encounter order so the result stays deterministic.
+func buildColAdjacency(a *sparse.CSR) (colPtr, colRows, colOf []int32) {
+	m, nnz := a.Rows, a.NNZ()
+	colOf = make([]int32, nnz)
+	var c int
+	if int64(a.Cols) <= 4*int64(nnz)+(1<<16) && int64(a.Cols) <= math.MaxInt32 {
+		c = a.Cols
+		for k := 0; k < nnz; k++ {
+			colOf[k] = int32(a.ColIdx[k])
+		}
+	} else {
+		ids := make(map[int]int32, 1024)
+		for k := 0; k < nnz; k++ {
+			id, ok := ids[a.ColIdx[k]]
+			if !ok {
+				id = int32(len(ids))
+				ids[a.ColIdx[k]] = id
+			}
+			colOf[k] = id
+		}
+		c = len(ids)
+	}
+	colPtr = make([]int32, c+1)
+	for _, ci := range colOf {
+		colPtr[ci+1]++
+	}
+	for i := 0; i < c; i++ {
+		colPtr[i+1] += colPtr[i]
+	}
+	colRows = make([]int32, nnz)
+	next := append([]int32(nil), colPtr[:c]...)
+	for r := 0; r < m; r++ {
+		for k := a.RowPtr[r]; k < a.RowPtr[r+1]; k++ {
+			ci := colOf[k]
+			colRows[next[ci]] = int32(r)
+			next[ci]++
+		}
+	}
+	return colPtr, colRows, colOf
+}
+
+// rowsByLength orders the rows by ascending length (stable on index)
+// with a counting sort — RCM's min-degree seed order.
+func rowsByLength(a *sparse.CSR) []int32 {
+	m := a.Rows
+	maxLen := 0
+	for i := 0; i < m; i++ {
+		if l := a.RowLen(i); l > maxLen {
+			maxLen = l
+		}
+	}
+	cnt := make([]int32, maxLen+2)
+	for i := 0; i < m; i++ {
+		cnt[a.RowLen(i)+1]++
+	}
+	for l := 1; l < len(cnt); l++ {
+		cnt[l] += cnt[l-1]
+	}
+	out := make([]int32, m)
+	for i := 0; i < m; i++ {
+		l := a.RowLen(i)
+		out[cnt[l]] = int32(i)
+		cnt[l]++
+	}
+	return out
+}
+
+// rowsByFirstCol orders the rows by ascending first-column id (stable
+// on index) — the cluster strategy's seed order; empty rows sort last.
+func rowsByFirstCol(a *sparse.CSR, colOf []int32, cols int) []int32 {
+	m := a.Rows
+	key := func(i int) int {
+		if a.RowPtr[i] == a.RowPtr[i+1] {
+			return cols
+		}
+		return int(colOf[a.RowPtr[i]])
+	}
+	cnt := make([]int32, cols+2)
+	for i := 0; i < m; i++ {
+		cnt[key(i)+1]++
+	}
+	for c := 1; c < len(cnt); c++ {
+		cnt[c] += cnt[c-1]
+	}
+	out := make([]int32, m)
+	for i := 0; i < m; i++ {
+		k := key(i)
+		out[cnt[k]] = int32(i)
+		cnt[k]++
+	}
+	return out
+}
+
+// ReorderAnalysis is the standalone reordering report mminfo prints:
+// every strategy scored (including gated ones), the row-permuted
+// bandwidth each order achieves, and the strategy the autotuner would
+// pick under its gate and margin.
+type ReorderAnalysis struct {
+	Decision ReorderDecision
+	// BandwidthNatural is the matrix's bandwidth in natural order.
+	BandwidthNatural int
+	// Bandwidth[s] is max |reordered row - column| under strategy s
+	// (-1 when the strategy was not evaluated).
+	Bandwidth [numStrategies]int
+}
+
+// AnalyzeReorder scores every reorder strategy on a for machine m
+// (graph strategies included even under the time-budget gate — this is
+// a report, not the Prepare hot path) and reports the pick Prepare's
+// autotuner would make, including the machine-dependent x-residency
+// discount.
+func AnalyzeReorder(a *sparse.CSR, m *amp.Machine) ReorderAnalysis {
+	base := AutoBase(a)
+	dec, perms := autoScores(a, base, len(m.Cores(amp.PAndE)), machineLLCBytes(m), true)
+	an := ReorderAnalysis{Decision: dec, BandwidthNatural: sparse.PermutedBandwidth(a, nil)}
+	for s := 0; s < numStrategies; s++ {
+		if !dec.Scores[s].Evaluated {
+			an.Bandwidth[s] = -1
+			continue
+		}
+		switch ReorderStrategy(s) {
+		case StrategyIdentity:
+			an.Bandwidth[s] = an.BandwidthNatural
+		default:
+			an.Bandwidth[s] = sparse.PermutedBandwidth(a, perms[s])
+		}
+	}
+	return an
+}
+
+// ReorderStats returns the reorder decision Prepare recorded: the
+// requested mode, the chosen strategy, and the per-strategy scores when
+// the autotuner evaluated them.
+func (p *Prepared) ReorderStats() ReorderDecision { return p.reorder }

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"haspmv/internal/algtest"
+	"haspmv/internal/amp"
+	"haspmv/internal/exec"
+	"haspmv/internal/gen"
+	"haspmv/internal/sparse"
+)
+
+// shuffledBand is the autotuner's target workload: a banded matrix
+// (half-width half, one contiguous run per row) whose rows were
+// scattered by a deterministic shuffle. Row structure is untouched —
+// every row stays u16/dia-eligible in any order — so the only thing a
+// reorder can win back is x-gather locality.
+func shuffledBand(rows, half int) *sparse.CSR {
+	rowPtr := make([]int, rows+1)
+	colIdx := make([]int, 0, rows*(2*half+1))
+	val := make([]float64, 0, rows*(2*half+1))
+	for i := 0; i < rows; i++ {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > rows-1 {
+			hi = rows - 1
+		}
+		for j := lo; j <= hi; j++ {
+			colIdx = append(colIdx, j)
+			val = append(val, 1+float64((i+j)%7)/8)
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	a := &sparse.CSR{Rows: rows, Cols: rows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	return gen.ShuffleRows(a, 42)
+}
+
+// stridedStencil is the workload graph orders genuinely win: k entries
+// per row, stride cache-lines apart, so every nonzero touches its own
+// x line and neighbouring rows share almost their whole line span.
+// After a shuffle, length-sort can't help (all rows the same length)
+// but a graph order re-clusters the bases — the x-gather saving dwarfs
+// the per-row stream-seek charge the reorder pays.
+func stridedStencil(rows, k, stride int) *sparse.CSR {
+	return gen.ShuffleRows(gen.StridedStencil(rows, k, stride), 42)
+}
+
+// ungate drops the autotuner's time-budget gate for the test's duration
+// so the graph strategies compete on small inputs.
+func ungate(t *testing.T) {
+	t.Helper()
+	old := reorderAutoMinNNZ
+	reorderAutoMinNNZ = 1
+	t.Cleanup(func() { reorderAutoMinNNZ = old })
+}
+
+// Every reorder mode must produce a valid row permutation, full nonzero
+// coverage, a correct product, and (for the forced modes) the strategy
+// it names — across the structural battery, including empty rows, hub
+// rows and the hypersparse wide shape that exercises the column-id
+// compaction of the bipartite graph build.
+func TestReorderModesValidAndCorrect(t *testing.T) {
+	m := amp.IntelI912900KF()
+	forced := map[ReorderMode]ReorderStrategy{
+		ReorderIdentity: StrategyIdentity,
+		ReorderRCM:      StrategyRCM,
+		ReorderCluster:  StrategyCluster,
+	}
+	for _, name := range []string{"powerlaw", "banded-fem", "alternating-empty", "hub-row", "wide-rect", "tiny-3x3", "empty-0x0"} {
+		a := algtest.Matrix(name)
+		for _, mode := range []ReorderMode{ReorderLength, ReorderIdentity, ReorderRCM, ReorderCluster, ReorderAuto} {
+			prep, err := New(Options{Reorder: mode}).Prepare(m, a)
+			if err != nil {
+				t.Fatalf("%s/%v: Prepare: %v", name, mode, err)
+			}
+			hp := prep.(*Prepared)
+			perm := hp.Format().Perm
+			if len(perm) != a.Rows {
+				t.Fatalf("%s/%v: perm length %d, rows %d", name, mode, len(perm), a.Rows)
+			}
+			seen := make([]bool, a.Rows)
+			for _, r := range perm {
+				if r < 0 || r >= a.Rows || seen[r] {
+					t.Fatalf("%s/%v: perm is not a bijection at row %d", name, mode, r)
+				}
+				seen[r] = true
+			}
+			if err := exec.CheckAssignments(a, prep.Assignments()); err != nil {
+				t.Fatalf("%s/%v: %v", name, mode, err)
+			}
+			if want, ok := forced[mode]; ok && hp.ReorderStats().Strategy != want {
+				t.Fatalf("%s/%v: forced mode recorded strategy %v", name, mode, hp.ReorderStats().Strategy)
+			}
+			x := make([]float64, a.Cols)
+			for i := range x {
+				x[i] = 1 + float64(i%9)/4
+			}
+			y := make([]float64, a.Rows)
+			want := make([]float64, a.Rows)
+			prep.Compute(y, x)
+			a.MulVec(want, x)
+			for i := range y {
+				if d := math.Abs(y[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+					t.Fatalf("%s/%v: y[%d] = %v, want %v", name, mode, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Below the nnz gate the autotuner must not pay for the graph
+// traversals: the decision reports Gated, the graph scores stay
+// unevaluated, and the pick is an O(rows) order. Dropping the gate
+// brings the graph candidates into the race.
+func TestReorderAutoGate(t *testing.T) {
+	m := amp.IntelI912900KF()
+	a := algtest.Matrix("powerlaw")
+	if a.NNZ() >= reorderAutoMinNNZ {
+		t.Fatalf("battery matrix grew past the gate (%d nnz)", a.NNZ())
+	}
+	prep, err := New(Options{Reorder: ReorderAuto}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := prep.(*Prepared).ReorderStats()
+	if !dec.Gated {
+		t.Fatal("small matrix not gated")
+	}
+	if dec.Scores[StrategyRCM].Evaluated || dec.Scores[StrategyCluster].Evaluated {
+		t.Fatal("gated Prepare still scored the graph strategies")
+	}
+	if s := dec.Strategy; s != StrategyLength && s != StrategyIdentity {
+		t.Fatalf("gated pick %v, want an O(rows) order", s)
+	}
+
+	ungate(t)
+	prep, err = New(Options{Reorder: ReorderAuto}).Prepare(m, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec = prep.(*Prepared).ReorderStats()
+	if dec.Gated {
+		t.Fatal("still gated with the gate dropped")
+	}
+	if !dec.Scores[StrategyRCM].Evaluated || !dec.Scores[StrategyCluster].Evaluated {
+		t.Fatal("ungated Prepare skipped the graph strategies")
+	}
+	if dec.AnalysisNs <= 0 {
+		t.Fatal("auto decision recorded no analysis time")
+	}
+}
+
+// smallLLCMachine is the stock machine with its last-level cache
+// shrunk below the test matrices' x vectors, so the gather term is
+// charged at full DRAM cost — the regime the graph orders exist for.
+func smallLLCMachine() *amp.Machine {
+	m := amp.IntelI912900KF()
+	m.Name = m.Name + "-small-llc"
+	for i := range m.Groups {
+		m.Groups[i].L3Bytes = 64 << 10
+	}
+	return m
+}
+
+// On a shuffled strided stencil above the gate, with x spilling the
+// machine's LLC, the autotuner must choose a graph order (the whole
+// point of the strategy layer), and its score must beat length-sort by
+// at least the hysteresis margin it was required to clear.
+func TestReorderAutoPicksGraphOnStridedStencil(t *testing.T) {
+	a := stridedStencil(1<<15, 4, 16)
+	if a.NNZ() < reorderAutoMinNNZ {
+		t.Fatalf("strided stencil under the gate: %d nnz", a.NNZ())
+	}
+	prep, err := New(Options{Reorder: ReorderAuto}).Prepare(smallLLCMachine(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := prep.(*Prepared).ReorderStats()
+	if dec.XResident {
+		t.Fatal("x reported LLC-resident on the small-LLC machine")
+	}
+	if dec.Gated {
+		t.Fatal("stencil above the gate reported Gated")
+	}
+	if dec.Strategy != StrategyRCM && dec.Strategy != StrategyCluster {
+		t.Fatalf("autotuner picked %v on a shuffled strided stencil, want a graph order", dec.Strategy)
+	}
+	pick, length := dec.Scores[dec.Strategy], dec.Scores[StrategyLength]
+	if pick.Total*100 >= length.Total*(100-reorderMarginPct) {
+		t.Fatalf("pick total %d did not clear the margin against length %d", pick.Total, length.Total)
+	}
+	// The win is x-gather locality, not index compression: every row is
+	// k singleton runs in any order.
+	if pick.GatherBytes >= length.GatherBytes {
+		t.Fatalf("gather bytes did not improve: %d -> %d", length.GatherBytes, pick.GatherBytes)
+	}
+	// The graph order must have been charged for scattering the value
+	// and index streams — the model's honesty about view-only reorders.
+	if pick.SeekBytes <= 0 {
+		t.Fatalf("graph pick paid no seek bytes (%+v)", pick)
+	}
+}
+
+// Same stencil, stock machine: x (256KB) is resident in the 30MB LLC,
+// so the modeled gather win is an illusion — a "missed" x line is an
+// L3 hit — and the discount must keep the autotuner on an O(rows)
+// order rather than paying real stream seeks for cache hits. (Measured
+// on a cache-rich host: the graph orders are ~1.0x or slower here.)
+func TestReorderLLCDiscountKeepsLengthWhenXResident(t *testing.T) {
+	a := stridedStencil(1<<15, 4, 16)
+	prep, err := New(Options{Reorder: ReorderAuto}).Prepare(amp.IntelI912900KF(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := prep.(*Prepared).ReorderStats()
+	if !dec.XResident {
+		t.Fatal("x not reported LLC-resident on the stock machine")
+	}
+	if dec.Strategy != StrategyLength && dec.Strategy != StrategyIdentity {
+		t.Fatalf("autotuner picked %v with x LLC-resident, want an O(rows) order", dec.Strategy)
+	}
+	// The discount rescales gather uniformly, so the graph orders'
+	// gather advantage survives in the scores — it is just priced too
+	// low to buy their seek costs.
+	if rcm, l := dec.Scores[StrategyRCM], dec.Scores[StrategyLength]; rcm.GatherBytes >= l.GatherBytes {
+		t.Fatalf("discounted gather lost its ordering: rcm %d vs length %d", rcm.GatherBytes, l.GatherBytes)
+	}
+}
+
+// A row-shuffled narrow band is the honest no-win case for view-only
+// reorders: a graph order would restore x locality but pays a stream
+// seek on nearly every row, cancelling the win (measured on real
+// hardware: ~1.0x or worse). The seek term must keep the autotuner on
+// an O(rows) order here.
+func TestReorderSeekKeepsLengthOnShuffledBand(t *testing.T) {
+	a := shuffledBand(1<<14, 4)
+	if a.NNZ() < reorderAutoMinNNZ {
+		t.Fatalf("shuffled band under the gate: %d nnz", a.NNZ())
+	}
+	prep, err := New(Options{Reorder: ReorderAuto}).Prepare(amp.IntelI912900KF(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := prep.(*Prepared).ReorderStats()
+	if dec.Strategy != StrategyLength && dec.Strategy != StrategyIdentity {
+		t.Fatalf("autotuner picked %v on a shuffled band, want an O(rows) order", dec.Strategy)
+	}
+	// The graph candidates were scored, lost, and the decision records
+	// why: the seek charge ate the gather saving.
+	for _, s := range []ReorderStrategy{StrategyRCM, StrategyCluster} {
+		sc := dec.Scores[s]
+		if !sc.Evaluated {
+			t.Fatalf("%v not evaluated above the gate", s)
+		}
+		if sc.SeekBytes <= 0 {
+			t.Fatalf("%v paid no seek on a shuffled band (%+v)", s, sc)
+		}
+	}
+	// Identity pays zero seek by construction.
+	if sb := dec.Scores[StrategyIdentity].SeekBytes; sb != 0 {
+		t.Fatalf("identity order charged %d seek bytes", sb)
+	}
+}
+
+// The autotuner's pick can never score worse than the length-sort
+// incumbent — on any corpus matrix, gate dropped so the graph orders
+// genuinely compete. (The hysteresis margin makes this structural; the
+// test guards it against regressions.) The picked instance must also
+// still multiply correctly.
+func TestReorderNeverBelowLengthOnCorpus(t *testing.T) {
+	ungate(t)
+	m := amp.IntelI912900KF()
+	specs := gen.Corpus(gen.CorpusOptions{Size: 12, MinNNZ: 2000, MaxNNZ: 60000, Seed: 7})
+	for _, sp := range specs {
+		a := sp.Generate()
+		prep, err := New(Options{Reorder: ReorderAuto}).Prepare(m, a)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Name, err)
+		}
+		dec := prep.(*Prepared).ReorderStats()
+		lenSc := dec.Scores[StrategyLength]
+		pickSc := dec.Scores[dec.Strategy]
+		if !lenSc.Evaluated || !pickSc.Evaluated {
+			t.Fatalf("%s: unevaluated scores in an auto decision", sp.Name)
+		}
+		if pickSc.Total > lenSc.Total {
+			t.Fatalf("%s: pick %v total %d worse than length %d", sp.Name, dec.Strategy, pickSc.Total, lenSc.Total)
+		}
+		if dec.Strategy != StrategyLength && pickSc.Total*100 >= lenSc.Total*(100-reorderMarginPct) {
+			t.Fatalf("%s: %v displaced length without clearing the margin (%d vs %d)",
+				sp.Name, dec.Strategy, pickSc.Total, lenSc.Total)
+		}
+		x := make([]float64, a.Cols)
+		for i := range x {
+			x[i] = float64(i%11) - 5
+		}
+		y := make([]float64, a.Rows)
+		want := make([]float64, a.Rows)
+		prep.Compute(y, x)
+		a.MulVec(want, x)
+		for i := range y {
+			if d := math.Abs(y[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("%s: y[%d] = %v, want %v", sp.Name, i, y[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReorderAutoSpeedup is the measured acceptance gate: on a large
+// shuffled strided stencil the autotuner's order must beat length-sort
+// — which preserves the shuffle, every row being the same length — by
+// at least 1.1x on the same pinned partition. A graph order only pays
+// physically when x spills the host's last-level cache, which no
+// unit-test-sized matrix does on a cache-rich host (the model's
+// x-residency discount encodes exactly this), so the gate is opt-in:
+// CI runs it on hardware it has sized the matrix for via
+// HASPMV_REORDER_GATE=1; everywhere else it verifies the pick and
+// skips the wall clock. BenchmarkReorderAuto reports the same pair as
+// GFlops for benchdiff trend gating.
+func TestReorderAutoSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock speedup gate; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock speedup gate; meaningless under the race detector")
+	}
+	a := stridedStencil(1<<19, 4, 16)
+
+	// The pick itself is deterministic and always enforced: on a machine
+	// whose LLC x spills, auto must take a graph order.
+	auto, err := New(Options{Reorder: ReorderAuto}).Prepare(smallLLCMachine(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := auto.(*Prepared).ReorderStats()
+	if dec.Strategy != StrategyRCM && dec.Strategy != StrategyCluster {
+		t.Fatalf("autotuner picked %v, want a graph order", dec.Strategy)
+	}
+	if os.Getenv("HASPMV_REORDER_GATE") == "" {
+		t.Skip("wall-clock 1.1x gate needs x to spill the host LLC; set HASPMV_REORDER_GATE=1 on sized hardware")
+	}
+	length, err := New(Options{
+		Reorder:     ReorderLength,
+		PProportion: auto.(*Prepared).Plan().PProportion,
+	}).Prepare(smallLLCMachine(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = 1 + float64(i%5)/4
+	}
+	y := make([]float64, a.Rows)
+	best := func(p exec.Prepared) time.Duration {
+		p.Compute(y, x) // warm up streams and x
+		b := time.Duration(math.MaxInt64)
+		for i := 0; i < 5; i++ {
+			t0 := time.Now()
+			p.Compute(y, x)
+			if d := time.Since(t0); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	// Interleaved best-of runs so host noise hits both orders.
+	bAuto, bLen := best(auto), best(length)
+	if b2 := best(auto); b2 < bAuto {
+		bAuto = b2
+	}
+	if b2 := best(length); b2 < bLen {
+		bLen = b2
+	}
+	speedup := float64(bLen) / float64(bAuto)
+	t.Logf("strided stencil %d rows: length %v, %v %v, speedup %.2fx",
+		a.Rows, bLen, dec.Strategy, bAuto, speedup)
+	if speedup < 1.1 {
+		t.Fatalf("reorder speedup %.2fx below the 1.1x acceptance gate", speedup)
+	}
+}

@@ -79,7 +79,7 @@ func (p *Prepared) Repartition(plan Plan) error {
 	cuts[0] = 0
 	cuts[n] = h.NNZ()
 	for i := 1; i < n; i++ {
-		cuts[i] = costToPosition(p.mat, h, p.cs, bounds[i], p.opts.Metric)
+		cuts[i] = costToPosition(p.mat, p.streams.col32, h, p.cs, bounds[i], p.opts.Metric)
 		if cuts[i] < cuts[i-1] {
 			cuts[i] = cuts[i-1]
 		}

@@ -72,6 +72,12 @@ type Options struct {
 	// per-row fragment-walk overhead dominates, the classic serial
 	// epilogue otherwise).
 	Exec ExecMode
+	// Reorder selects the HACSR row-reorder strategy (default
+	// ReorderLength: the paper's length sort; ReorderAuto scores
+	// identity/length/RCM/cluster orders with the cost model's byte
+	// accounting and picks per matrix). DisableReorder takes precedence
+	// and forces the natural order.
+	Reorder ReorderMode
 }
 
 // New builds the HASpMV algorithm. Config defaults to both groups (PAndE).
@@ -98,17 +104,20 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	if tel != nil {
 		t0 = time.Now()
 	}
+	cores := m.Cores(opts.Config)
 	// Rows with no nonzeros occupy zero width in nnz space and are not
 	// visited by the region walk; Compute zeroes them explicitly. The
 	// reorder sweep already classifies every row, so convert collects the
 	// empty ones in the same pass instead of re-scanning the row pointer.
 	var h *HACSR
 	var empty []int
+	var rdec ReorderDecision
 	if opts.DisableReorder {
 		h = Identity(mat)
 		empty = collectEmptyRows(mat)
+		rdec = ReorderDecision{Mode: opts.Reorder, Strategy: StrategyIdentity}
 	} else {
-		h, empty = convert(mat, opts.Base)
+		h, empty, rdec = reorderFor(mat, opts.Base, opts.Reorder, len(cores), machineLLCBytes(m))
 	}
 	if tel != nil {
 		tel.RecordPhase(telemetry.PhaseReorder, time.Since(t0))
@@ -129,8 +138,7 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 	if tel != nil {
 		tel.RecordPhase(telemetry.PhaseCacheLineCost, time.Since(t0))
 	}
-	cores := m.Cores(opts.Config)
-	regions := partition(mat, h, cs, m, cores, opts.PProportion, opts.Metric, opts.OneLevel, tel)
+	regions := partition(mat, streams.col32, h, cs, m, cores, opts.PProportion, opts.Metric, opts.OneLevel, tel)
 	if err := checkRegions(h, regions); err != nil {
 		return nil, err
 	}
@@ -150,7 +158,8 @@ func (a *alg) Prepare(m *amp.Machine, mat *sparse.CSR) (exec.Prepared, error) {
 		mat: mat, h: h, machine: m,
 		opts: opts, emptyRows: empty, unroll: unroll,
 		cs: cs, cores: cores, streams: streams, values: values,
-		accum: make([]coreAccum, len(regions)),
+		reorder: rdec,
+		accum:   make([]coreAccum, len(regions)),
 	}
 	for _, c := range cores {
 		if g, _ := m.GroupOf(c); g.Kind == amp.Performance {
@@ -234,6 +243,9 @@ type Prepared struct {
 	// skew is the row-length skew profile driving the execution-mode
 	// dispatch.
 	skew costmodel.RowSkew
+	// reorder records which row-order strategy Prepare chose and the
+	// candidate scores behind the choice.
+	reorder ReorderDecision
 	// cores are the participating core ids (P slots first), and pCount
 	// how many of them belong to the Performance group.
 	cores  []int

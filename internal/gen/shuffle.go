@@ -1,0 +1,71 @@
+package gen
+
+import "haspmv/internal/sparse"
+
+// splitmix64 is the seed scrambler behind ShuffleRows: deterministic,
+// state-free, and uncorrelated with the generators' own LCG streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ShuffleRows returns a copy of a with its rows permuted by a
+// deterministic Fisher-Yates shuffle of the given seed. Columns (and
+// therefore x-vector order) are untouched, so the shuffled copy has
+// identical per-row structure but destroyed inter-row locality — the
+// adversarial input for the reorder autotuner, whose graph strategies
+// should recover most of what the shuffle broke.
+func ShuffleRows(a *sparse.CSR, seed int64) *sparse.CSR {
+	m := a.Rows
+	perm := make([]int, m)
+	for i := range perm {
+		perm[i] = i
+	}
+	s := uint64(seed)
+	for i := m - 1; i > 0; i-- {
+		s = splitmix64(s)
+		j := int(s % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	rowPtr := make([]int, m+1)
+	for i, src := range perm {
+		rowPtr[i+1] = rowPtr[i] + (a.RowPtr[src+1] - a.RowPtr[src])
+	}
+	colIdx := make([]int, a.NNZ())
+	val := make([]float64, a.NNZ())
+	for i, src := range perm {
+		lo, hi := a.RowPtr[src], a.RowPtr[src+1]
+		copy(colIdx[rowPtr[i]:rowPtr[i+1]], a.ColIdx[lo:hi])
+		copy(val[rowPtr[i]:rowPtr[i+1]], a.Val[lo:hi])
+	}
+	return &sparse.CSR{Rows: m, Cols: a.Cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// StridedStencil builds a square matrix with k entries per row, stride
+// columns apart, anchored at the row index (clamped near the bottom so
+// every column stays in range). With stride past a cache line of
+// float64s, every nonzero touches its own x line while neighbouring
+// rows share almost their whole line span — the workload where a
+// shuffled row order costs the most x-gather traffic and a graph
+// reorder wins it back. Pair with ShuffleRows for the autotuner's
+// positive acceptance case.
+func StridedStencil(rows, k, stride int) *sparse.CSR {
+	rowPtr := make([]int, rows+1)
+	colIdx := make([]int, 0, rows*k)
+	val := make([]float64, 0, rows*k)
+	span := stride * (k - 1)
+	for i := 0; i < rows; i++ {
+		base := i
+		if base > rows-1-span {
+			base = rows - 1 - span
+		}
+		for j := 0; j < k; j++ {
+			colIdx = append(colIdx, base+stride*j)
+			val = append(val, 1+float64((i+j)%7)/8)
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &sparse.CSR{Rows: rows, Cols: rows, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}

@@ -2,9 +2,13 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -14,6 +18,7 @@ import (
 	"haspmv/internal/fleet/shard"
 	"haspmv/internal/gen"
 	"haspmv/internal/sparse"
+	"haspmv/internal/store"
 	"haspmv/internal/telemetry"
 	"haspmv/internal/telemetry/tracing"
 )
@@ -22,6 +27,10 @@ var (
 	cServePrepares  = telemetry.NewCounter("serve_prepares")
 	cServeEvictions = telemetry.NewCounter("serve_cache_evictions")
 	gServeCached    = telemetry.NewGauge("serve_cached_matrices")
+	cStoreRestores  = telemetry.NewCounter("serve_store_restores")
+	cStoreSpills    = telemetry.NewCounter("serve_store_spills")
+	cStoreMisses    = telemetry.NewCounter("serve_store_misses")
+	cStoreVerifyErr = telemetry.NewCounter("serve_store_verify_fails")
 )
 
 // Registry errors. The HTTP layer maps ErrUnknownMatrix to 404 and
@@ -72,6 +81,16 @@ type RegistryOptions struct {
 	// and adapter epochs are stamped into the in-flight request traces
 	// before their waiters release.
 	Recorder *tracing.Recorder
+	// StoreDir, when set, backs the LRU with the prepared-matrix store:
+	// every successful HASpMV build is written through to
+	// StoreDir/<key>.hps (async, atomic rename), and a cold Get loads
+	// the file by mmap and restores in milliseconds instead of
+	// re-running generate+Prepare — eviction effectively spills to disk.
+	// The payload checksum sweep runs behind the restore (see
+	// restoreFromStore); structural corruption still misses eagerly.
+	// Files from another algorithm, machine or format version are
+	// ignored (and overwritten by the next write-through).
+	StoreDir string
 }
 
 func (o RegistryOptions) withDefaults() RegistryOptions {
@@ -104,10 +123,17 @@ type Entry struct {
 	// Adapter is the entry's online repartitioning loop (nil unless
 	// RegistryOptions.Adapt is set and the algorithm is HASpMV).
 	Adapter *haspmvcore.Adapter
+	// FromStore reports whether this entry was restored from the
+	// prepared-matrix store rather than built by generate+Prepare (in
+	// which case PrepareMs is the restore time).
+	FromStore bool
 
 	ready    chan struct{}
 	err      error
 	lastUsed int64
+	// file pins the mmap window a restored entry's kernels read from;
+	// closed after the batcher drains on evict or registry close.
+	file *store.File
 }
 
 // Registry caches prepared matrices behind an LRU with single-flight
@@ -123,17 +149,45 @@ type Registry struct {
 	seq     int64
 	closed  bool
 	entries map[string]*Entry
+
+	// spilling tracks in-flight store writes by key: a cold Get for a
+	// key whose write-through is still running waits for the file
+	// instead of re-preparing — the no-double-Prepare guarantee under
+	// capacity thrash. spills lets Close drain all writers.
+	spillMu  sync.Mutex
+	spilling map[string]chan struct{}
+	spills   sync.WaitGroup
 }
 
 // NewRegistry builds an empty registry serving matrices prepared by alg
 // for the given machine model.
 func NewRegistry(m *amp.Machine, alg exec.Algorithm, opts RegistryOptions) *Registry {
 	return &Registry{
-		machine: m,
-		alg:     alg,
-		opts:    opts.withDefaults(),
-		entries: make(map[string]*Entry),
+		machine:  m,
+		alg:      alg,
+		opts:     opts.withDefaults(),
+		entries:  make(map[string]*Entry),
+		spilling: make(map[string]chan struct{}),
 	}
+}
+
+// storePath maps a cache key to its store file. Keys contain '@', '#'
+// and '/' (shard keys); anything a filesystem might object to becomes
+// '_' — a collision just means the key check at load misses and the
+// entry rebuilds.
+func (r *Registry) storePath(key string) string {
+	name := make([]byte, 0, len(key))
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_', c == '@', c == '#':
+			name = append(name, c)
+		default:
+			name = append(name, '_')
+		}
+	}
+	return filepath.Join(r.opts.StoreDir, string(name)+".hps")
 }
 
 // Key is the registry's cache key format.
@@ -211,27 +265,46 @@ func (r *Registry) GetShard(ctx context.Context, name string, scale, index, coun
 	for _, old := range evict {
 		// Drain evicted batchers off the request path; in-flight Submits
 		// finish, later ones see ErrDraining and retry via a fresh Get.
-		go old.Batcher.Close()
+		// The mmap window (restored entries) unmaps only after the drain,
+		// when no kernel can still read it.
+		go func(old *Entry) {
+			old.Batcher.Close()
+			old.closeFile()
+		}(old)
 		cServeEvictions.Add(1)
 	}
 
-	mat, err := r.opts.Source(name, scale)
-	if err == nil && count > 1 {
-		// Slice this worker's shard from the deterministic plan. The full
-		// matrix is released right after; only the submatrix stays
-		// resident.
-		var plan []shard.Desc
-		if plan, err = shard.Plan(mat, count, nil); err == nil {
-			e.Shard = plan[index]
-			mat = shard.Slice(mat, e.Shard)
-		}
-	}
 	var prep exec.Prepared
 	var prepMs float64
-	if err == nil {
-		t0 := time.Now()
-		prep, err = r.alg.Prepare(r.machine, mat)
-		prepMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	var err error
+	if r.opts.StoreDir != "" {
+		// A spill for this key may still be in flight (the entry was just
+		// evicted); wait for the file rather than re-preparing.
+		r.awaitSpill(key)
+		prep = r.restoreFromStore(e, key)
+	}
+	if prep == nil {
+		var mat *sparse.CSR
+		mat, err = r.opts.Source(name, scale)
+		if err == nil && count > 1 {
+			// Slice this worker's shard from the deterministic plan. The full
+			// matrix is released right after; only the submatrix stays
+			// resident.
+			var plan []shard.Desc
+			if plan, err = shard.Plan(mat, count, nil); err == nil {
+				e.Shard = plan[index]
+				mat = shard.Slice(mat, e.Shard)
+			}
+		}
+		if err == nil {
+			t0 := time.Now()
+			prep, err = r.alg.Prepare(r.machine, mat)
+			prepMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+		}
+		if err == nil {
+			e.Rows, e.Cols, e.NNZ = mat.Rows, mat.Cols, mat.NNZ()
+			e.PrepareMs = prepMs
+		}
 	}
 	if err != nil {
 		e.err = err
@@ -242,8 +315,6 @@ func (r *Registry) GetShard(ctx context.Context, name string, scale, index, coun
 		close(e.ready)
 		return nil, err
 	}
-	e.Rows, e.Cols, e.NNZ = mat.Rows, mat.Cols, mat.NNZ()
-	e.PrepareMs = prepMs
 	e.Prep = prep
 	r.mu.Lock()
 	if r.closed {
@@ -252,6 +323,7 @@ func (r *Registry) GetShard(ctx context.Context, name string, scale, index, coun
 		delete(r.entries, key)
 		r.mu.Unlock()
 		e.err = ErrDraining
+		e.closeFile()
 		close(e.ready)
 		return nil, ErrDraining
 	}
@@ -271,8 +343,171 @@ func (r *Registry) GetShard(ctx context.Context, name string, scale, index, coun
 	e.Batcher = NewBatcher(prep, bopts)
 	r.mu.Unlock()
 	cServePrepares.Add(1)
+	if r.opts.StoreDir != "" && !e.FromStore {
+		r.startSpill(e)
+	}
 	close(e.ready)
 	return e, nil
+}
+
+// storeExtra is the annotation block a spilled entry carries so a
+// restore can rebuild the Entry fields and refuse files written for a
+// different key or algorithm.
+type storeExtra struct {
+	Key   string
+	Alg   string
+	Name  string
+	Scale int
+	Shard *shard.Desc `json:",omitempty"`
+}
+
+// restoreFromStore tries to serve key from the prepared-matrix store,
+// filling e and returning the restored prep on success. Any failure —
+// no file, corrupt structure, wrong version, wrong algorithm or machine
+// — is a miss: the caller falls back to generate+Prepare (whose
+// write-through then replaces the unusable file).
+//
+// The load is verify-behind (store.LoadAsync): the file's structure —
+// header, meta and chunk-table checksums, section bounds — is proven
+// before the entry serves, but the payload checksum sweep (the only
+// full-file pass, and the bulk of a synchronous Load) runs on a
+// background goroutine. If that sweep fails, watchVerify drops the
+// entry so the next Get rebuilds from scratch; responses served in the
+// window between restore and the failure may have read corrupt array
+// values. That window is the price of the cold-start target — a
+// torn-payload file on a healthy disk requires external interference,
+// and the sweep closes it within milliseconds.
+func (r *Registry) restoreFromStore(e *Entry, key string) exec.Prepared {
+	t0 := time.Now()
+	f, err := store.LoadAsync(r.storePath(key))
+	if err != nil {
+		cStoreMisses.Add(1)
+		return nil
+	}
+	var ex storeExtra
+	if raw, ok := f.Extra["entry"]; ok {
+		_ = json.Unmarshal([]byte(raw), &ex)
+	}
+	if ex.Key != key || ex.Alg != r.alg.Name() {
+		f.Close()
+		cStoreMisses.Add(1)
+		return nil
+	}
+	prep, err := haspmvcore.RestorePrepared(r.machine, f.Snap)
+	if err != nil {
+		f.Close()
+		cStoreMisses.Add(1)
+		return nil
+	}
+	e.Rows, e.Cols = f.Snap.Meta.Rows, f.Snap.Meta.Cols
+	e.NNZ = f.Snap.RowPtr[f.Snap.Meta.Rows]
+	if ex.Shard != nil {
+		e.Shard = *ex.Shard
+	}
+	e.PrepareMs = float64(time.Since(t0).Nanoseconds()) / 1e6
+	e.FromStore = true
+	e.file = f
+	cStoreRestores.Add(1)
+	go r.watchVerify(e, f)
+	return prep
+}
+
+// watchVerify waits out a restored entry's background payload-checksum
+// sweep. On failure it removes the provably-corrupt file (so the next
+// Get misses instead of re-restoring the same bad payload), drops the
+// entry from the cache and drains its batcher; the rebuild's
+// write-through then lays down a fresh file. Exactly one of watchVerify
+// and eviction drains the entry: whichever removes it from the map
+// under r.mu.
+func (r *Registry) watchVerify(e *Entry, f *store.File) {
+	if f.Verified() == nil {
+		return
+	}
+	// The entry may still be mid-build in GetShard; its batcher exists
+	// only once ready closes (and err covers the registry-closed path).
+	<-e.ready
+	if e.err != nil {
+		return
+	}
+	cStoreVerifyErr.Add(1)
+	// File first, then map: a racing Get either finds this entry (and
+	// retries after the drain) or misses the store — never the corrupt
+	// file again.
+	os.Remove(r.storePath(e.Key))
+	r.mu.Lock()
+	owned := r.entries[e.Key] == e
+	if owned {
+		delete(r.entries, e.Key)
+		gServeCached.Set(int64(len(r.entries)))
+	}
+	r.mu.Unlock()
+	if owned {
+		e.Batcher.Close()
+		e.closeFile()
+	}
+}
+
+// startSpill writes the entry through to the store on a tracked
+// goroutine. The snapshot aliases the instance's immutable streams
+// (Repartition only moves boundaries), so the write races nothing.
+func (r *Registry) startSpill(e *Entry) {
+	hp, ok := e.Prep.(*haspmvcore.Prepared)
+	if !ok {
+		return // baseline algorithms have no snapshot to persist
+	}
+	done := make(chan struct{})
+	r.spillMu.Lock()
+	if _, inFlight := r.spilling[e.Key]; inFlight {
+		r.spillMu.Unlock()
+		return
+	}
+	r.spilling[e.Key] = done
+	r.spillMu.Unlock()
+	r.spills.Add(1)
+	go func() {
+		defer func() {
+			r.spillMu.Lock()
+			delete(r.spilling, e.Key)
+			r.spillMu.Unlock()
+			close(done)
+			r.spills.Done()
+		}()
+		ex := storeExtra{Key: e.Key, Alg: r.alg.Name(), Name: e.Name, Scale: e.Scale}
+		if e.Shard.Count > 1 {
+			sh := e.Shard
+			ex.Shard = &sh
+		}
+		raw, err := json.Marshal(ex)
+		if err != nil {
+			return
+		}
+		extra := map[string]string{
+			"entry":      string(raw),
+			"prepare_ms": strconv.FormatFloat(e.PrepareMs, 'g', -1, 64),
+		}
+		if store.Write(r.storePath(e.Key), hp.Snapshot(), extra) == nil {
+			cStoreSpills.Add(1)
+		}
+	}()
+}
+
+// awaitSpill blocks until no store write for key is in flight.
+func (r *Registry) awaitSpill(key string) {
+	r.spillMu.Lock()
+	done, ok := r.spilling[key]
+	r.spillMu.Unlock()
+	if ok {
+		<-done
+	}
+}
+
+// closeFile releases the entry's mmap window, if any. Only safe after
+// the entry's batcher has drained (no kernel reads the window anymore).
+func (e *Entry) closeFile() {
+	if e.file != nil {
+		e.file.Close()
+		e.file = nil
+	}
 }
 
 // adapterObserver feeds each flush to the entry's adapter and stamps
@@ -390,10 +625,13 @@ func (r *Registry) Close() {
 			continue
 		}
 		wg.Add(1)
-		go func(b *Batcher) {
+		go func(e *Entry) {
 			defer wg.Done()
-			b.Close()
-		}(e.Batcher)
+			e.Batcher.Close()
+			e.closeFile()
+		}(e)
 	}
 	wg.Wait()
+	// Drain in-flight store writes so a restart finds complete files.
+	r.spills.Wait()
 }

@@ -272,12 +272,15 @@ type matrixInfo struct {
 	NNZ       int     `json:"nnz"`
 	Shard     string  `json:"shard,omitempty"`
 	PrepareMs float64 `json:"prepare_ms"`
-	Requests  int64   `json:"requests"`
-	Flushes   int64   `json:"flushes"`
-	Coalesced int64   `json:"coalesced"`
-	Solo      int64   `json:"solo"`
-	Shed      int64   `json:"shed"`
-	Expired   int64   `json:"expired"`
+	// FromStore marks an entry cold-started from the prepared-matrix
+	// store (PrepareMs is then the mmap+restore time, not a Prepare).
+	FromStore bool  `json:"from_store,omitempty"`
+	Requests  int64 `json:"requests"`
+	Flushes   int64 `json:"flushes"`
+	Coalesced int64 `json:"coalesced"`
+	Solo      int64 `json:"solo"`
+	Shed      int64 `json:"shed"`
+	Expired   int64 `json:"expired"`
 	// Adaptive-execution progress, present when the registry runs with
 	// online repartitioning enabled.
 	Rebalances int64   `json:"rebalances,omitempty"`
@@ -499,8 +502,9 @@ func (s *Server) handleMatrices(w http.ResponseWriter, r *http.Request) {
 		mi := matrixInfo{
 			Key: e.Key, Matrix: e.Name, Scale: e.Scale,
 			Rows: e.Rows, Cols: e.Cols, NNZ: e.NNZ, PrepareMs: e.PrepareMs,
-			Shard:    shardLabel(e.Shard),
-			Requests: st.Requests, Flushes: st.Flushes,
+			FromStore: e.FromStore,
+			Shard:     shardLabel(e.Shard),
+			Requests:  st.Requests, Flushes: st.Flushes,
 			Coalesced: st.Coalesced, Solo: st.Solo,
 			Shed: st.Shed, Expired: st.Expired,
 		}

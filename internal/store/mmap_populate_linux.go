@@ -1,0 +1,7 @@
+package store
+
+import "syscall"
+
+// mapPopulate asks Linux to prefault the mapping's page tables at mmap
+// time; see mmapFile.
+const mapPopulate = syscall.MAP_POPULATE

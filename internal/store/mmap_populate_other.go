@@ -1,0 +1,7 @@
+//go:build unix && !linux
+
+package store
+
+// mapPopulate: no MAP_POPULATE outside Linux; the mapping faults
+// lazily during the checksum sweep instead.
+const mapPopulate = 0

@@ -1,0 +1,54 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestFuzzSeedCorpus regenerates the checked-in fuzz corpus when
+// HASPMV_WRITE_FUZZ_SEEDS is set (run it after a format-version bump),
+// and otherwise verifies that every checked-in seed still decodes —
+// the guard that keeps testdata in sync with the writer.
+func TestFuzzSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzStoreRoundTrip")
+	if os.Getenv("HASPMV_WRITE_FUZZ_SEEDS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range fuzzSeeds(t) {
+			body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(s.data)) + ")\n"
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d-%s", i, s.name))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no checked-in fuzz seeds in %s (regenerate with HASPMV_WRITE_FUZZ_SEEDS=1): %v", dir, err)
+	}
+	for _, e := range ents {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corpus format: header line, then []byte("...").
+		const pre = "go test fuzz v1\n[]byte("
+		body := string(raw)
+		if len(body) < len(pre) || body[:len(pre)] != pre {
+			t.Fatalf("%s: not a go fuzz corpus file", e.Name())
+		}
+		quoted := body[len(pre) : len(body)-2]
+		data, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if _, _, err := Decode([]byte(data)); err != nil {
+			t.Fatalf("checked-in seed %s no longer decodes: %v (format change without a seed regen?)", e.Name(), err)
+		}
+	}
+}
